@@ -1,0 +1,28 @@
+//! Accelerator specification types.
+//!
+//! The memory-management technique of the paper is parameterized by a small
+//! set of accelerator characteristics (Section 3.3, "accelerator
+//! specifications"): the compute throughput in operations per cycle, the
+//! element data width, the Global Buffer (GLB) capacity, and the off-chip
+//! memory bandwidth. This crate provides those types plus the size
+//! arithmetic (bytes vs. elements) used everywhere else in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use smm_arch::{AcceleratorConfig, ByteSize, DataWidth};
+//!
+//! let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+//! assert_eq!(acc.macs_per_cycle(), 256);
+//! assert_eq!(acc.glb.elements(acc.data_width), 64 * 1024);
+//! // 16 bytes/cycle at 8-bit data means 16 elements per cycle.
+//! assert_eq!(acc.dram_elements_per_cycle(), 16);
+//! ```
+
+mod config;
+mod size;
+mod width;
+
+pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, ConfigError, GLB_SIZES_KB};
+pub use size::ByteSize;
+pub use width::DataWidth;

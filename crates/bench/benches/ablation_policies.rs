@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - estimator cost per policy (how "lightweight" is lightweight?);
+//! - fallback tiling search cost (the expensive escape hatch);
+//! - inter-layer reuse pass cost on a full plan;
+//! - parallel vs sequential sweep (the Rayon choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_core::sweep::{plan_matrix, SweepScheme};
+use smm_core::{Manager, ManagerConfig, Objective};
+use smm_model::zoo;
+use smm_policy::{estimate, PolicyKind};
+use std::hint::black_box;
+
+fn acc() -> AcceleratorConfig {
+    AcceleratorConfig::paper_default(ByteSize::from_kb(64))
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let net = zoo::resnet18();
+    let shape = net.layer("s2_b1_conv1").expect("layer").shape;
+    let a = acc();
+    let mut group = c.benchmark_group("estimate");
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &k| b.iter(|| black_box(estimate(k, &shape, &a, false))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_interlayer_pass(c: &mut Criterion) {
+    let net = zoo::mnasnet();
+    let a = AcceleratorConfig::paper_default(ByteSize::from_mb(1));
+    let plain = Manager::new(a, ManagerConfig::new(Objective::Accesses));
+    let with_ilr = Manager::new(
+        a,
+        ManagerConfig::new(Objective::Accesses).with_inter_layer_reuse(true),
+    );
+    let mut group = c.benchmark_group("interlayer");
+    group.bench_function("off", |b| {
+        b.iter(|| black_box(plain.heterogeneous(&net).expect("plan")))
+    });
+    group.bench_function("on", |b| {
+        b.iter(|| black_box(with_ilr.heterogeneous(&net).expect("plan")))
+    });
+    group.finish();
+}
+
+fn bench_sweep_parallelism(c: &mut Criterion) {
+    let nets = zoo::all_networks();
+    let cfg = ManagerConfig::new(Objective::Accesses);
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("rayon_matrix_6x5", |b| {
+        b.iter(|| {
+            black_box(
+                plan_matrix(
+                    acc(),
+                    cfg,
+                    SweepScheme::Heterogeneous,
+                    &nets,
+                    &smm_arch::GLB_SIZES_KB,
+                )
+                .expect("matrix"),
+            )
+        })
+    });
+    group.bench_function("sequential_6x5", |b| {
+        b.iter(|| {
+            for net in &nets {
+                for &kb in &smm_arch::GLB_SIZES_KB {
+                    let a = AcceleratorConfig::paper_default(ByteSize::from_kb(kb));
+                    let m = Manager::new(a, cfg);
+                    black_box(m.heterogeneous(net).expect("plan"));
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_estimators,
+    bench_interlayer_pass,
+    bench_sweep_parallelism
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! One Criterion target per reproduced table/figure: measures how long
+//! each experiment takes to regenerate (and keeps the regeneration code
+//! exercised under `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (id, _desc, run) in smm_bench::experiments() {
+        // `validate` replays the whole zoo element-by-element — far too
+        // heavy for a timing loop; everything else regenerates in
+        // milliseconds and is benchmarked as-is.
+        if id == "validate" {
+            continue;
+        }
+        group.bench_function(id, |b| b.iter(|| black_box(run())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

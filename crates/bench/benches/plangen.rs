@@ -1,0 +1,70 @@
+//! The Section 4 runtime claim: "it took approximately one minute to
+//! generate the management schemes for all the tested models … while for
+//! the SCALE-Sim baseline it took more than 5 hours." These benchmarks
+//! measure both sides of that comparison in our reproduction: the
+//! analytical plan generation (fast path) and the element-exact
+//! trace-mode baseline (slow path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smm_arch::{AcceleratorConfig, ByteSize, GLB_SIZES_KB};
+use smm_core::{Manager, ManagerConfig, Objective};
+use smm_model::zoo;
+use smm_systolic::schedule::trace_layer;
+use smm_systolic::{simulate_network, BaselineConfig, BufferSplit};
+use std::hint::black_box;
+
+/// Generate Het plans for all models at all paper sizes — the full
+/// "management schemes for all the tested models" workload.
+fn bench_plan_generation(c: &mut Criterion) {
+    let nets = zoo::all_networks();
+    c.bench_function("plangen/all_models_all_sizes", |b| {
+        b.iter(|| {
+            for net in &nets {
+                for &kb in &GLB_SIZES_KB {
+                    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(kb));
+                    let m = Manager::new(acc, ManagerConfig::new(Objective::Accesses));
+                    black_box(m.heterogeneous(net).expect("plan"));
+                }
+            }
+        })
+    });
+}
+
+/// One analytical baseline simulation of a full network.
+fn bench_baseline_analytic(c: &mut Criterion) {
+    let net = zoo::resnet18();
+    let cfg = BaselineConfig::paper(
+        AcceleratorConfig::paper_default(ByteSize::from_kb(256)),
+        BufferSplit::SA_50_50,
+    );
+    c.bench_function("baseline/analytic_resnet18", |b| {
+        b.iter(|| black_box(simulate_network(&cfg, &net)))
+    });
+}
+
+/// Element-exact trace replay of single layers — the expensive mode that
+/// stands in for the 5-hour SCALE-Sim run.
+fn bench_baseline_trace(c: &mut Criterion) {
+    let net = zoo::resnet18();
+    let cfg = BaselineConfig::paper(
+        AcceleratorConfig::paper_default(ByteSize::from_kb(256)),
+        BufferSplit::SA_50_50,
+    );
+    let mut group = c.benchmark_group("baseline/trace");
+    group.sample_size(10);
+    for name in ["s3_b1_conv2", "s4_b1_conv2"] {
+        let layer = net.layer(name).expect("zoo layer");
+        group.bench_with_input(BenchmarkId::from_parameter(name), layer, |b, l| {
+            b.iter(|| black_box(trace_layer(&cfg, &l.shape)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_generation,
+    bench_baseline_analytic,
+    bench_baseline_trace
+);
+criterion_main!(benches);

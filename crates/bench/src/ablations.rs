@@ -1,0 +1,207 @@
+//! Figures 10 and 11: the prefetching and inter-layer reuse ablations.
+
+use crate::{acc, SIZES_KB};
+use smm_core::report::{benefit_pct, TextTable};
+use smm_core::{interlayer, Manager, ManagerConfig, Objective};
+use smm_model::zoo;
+
+/// One ablation row: benefit of enabling a feature, plus its coverage.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    pub glb_kb: u64,
+    pub access_benefit_pct: f64,
+    pub latency_benefit_pct: f64,
+    pub coverage_pct: f64,
+}
+
+/// Figure 10 data: Het (latency objective) with prefetching enabled vs
+/// disabled, for MobileNet.
+pub fn fig10_data() -> Vec<AblationRow> {
+    let net = zoo::mobilenet();
+    SIZES_KB
+        .iter()
+        .map(|&kb| {
+            let a = acc(kb);
+            let on = Manager::new(a, ManagerConfig::new(Objective::Latency))
+                .heterogeneous(&net)
+                .expect("prefetch on");
+            let off = Manager::new(
+                a,
+                ManagerConfig::new(Objective::Latency).with_prefetch(false),
+            )
+            .heterogeneous(&net)
+            .expect("prefetch off");
+            AblationRow {
+                glb_kb: kb,
+                access_benefit_pct: benefit_pct(
+                    off.totals.accesses_elems as f64,
+                    on.totals.accesses_elems as f64,
+                ),
+                latency_benefit_pct: benefit_pct(
+                    off.totals.latency_cycles as f64,
+                    on.totals.latency_cycles as f64,
+                ),
+                coverage_pct: on.prefetch_coverage() * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Figure 10 rendered.
+pub fn fig10() -> String {
+    let mut out = String::from(
+        "Figure 10: Het with prefetching enabled vs disabled (MobileNet). \
+         Coverage = share of layers using a +p policy.\n",
+    );
+    let mut t = TextTable::new(&["GLB", "accesses benefit", "latency benefit", "coverage"]);
+    for row in fig10_data() {
+        t.row(vec![
+            format!("{}kB", row.glb_kb),
+            format!("{:+.1}%", row.access_benefit_pct),
+            format!("{:+.1}%", row.latency_benefit_pct),
+            format!("{:.0}%", row.coverage_pct),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 11 data: Het (accesses objective) with inter-layer reuse
+/// enabled vs disabled, for MnasNet.
+pub fn fig11_data() -> Vec<AblationRow> {
+    let net = zoo::mnasnet();
+    let possible = interlayer::possible_transitions(&net);
+    SIZES_KB
+        .iter()
+        .map(|&kb| {
+            let a = acc(kb);
+            let on = Manager::new(
+                a,
+                ManagerConfig::new(Objective::Accesses).with_inter_layer_reuse(true),
+            )
+            .heterogeneous(&net)
+            .expect("ilr on");
+            let off = Manager::new(a, ManagerConfig::new(Objective::Accesses))
+                .heterogeneous(&net)
+                .expect("ilr off");
+            AblationRow {
+                glb_kb: kb,
+                access_benefit_pct: benefit_pct(
+                    off.totals.accesses_elems as f64,
+                    on.totals.accesses_elems as f64,
+                ),
+                latency_benefit_pct: benefit_pct(
+                    off.totals.latency_cycles as f64,
+                    on.totals.latency_cycles as f64,
+                ),
+                coverage_pct: on.inter_layer_coverage(possible) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean of the access / latency benefit at 1 MB over all
+/// models (the paper reports 47% / 8%).
+pub fn fig11_geomean_at_1mb() -> (f64, f64) {
+    let mut acc_prod = 1.0f64;
+    let mut lat_prod = 1.0f64;
+    let mut n = 0u32;
+    for net in zoo::all_networks() {
+        let a = acc(1024);
+        let on = Manager::new(
+            a,
+            ManagerConfig::new(Objective::Accesses).with_inter_layer_reuse(true),
+        )
+        .heterogeneous(&net)
+        .expect("ilr on");
+        let off = Manager::new(a, ManagerConfig::new(Objective::Accesses))
+            .heterogeneous(&net)
+            .expect("ilr off");
+        // Geometric mean over ratios, reported as a benefit percentage.
+        acc_prod *= on.totals.accesses_elems as f64 / off.totals.accesses_elems.max(1) as f64;
+        lat_prod *= on.totals.latency_cycles as f64 / off.totals.latency_cycles.max(1) as f64;
+        n += 1;
+    }
+    let gm = |p: f64| (1.0 - p.powf(1.0 / n as f64)) * 100.0;
+    (gm(acc_prod), gm(lat_prod))
+}
+
+/// Figure 11 rendered.
+pub fn fig11() -> String {
+    let mut out = String::from(
+        "Figure 11: Het with inter-layer reuse enabled vs disabled (MnasNet). \
+         Coverage = enabled transitions / chainable transitions.\n",
+    );
+    let mut t = TextTable::new(&["GLB", "accesses benefit", "latency benefit", "coverage"]);
+    for row in fig11_data() {
+        t.row(vec![
+            format!("{}kB", row.glb_kb),
+            format!("{:+.1}%", row.access_benefit_pct),
+            format!("{:+.1}%", row.latency_benefit_pct),
+            format!("{:.0}%", row.coverage_pct),
+        ]);
+    }
+    out.push_str(&t.render());
+    let (acc_gm, lat_gm) = fig11_geomean_at_1mb();
+    out.push_str(&format!(
+        "Geometric-mean benefit at 1MB over all models: {acc_gm:.0}% accesses, \
+         {lat_gm:.0}% latency.\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_prefetch_always_helps_latency() {
+        for row in fig10_data() {
+            assert!(
+                row.latency_benefit_pct >= -1e-9,
+                "{}kB: {}",
+                row.glb_kb,
+                row.latency_benefit_pct
+            );
+        }
+    }
+
+    #[test]
+    fn fig10_coverage_is_high_and_grows() {
+        // Paper: 93% at 64 kB, 100% from 256 kB up.
+        let data = fig10_data();
+        assert!(data[0].coverage_pct > 50.0, "{:?}", data[0]);
+        assert!(data[4].coverage_pct >= data[0].coverage_pct - 1.0);
+    }
+
+    #[test]
+    fn fig10_small_buffer_trades_accesses_for_latency() {
+        // Paper: at 64 kB the latency benefit costs ~35% extra accesses;
+        // large buffers do not suffer the trade-off.
+        let data = fig10_data();
+        assert!(
+            data[0].access_benefit_pct <= 1e-9,
+            "prefetching cannot reduce accesses: {:?}",
+            data[0]
+        );
+        assert!(data[4].access_benefit_pct >= data[0].access_benefit_pct - 1.0);
+    }
+
+    #[test]
+    fn fig11_benefit_and_coverage_grow_with_size() {
+        let data = fig11_data();
+        assert!(
+            data[4].access_benefit_pct >= data[0].access_benefit_pct,
+            "{data:?}"
+        );
+        assert!(data[4].coverage_pct > 50.0, "{data:?}");
+        assert!(data[4].access_benefit_pct > 20.0, "{data:?}");
+    }
+
+    #[test]
+    fn fig11_geomean_is_substantial_at_1mb() {
+        let (acc_gm, lat_gm) = fig11_geomean_at_1mb();
+        assert!(acc_gm > 10.0, "accesses geomean {acc_gm}");
+        assert!(lat_gm >= 0.0, "latency geomean {lat_gm}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p smm-bench --release --bin reproduce -- all
+//! cargo run -p smm-bench --release --bin reproduce -- fig5 fig8
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = smm_bench::experiments();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: reproduce <experiment>... | all\n\nexperiments:");
+        for (id, desc, _) in &registry {
+            eprintln!("  {id:<8} {desc}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
+        registry.iter().map(|(id, _, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for id in wanted {
+        let Some((_, _, run)) = registry.iter().find(|(rid, _, _)| *rid == id) else {
+            eprintln!("unknown experiment {id:?}; try --help");
+            return ExitCode::FAILURE;
+        };
+        let start = std::time::Instant::now();
+        let output = run();
+        println!("==================== {id} ====================");
+        println!("{output}");
+        println!("[{id} regenerated in {:.2?}]\n", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,60 @@
+//! Minimal ASCII bar charts, so the `reproduce` binary's output reads
+//! like the paper's figures rather than just tables.
+
+/// A horizontal bar scaled so `max` fills `width` characters.
+pub fn hbar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.clamp(1, width))
+}
+
+/// A labelled bar block: one line per `(label, value)`, bars scaled to
+/// the maximum value, numeric value appended.
+pub fn bar_block(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        out.push_str(&format!(
+            "{label:<label_w$}  {:<width$}  {value:.2}\n",
+            hbar(*value, max, width)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        assert_eq!(hbar(10.0, 10.0, 20).len(), 20);
+        assert_eq!(hbar(5.0, 10.0, 20).len(), 10);
+        assert_eq!(hbar(0.0, 10.0, 20).len(), 0);
+        // Tiny nonzero values still show one mark.
+        assert_eq!(hbar(0.01, 10.0, 20).len(), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(hbar(1.0, 0.0, 20), "");
+        assert_eq!(bar_block(&[], 20), "");
+    }
+
+    #[test]
+    fn block_lines_align() {
+        let rows = vec![
+            ("sa_25_75".to_string(), 113.6),
+            ("Het".to_string(), 16.1),
+        ];
+        let out = bar_block(&rows, 30);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("sa_25_75"));
+        assert!(lines[0].len() >= lines[1].len());
+        assert!(out.contains("16.10"));
+    }
+}

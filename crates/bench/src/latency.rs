@@ -1,0 +1,191 @@
+//! Figures 8 and 9: the latency results and the objective trade-off.
+
+use crate::{acc, SIZES_KB};
+use smm_core::report::{benefit_pct, TextTable};
+use smm_core::{Manager, ManagerConfig, Objective};
+use smm_model::zoo;
+use smm_systolic::{simulate_network, BaselineConfig, BufferSplit};
+
+/// One Figure 8 row: latency (cycles) for one (network, GLB size).
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    pub network: String,
+    pub glb_kb: u64,
+    /// Stall-free SCALE-Sim latency (buffer-size independent).
+    pub baseline: u64,
+    pub hom_a: u64,
+    pub het_a: u64,
+    pub hom_l: u64,
+    pub het_l: u64,
+}
+
+/// Compute the Figure 8 matrix.
+pub fn fig8_data() -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for net in zoo::all_networks() {
+        let baseline = simulate_network(
+            &BaselineConfig::paper(acc(64), BufferSplit::SA_50_50),
+            &net,
+        )
+        .latency_cycles;
+        for &kb in &SIZES_KB {
+            let a = acc(kb);
+            let plan = |obj| {
+                Manager::new(a, ManagerConfig::new(obj))
+                    .best_homogeneous(&net)
+                    .expect("hom")
+                    .totals
+                    .latency_cycles
+            };
+            let het = |obj| {
+                Manager::new(a, ManagerConfig::new(obj))
+                    .heterogeneous(&net)
+                    .expect("het")
+                    .totals
+                    .latency_cycles
+            };
+            rows.push(Fig8Row {
+                network: net.name.clone(),
+                glb_kb: kb,
+                baseline,
+                hom_a: plan(Objective::Accesses),
+                het_a: het(Objective::Accesses),
+                hom_l: plan(Objective::Latency),
+                het_l: het(Objective::Latency),
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 8 rendered.
+pub fn fig8() -> String {
+    let data = fig8_data();
+    let mut out = String::from(
+        "Figure 8: inference latency (cycles). Baseline is stall-free and \
+         buffer-size independent, as in the paper.\n",
+    );
+    for net in zoo::all_networks() {
+        out.push_str(&format!("\n{}\n", net.name));
+        let mut t = TextTable::new(&["GLB", "baseline", "Hom_a", "Het_a", "Hom_l", "Het_l"]);
+        for row in data.iter().filter(|r| r.network == net.name) {
+            t.row(vec![
+                format!("{}kB", row.glb_kb),
+                row.baseline.to_string(),
+                row.hom_a.to_string(),
+                row.het_a.to_string(),
+                row.hom_l.to_string(),
+                row.het_l.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// One Figure 9 bar pair: benefit (positive) / penalty (negative) of the
+/// latency-optimized Het over the access-optimized Het, at 64 kB.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    pub network: String,
+    pub latency_benefit_pct: f64,
+    pub access_benefit_pct: f64,
+}
+
+/// Compute the Figure 9 series.
+pub fn fig9_data() -> Vec<Fig9Row> {
+    let a = acc(64);
+    zoo::all_networks()
+        .into_iter()
+        .map(|net| {
+            let het_a = Manager::new(a, ManagerConfig::new(Objective::Accesses))
+                .heterogeneous(&net)
+                .expect("het_a");
+            let het_l = Manager::new(a, ManagerConfig::new(Objective::Latency))
+                .heterogeneous(&net)
+                .expect("het_l");
+            Fig9Row {
+                network: net.name,
+                latency_benefit_pct: benefit_pct(
+                    het_a.totals.latency_cycles as f64,
+                    het_l.totals.latency_cycles as f64,
+                ),
+                access_benefit_pct: benefit_pct(
+                    het_a.totals.accesses_elems as f64,
+                    het_l.totals.accesses_elems as f64,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Figure 9 rendered.
+pub fn fig9() -> String {
+    let mut out = String::from(
+        "Figure 9: Het optimized for latency vs Het optimized for accesses, \
+         64 kB GLB (positive = benefit, negative = penalty)\n",
+    );
+    let mut t = TextTable::new(&["Network", "latency benefit", "accesses benefit"]);
+    for row in fig9_data() {
+        t.row(vec![
+            row.network,
+            format!("{:+.1}%", row.latency_benefit_pct),
+            format!("{:+.1}%", row.access_benefit_pct),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "Optimizing for latency spends buffer space on prefetching; any access \
+         penalty is the reuse that space no longer captures.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_latency_objective_never_loses_to_access_objective() {
+        for row in fig8_data() {
+            assert!(
+                row.het_l <= row.het_a,
+                "{} @ {}kB: {} > {}",
+                row.network,
+                row.glb_kb,
+                row.het_l,
+                row.het_a
+            );
+            assert!(row.hom_l <= row.hom_a, "{} @ {}kB", row.network, row.glb_kb);
+        }
+    }
+
+    #[test]
+    fn fig8_het_beats_baseline_latency_at_1mb() {
+        // Paper headline: up to 56% latency reduction at the largest size.
+        let data = fig8_data();
+        let mut wins = 0;
+        for row in data.iter().filter(|r| r.glb_kb == 1024) {
+            if row.het_l < row.baseline {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "Het_l beats baseline for only {wins}/6 models");
+    }
+
+    #[test]
+    fn fig9_latency_never_negative_accesses_never_positive() {
+        for row in fig9_data() {
+            assert!(
+                row.latency_benefit_pct >= -1e-9,
+                "{}: latency objective made latency worse",
+                row.network
+            );
+            assert!(
+                row.access_benefit_pct <= 1e-9,
+                "{}: latency objective cannot reduce accesses below Het_a",
+                row.network
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! Each experiment is a function that computes the underlying data and a
+//! renderer that prints the same rows/series the paper reports. The
+//! `reproduce` binary dispatches on experiment id:
+//!
+//! ```text
+//! cargo run -p smm-bench --release --bin reproduce -- all
+//! cargo run -p smm-bench --release --bin reproduce -- fig5
+//! ```
+//!
+//! | id     | paper content                                            |
+//! |--------|----------------------------------------------------------|
+//! | table2 | model inventory                                          |
+//! | table3 | max memory per minimum-transfer policy                   |
+//! | table4 | memory policies used at 64 kB                            |
+//! | fig1   | motivational buffer mappings (two synthetic cases)       |
+//! | fig2   | ifmap re-loads per access direction                      |
+//! | fig3   | ResNet18 per-layer memory breakdown                      |
+//! | fig5   | off-chip volume: baselines vs Hom vs Het                 |
+//! | fig6   | Het memory breakdown for ResNet18 @ 64 kB                |
+//! | fig7   | Het-over-Hom benefit vs data width (MobileNetV2)         |
+//! | fig8   | latency: baseline vs Hom/Het × objective                 |
+//! | fig9   | Het_l vs Het_a benefit at 64 kB                          |
+//! | fig10  | prefetching on/off benefit + coverage (MobileNet)        |
+//! | fig11  | inter-layer reuse on/off benefit + coverage (MnasNet)    |
+
+pub mod ablations;
+pub mod accesses;
+pub mod chart;
+pub mod extensions;
+pub mod latency;
+pub mod motivation;
+pub mod tables;
+
+use smm_arch::{AcceleratorConfig, ByteSize};
+
+/// The paper's GLB sweep in kB.
+pub const SIZES_KB: [u64; 5] = smm_arch::GLB_SIZES_KB;
+
+/// The paper's accelerator at a given GLB size.
+pub fn acc(kb: u64) -> AcceleratorConfig {
+    AcceleratorConfig::paper_default(ByteSize::from_kb(kb))
+}
+
+/// One registered experiment: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
+/// Experiment registry.
+pub fn experiments() -> Vec<Experiment> {
+    vec![
+        ("table2", "model inventory", tables::table2 as fn() -> String),
+        ("table3", "max memory per min-transfer policy", tables::table3),
+        ("table4", "memory policies used at 64kB", tables::table4),
+        ("fig1", "motivational buffer mappings", motivation::fig1),
+        ("fig2", "ifmap re-loads per access direction", motivation::fig2),
+        ("fig3", "ResNet18 per-layer memory breakdown", motivation::fig3),
+        ("fig5", "off-chip accesses: baselines vs Hom/Het", accesses::fig5),
+        ("fig6", "Het memory breakdown, ResNet18 @ 64kB", accesses::fig6),
+        ("fig7", "Het-over-Hom benefit vs data width", accesses::fig7),
+        ("fig8", "latency: baseline vs Hom/Het", latency::fig8),
+        ("fig9", "Het_l vs Het_a benefit @ 64kB", latency::fig9),
+        ("fig10", "prefetching ablation (MobileNet)", ablations::fig10),
+        ("fig11", "inter-layer reuse ablation (MnasNet)", ablations::fig11),
+        ("energy", "energy comparison at 64kB (extension)", extensions::energy),
+        ("validate", "schedule-replay estimator validation (extension)", extensions::validate),
+        ("dataflow", "baseline dataflow ablation OS/WS/IS (extension)", extensions::dataflow),
+        ("dse", "heuristic policies vs tile-size DSE (extension)", extensions::dse),
+    ]
+}

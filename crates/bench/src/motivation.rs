@@ -1,0 +1,172 @@
+//! Figures 1–3: the motivation section's evidence.
+
+use smm_arch::{ByteSize, DataWidth};
+use smm_core::report::TextTable;
+use smm_model::{zoo, LayerShape};
+use smm_policy::window::{ifmap_traffic, AccessDirection};
+
+/// Figure 1: two cases inspired by ResNet18's layer requirements — one
+/// filter-heavy, one ofmap-heavy — mapped onto (a) fixed separate
+/// buffers and (b) a managed global buffer of the same total size.
+pub fn fig1() -> String {
+    // Requirements in kB, shaped like ResNet18's early vs late layers.
+    let cases = [
+        ("A (filter-heavy)", 16.0_f64, 40.0_f64, 8.0_f64),
+        ("B (ofmap-heavy)", 12.0, 8.0, 44.0),
+    ];
+    let total = 72.0; // total on-chip kB in both organizations
+    let (sep_i, sep_f, sep_o) = (24.0, 24.0, 24.0);
+
+    let mut out = String::from(
+        "Figure 1: separate buffers vs managed global buffer (requirements in kB)\n",
+    );
+    let mut t = TextTable::new(&[
+        "case", "ifmap", "filter", "ofmap", "separate fits?", "global fits?", "global slack",
+    ]);
+    for (name, i, f, o) in cases {
+        let sep_ok = i <= sep_i && f <= sep_f && o <= sep_o;
+        let glb_ok = i + f + o <= total;
+        t.row(vec![
+            name.into(),
+            format!("{i:.0}"),
+            format!("{f:.0}"),
+            format!("{o:.0}"),
+            if sep_ok { "yes" } else { "NO" }.into(),
+            if glb_ok { "yes" } else { "NO" }.into(),
+            format!("{:.0} kB for reuse/prefetch", total - i - f - o),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "With fixed 24/24/24 partitions each case overflows one buffer while \
+         another sits idle; the managed global buffer fits both and turns the \
+         slack into extra reuse (access goal) or prefetch space (latency goal).\n",
+    );
+    out
+}
+
+/// Figure 2: elements re-loaded per traversal direction for a tiled
+/// ifmap (the paper's turquoise cells).
+pub fn fig2() -> String {
+    let shape = LayerShape {
+        ifmap_h: 56,
+        ifmap_w: 56,
+        in_channels: 32,
+        filter_h: 3,
+        filter_w: 3,
+        num_filters: 64,
+        stride: 1,
+        padding: 1,
+        depthwise: false,
+    };
+    let unique = shape.padded_ifmap_elems();
+    let mut out = String::from("Figure 2: ifmap elements fetched per access direction\n");
+    let mut t = TextTable::new(&["traversal", "tile", "fetched", "re-loaded", "overhead"]);
+    let mut row = |label: &str, tile: &str, fetched: u64| {
+        t.row(vec![
+            label.into(),
+            tile.into(),
+            fetched.to_string(),
+            (fetched - unique).to_string(),
+            format!("{:.1}%", (fetched - unique) as f64 / unique as f64 * 100.0),
+        ]);
+    };
+    let full = shape.padded_w() as u64;
+    row(
+        "height-wise (sliding window)",
+        "F_H x full width",
+        ifmap_traffic(&shape, 3, full, AccessDirection::HeightWise).unwrap(),
+    );
+    row(
+        "height-wise, narrow strips",
+        "F_H x 16",
+        ifmap_traffic(&shape, 3, 16, AccessDirection::HeightWise).unwrap(),
+    );
+    row(
+        "width-wise, short bands",
+        "16 x full width",
+        ifmap_traffic(&shape, 16, full, AccessDirection::WidthWise).unwrap(),
+    );
+    row(
+        "depth-wise, 16x16 tiles",
+        "16 x 16",
+        ifmap_traffic(&shape, 16, 16, AccessDirection::DepthWise).unwrap(),
+    );
+    out.push_str(&t.render());
+    out.push_str("The policies use the first traversal: full-width windows re-load nothing.\n");
+    out
+}
+
+/// Figure 3: memory breakdown into the different data types for each
+/// layer of ResNet18 (kB at 8-bit).
+pub fn fig3() -> String {
+    let net = zoo::resnet18();
+    let mut out = String::from(
+        "Figure 3: ResNet18 per-layer memory breakdown (kB; bar = ifmap/filter/ofmap)\n",
+    );
+    let mut t = TextTable::new(&["layer", "ifmap kB", "filter kB", "ofmap kB", "total kB"]);
+    for (l, fp) in net.layers.iter().zip(net.footprints(DataWidth::W8)) {
+        t.row(vec![
+            l.name.clone(),
+            format!("{:.1}", fp.ifmap.kb()),
+            format!("{:.1}", fp.filters.kb()),
+            format!("{:.1}", fp.ofmap.kb()),
+            format!("{:.1}", fp.total().kb()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// The Figure 3 series as raw data (used by tests and EXPERIMENTS.md).
+pub fn fig3_series() -> Vec<(String, ByteSize, ByteSize, ByteSize)> {
+    let net = zoo::resnet18();
+    net.layers
+        .iter()
+        .zip(net.footprints(DataWidth::W8))
+        .map(|(l, fp)| (l.name.clone(), fp.ifmap, fp.filters, fp.ofmap))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_first_layers_are_fmap_heavy_last_are_filter_heavy() {
+        // "the first layers require more memory for the ifmap and ofmap,
+        // while the last layers require more memory for the filters."
+        let series = fig3_series();
+        let (_, i0, f0, o0) = &series[0];
+        assert!(i0.bytes() + o0.bytes() > 10 * f0.bytes());
+        // Last conv stage (before the classifier).
+        let (_, il, fl, ol) = &series[series.len() - 2];
+        assert!(fl.bytes() > il.bytes() + ol.bytes());
+    }
+
+    #[test]
+    fn fig2_direction_ordering() {
+        let out = fig2();
+        assert!(out.contains("0.0%"), "sliding window must re-load nothing");
+        // Depth-wise tiled traversal is the most expensive direction.
+        let lines: Vec<&str> = out.lines().collect();
+        let pct = |l: &str| -> f64 {
+            l.split_whitespace()
+                .last()
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        let height = lines.iter().find(|l| l.contains("narrow strips")).unwrap();
+        let depth = lines.iter().find(|l| l.contains("depth-wise")).unwrap();
+        assert!(pct(depth) >= pct(height));
+    }
+
+    #[test]
+    fn fig1_global_buffer_fits_both_cases() {
+        let out = fig1();
+        assert_eq!(out.matches("NO").count(), 2, "separate buffers fail both");
+        assert_eq!(out.matches("yes").count(), 2, "global buffer fits both");
+    }
+}

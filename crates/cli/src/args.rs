@@ -1,0 +1,171 @@
+//! Tiny flag parser for the `smm` CLI (no external dependency needed for
+//! five flags).
+
+use smm_arch::DataWidth;
+use smm_core::Objective;
+use smm_systolic::BufferSplit;
+
+/// Parsed command options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Positional model name or topology file path.
+    pub target: Option<String>,
+    pub glb_kb: u64,
+    pub width: DataWidth,
+    pub objective: Objective,
+    pub heterogeneous: bool,
+    pub split: BufferSplit,
+    pub prefetch: bool,
+    pub inter_layer: bool,
+    /// Emit machine-readable CSV instead of the text table.
+    pub csv: bool,
+    /// Batch size for batched-execution estimates.
+    pub batch: u64,
+    /// Second positional target (the second tenant for `tenants`).
+    pub target2: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            target: None,
+            glb_kb: 256,
+            width: DataWidth::W8,
+            objective: Objective::Accesses,
+            heterogeneous: true,
+            split: BufferSplit::SA_50_50,
+            prefetch: true,
+            inter_layer: false,
+            csv: false,
+            batch: 1,
+            target2: None,
+        }
+    }
+}
+
+/// Parse `argv` after the subcommand.
+pub fn parse(argv: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--glb" => {
+                opts.glb_kb = value("--glb")?
+                    .parse()
+                    .map_err(|_| "--glb expects a size in kB".to_string())?;
+            }
+            "--width" => {
+                let bits: u64 = value("--width")?
+                    .parse()
+                    .map_err(|_| "--width expects 8, 16 or 32".to_string())?;
+                opts.width =
+                    DataWidth::from_bits(bits).ok_or("--width expects 8, 16 or 32".to_string())?;
+            }
+            "--objective" => {
+                opts.objective = match value("--objective")?.as_str() {
+                    "accesses" | "a" => Objective::Accesses,
+                    "latency" | "l" => Objective::Latency,
+                    other => return Err(format!("unknown objective {other:?}")),
+                };
+            }
+            "--scheme" => {
+                opts.heterogeneous = match value("--scheme")?.as_str() {
+                    "het" => true,
+                    "hom" => false,
+                    other => return Err(format!("unknown scheme {other:?}")),
+                };
+            }
+            "--split" => {
+                opts.split = match value("--split")?.as_str() {
+                    "25_75" => BufferSplit::SA_25_75,
+                    "50_50" => BufferSplit::SA_50_50,
+                    "75_25" => BufferSplit::SA_75_25,
+                    other => return Err(format!("unknown split {other:?}")),
+                };
+            }
+            "--no-prefetch" => opts.prefetch = false,
+            "--inter-layer" => opts.inter_layer = true,
+            "--csv" => opts.csv = true,
+            "--batch" => {
+                opts.batch = value("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch expects a positive integer".to_string())?;
+                if opts.batch == 0 {
+                    return Err("--batch expects a positive integer".into());
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                if opts.target.is_none() {
+                    opts.target = Some(positional.to_string());
+                } else if opts.target2.is_none() {
+                    opts.target2 = Some(positional.to_string());
+                } else {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&argv("resnet18")).unwrap();
+        assert_eq!(o.target.as_deref(), Some("resnet18"));
+        assert_eq!(o.glb_kb, 256);
+        assert_eq!(o.width, DataWidth::W8);
+        assert!(o.prefetch);
+        assert!(!o.inter_layer);
+    }
+
+    #[test]
+    fn all_flags() {
+        let o = parse(&argv(
+            "mobilenet --glb 64 --width 32 --objective latency --scheme hom \
+             --split 25_75 --no-prefetch --inter-layer",
+        ))
+        .unwrap();
+        assert_eq!(o.glb_kb, 64);
+        assert_eq!(o.width, DataWidth::W32);
+        assert_eq!(o.objective, Objective::Latency);
+        assert!(!o.heterogeneous);
+        assert_eq!(o.split, BufferSplit::SA_25_75);
+        assert!(!o.prefetch);
+        assert!(o.inter_layer);
+    }
+
+    #[test]
+    fn csv_batch_and_second_target() {
+        let o = parse(&argv("resnet18 mobilenet --csv --batch 4")).unwrap();
+        assert_eq!(o.target.as_deref(), Some("resnet18"));
+        assert_eq!(o.target2.as_deref(), Some("mobilenet"));
+        assert!(o.csv);
+        assert_eq!(o.batch, 4);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(parse(&argv("--glb abc")).is_err());
+        assert!(parse(&argv("--width 12")).is_err());
+        assert!(parse(&argv("--objective speed")).is_err());
+        assert!(parse(&argv("--split 30_70")).is_err());
+        assert!(parse(&argv("--bogus")).is_err());
+        assert!(parse(&argv("a b c")).is_err());
+        assert!(parse(&argv("--glb")).is_err());
+        assert!(parse(&argv("--batch 0")).is_err());
+    }
+}

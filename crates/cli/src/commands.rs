@@ -1,0 +1,351 @@
+//! The `smm` subcommands.
+
+use crate::args::Options;
+use smm_arch::{AcceleratorConfig, ByteSize, GLB_SIZES_KB};
+use smm_core::energy::{plan_energy, EnergyModel};
+use smm_core::report::{plan_csv, TextTable};
+use smm_core::{batch, interlayer, tenancy, Manager, ManagerConfig};
+use smm_model::{topology, zoo, Network};
+use smm_systolic::{simulate_network, BaselineConfig, BufferSplit};
+
+/// Resolve a positional target: a zoo model name or a topology CSV path.
+fn load_network(opts: &Options) -> Result<Network, String> {
+    let Some(target) = &opts.target else {
+        return Err("missing model name or topology file".into());
+    };
+    if let Some(net) = zoo::by_name(target) {
+        return Ok(net);
+    }
+    if std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
+        let name = std::path::Path::new(target)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("topology")
+            .to_string();
+        return topology::parse(name, &text).map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "{target:?} is neither a zoo model nor a topology file; try `smm list-models`"
+    ))
+}
+
+fn accelerator(opts: &Options) -> AcceleratorConfig {
+    AcceleratorConfig::paper_default(ByteSize::from_kb(opts.glb_kb)).with_data_width(opts.width)
+}
+
+fn manager(opts: &Options) -> Manager {
+    Manager::new(
+        accelerator(opts),
+        ManagerConfig::new(opts.objective)
+            .with_prefetch(opts.prefetch)
+            .with_inter_layer_reuse(opts.inter_layer),
+    )
+}
+
+/// `smm list-models`
+pub fn list_models() -> Result<(), String> {
+    let mut t = TextTable::new(&["Network", "Layers", "Types", "MACs (M)", "Max layer kB"]);
+    for net in zoo::all_networks() {
+        let s = net.stats(smm_arch::DataWidth::W8);
+        let kinds: Vec<&str> = s.kinds.iter().map(|k| k.code()).collect();
+        t.row(vec![
+            net.name.clone(),
+            s.layers.to_string(),
+            kinds.join(", "),
+            format!("{:.0}", s.total_macs as f64 / 1e6),
+            format!("{:.1}", s.max_layer_footprint.kb()),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// `smm analyze <model>`
+pub fn analyze(opts: &Options) -> Result<(), String> {
+    let net = load_network(opts)?;
+    let m = manager(opts);
+    let plan = if opts.heterogeneous {
+        m.heterogeneous(&net)
+    } else {
+        m.best_homogeneous(&net)
+    }
+    .map_err(|e| e.to_string())?;
+
+    if opts.csv {
+        print!("{}", plan_csv(&plan, m.accelerator()));
+        return Ok(());
+    }
+
+    println!(
+        "{} @ {} GLB, {}, objective {:?}, scheme {}",
+        net.name,
+        m.accelerator().glb,
+        m.accelerator().data_width,
+        m.config().objective,
+        plan.scheme.label()
+    );
+    let mut t = TextTable::new(&[
+        "Layer", "Policy", "+p", "ifmap", "filter", "ofmap", "req kB", "acc kB", "cycles",
+    ]);
+    let acc = m.accelerator();
+    for d in &plan.decisions {
+        let alloc = d.estimate.allocation();
+        t.row(vec![
+            d.layer_name.clone(),
+            format!(
+                "{}{}",
+                d.estimate.kind.label(),
+                d.estimate
+                    .block_n
+                    .map(|n| format!("(n={n})"))
+                    .unwrap_or_default()
+            ),
+            if d.estimate.prefetch { "+p" } else { "" }.into(),
+            alloc.ifmap.to_string(),
+            alloc.filters.to_string(),
+            alloc.ofmap.to_string(),
+            format!("{:.1}", d.estimate.required_bytes(acc).kb()),
+            format!(
+                "{:.1}",
+                ByteSize::from_elements(d.effective_accesses().total(), acc.data_width).kb()
+            ),
+            d.effective_latency(acc).cycles.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "totals: {:.2} MB off-chip, {} cycles ({} compute / {} transfer)",
+        plan.totals.accesses_bytes.mb(),
+        plan.totals.latency_cycles,
+        plan.totals.compute_cycles,
+        plan.totals.transfer_cycles
+    );
+    println!(
+        "prefetch coverage {:.0}%  inter-layer coverage {:.0}%",
+        plan.prefetch_coverage() * 100.0,
+        plan.inter_layer_coverage(interlayer::possible_transitions(&net)) * 100.0
+    );
+    let e = plan_energy(&EnergyModel::default(), &plan, &net);
+    println!(
+        "energy: {:.1} uJ ({:.0}% off-chip transfers)",
+        e.total_uj(),
+        e.dram_share() * 100.0
+    );
+    if opts.batch > 1 {
+        let b = batch::batched_totals(&plan, &net, acc, opts.batch);
+        println!(
+            "batch {}: {:.2} MB off-chip ({:.2} MB/image), {} cycles",
+            opts.batch,
+            b.accesses_bytes.mb(),
+            b.accesses_bytes.mb() / opts.batch as f64,
+            b.latency_cycles
+        );
+    }
+    Ok(())
+}
+
+/// `smm tenants <modelA> <modelB>` — partition one GLB between two
+/// co-resident models.
+pub fn tenants(opts: &Options) -> Result<(), String> {
+    let net_a = load_network(opts)?;
+    let net_b = {
+        let mut o = opts.clone();
+        o.target = opts.target2.clone();
+        o.target2 = None;
+        load_network(&o)?
+    };
+    let cfg = ManagerConfig::new(opts.objective)
+        .with_prefetch(opts.prefetch)
+        .with_inter_layer_reuse(opts.inter_layer);
+    let t = tenancy::partition(accelerator(opts), cfg, &net_a, &net_b, 5)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "best static split of {}: {} for {}, {} for {}",
+        accelerator(opts).glb,
+        t.split_a,
+        net_a.name,
+        ByteSize(accelerator(opts).glb.bytes() - t.split_a.bytes()),
+        net_b.name
+    );
+    println!(
+        "  {}: {:.2} MB off-chip, {} cycles",
+        net_a.name,
+        t.plan_a.totals.accesses_bytes.mb(),
+        t.plan_a.totals.latency_cycles
+    );
+    println!(
+        "  {}: {:.2} MB off-chip, {} cycles",
+        net_b.name,
+        t.plan_b.totals.accesses_bytes.mb(),
+        t.plan_b.totals.latency_cycles
+    );
+    Ok(())
+}
+
+/// `smm explain <model> <layer>` — Algorithm 1's view of one layer.
+pub fn explain(opts: &Options) -> Result<(), String> {
+    let net = load_network(opts)?;
+    let Some(layer_name) = &opts.target2 else {
+        return Err("explain needs a layer name; try `smm topology <model>` to list layers".into());
+    };
+    let layer = net
+        .layer(layer_name)
+        .ok_or_else(|| format!("{} has no layer {layer_name:?}", net.name))?;
+    let m = manager(opts);
+    println!(
+        "{}/{} @ {} GLB ({:?} objective): candidates of Algorithm 1",
+        net.name,
+        layer.name,
+        m.accelerator().glb,
+        m.config().objective
+    );
+    let mut t = TextTable::new(&[
+        "policy", "+p", "n", "memory kB", "accesses", "cycles", "fits", "chosen",
+    ]);
+    for c in m.explain(&layer.shape) {
+        t.row(vec![
+            c.estimate.kind.label().into(),
+            if c.estimate.prefetch { "+p" } else { "" }.into(),
+            c.estimate
+                .block_n
+                .map(|n| n.to_string())
+                .unwrap_or_default(),
+            format!("{:.1}", c.estimate.required_bytes(m.accelerator()).kb()),
+            c.estimate.accesses.total().to_string(),
+            c.estimate.latency.cycles.to_string(),
+            if c.feasible { "yes" } else { "no" }.into(),
+            if c.chosen { "<==" } else { "" }.into(),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// `smm lower <model> <layer>` — the DMA command stream of the chosen
+/// policy for one layer (truncated listing).
+pub fn lower(opts: &Options) -> Result<(), String> {
+    let net = load_network(opts)?;
+    let Some(layer_name) = &opts.target2 else {
+        return Err("lower needs a layer name".into());
+    };
+    let layer = net
+        .layer(layer_name)
+        .ok_or_else(|| format!("{} has no layer {layer_name:?}", net.name))?;
+    let m = manager(opts);
+    let chosen = m
+        .explain(&layer.shape)
+        .into_iter()
+        .find(|c| c.chosen)
+        .ok_or_else(|| format!("no policy fits {layer_name} in {}", m.accelerator().glb))?;
+    let program = smm_exec::Program::lower(&layer.shape, &chosen.estimate)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}/{}: {}{} lowered to {} DMA commands (replayed: {} elements moved, peak {} resident)",
+        net.name,
+        layer.name,
+        chosen.estimate.kind.label(),
+        if chosen.estimate.prefetch { "+p" } else { "" },
+        program.commands.len(),
+        program.replay.total(),
+        program.replay.peak_resident,
+    );
+    let listing = program.listing();
+    let lines: Vec<&str> = listing.lines().collect();
+    const HEAD: usize = 40;
+    for l in lines.iter().take(HEAD) {
+        println!("{l}");
+    }
+    if lines.len() > HEAD {
+        println!("  ... {} more commands", lines.len() - HEAD);
+    }
+    Ok(())
+}
+
+/// `smm baseline <model>`
+pub fn baseline(opts: &Options) -> Result<(), String> {
+    let net = load_network(opts)?;
+    let cfg = BaselineConfig::paper(accelerator(opts), opts.split);
+    let rep = simulate_network(&cfg, &net);
+    println!(
+        "{} baseline ({}) @ {} GLB",
+        net.name,
+        opts.split.label(),
+        cfg.acc.glb
+    );
+    let mut t = TextTable::new(&["Layer", "ifmap", "filter", "ofmap", "total kB", "order"]);
+    for (l, sim) in net.layers.iter().zip(&rep.layers) {
+        t.row(vec![
+            l.name.clone(),
+            sim.ifmap_loads.to_string(),
+            sim.filter_loads.to_string(),
+            sim.ofmap_stores.to_string(),
+            format!(
+                "{:.1}",
+                ByteSize::from_elements(sim.total_accesses(), cfg.acc.data_width).kb()
+            ),
+            format!("{:?}", sim.order),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "totals: {:.2} MB off-chip, {} stall-free cycles",
+        rep.total_bytes.mb(),
+        rep.latency_cycles
+    );
+    Ok(())
+}
+
+/// `smm sweep <model>` — Figure 5/8-style comparison for one model.
+pub fn sweep(opts: &Options) -> Result<(), String> {
+    let net = load_network(opts)?;
+    let mut t = TextTable::new(&[
+        "GLB", "sa_25_75", "sa_50_50", "sa_75_25", "Hom", "Het", "base cyc", "Het cyc",
+    ]);
+    for &kb in &GLB_SIZES_KB {
+        let o = Options {
+            glb_kb: kb,
+            ..opts.clone()
+        };
+        let acc = accelerator(&o);
+        let mb = |elems: u64| {
+            format!(
+                "{:.2}",
+                ByteSize::from_elements(elems, acc.data_width).mb()
+            )
+        };
+        let baselines: Vec<String> = BufferSplit::ALL
+            .iter()
+            .map(|&split| {
+                let rep = simulate_network(&BaselineConfig::paper(acc, split), &net);
+                mb(rep.total_accesses)
+            })
+            .collect();
+        let m = manager(&o);
+        let hom = m.best_homogeneous(&net).map_err(|e| e.to_string())?;
+        let het = m.heterogeneous(&net).map_err(|e| e.to_string())?;
+        let base_cycles =
+            simulate_network(&BaselineConfig::paper(acc, BufferSplit::SA_50_50), &net)
+                .latency_cycles;
+        t.row(vec![
+            format!("{kb}kB"),
+            baselines[0].clone(),
+            baselines[1].clone(),
+            baselines[2].clone(),
+            mb(hom.totals.accesses_elems),
+            mb(het.totals.accesses_elems),
+            base_cycles.to_string(),
+            het.totals.latency_cycles.to_string(),
+        ]);
+    }
+    println!("{} off-chip MB per scheme (and latency)", net.name);
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// `smm topology <model>` — emit the extended topology CSV.
+pub fn topology(opts: &Options) -> Result<(), String> {
+    let net = load_network(opts)?;
+    print!("{}", topology::write(&net));
+    Ok(())
+}

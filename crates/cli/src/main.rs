@@ -1,0 +1,72 @@
+//! `smm` — RAINBOW-like command-line driver for the scratchpad
+//! memory-management flow (Figure 4 of the paper): model description and
+//! accelerator specification in, per-layer execution plan and estimates
+//! out.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+smm — scratchpad memory management for DL accelerators
+
+USAGE:
+    smm <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list-models                       List the built-in model zoo (Table 2)
+    analyze  <model|topology.csv>     Produce a per-layer execution plan
+    explain  <model> <layer>          Show Algorithm 1's candidates for one layer
+    lower    <model> <layer>          Emit the chosen policy's DMA command stream
+    baseline <model|topology.csv>     Run the SCALE-Sim-like baseline
+    sweep    <model|topology.csv>     Compare all schemes across buffer sizes
+    tenants  <modelA> <modelB>        Partition one GLB between two models
+    topology <model>                  Emit a model as a topology CSV
+
+OPTIONS (analyze / baseline / sweep):
+    --glb <KB>            GLB size in kB (default 256)
+    --width <BITS>        Data width: 8, 16 or 32 (default 8)
+    --objective <OBJ>     accesses | latency (default accesses)
+    --scheme <S>          het | hom (default het)
+    --split <S>           Baseline split: 25_75 | 50_50 | 75_25 (default 50_50)
+    --no-prefetch         Disable the double-buffered policy variants
+    --inter-layer         Enable the inter-layer reuse pass
+    --csv                 Emit the analyze plan as CSV
+    --batch <N>           Also report batched-execution totals
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "list-models" => commands::list_models(),
+        "analyze" => commands::analyze(&args::parse(rest)?),
+        "explain" => commands::explain(&args::parse(rest)?),
+        "lower" => commands::lower(&args::parse(rest)?),
+        "baseline" => commands::baseline(&args::parse(rest)?),
+        "sweep" => commands::sweep(&args::parse(rest)?),
+        "tenants" => commands::tenants(&args::parse(rest)?),
+        "topology" => commands::topology(&args::parse(rest)?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,143 @@
+//! Batched execution (the *global reuse* of Section 2.2).
+//!
+//! The paper evaluates batch size 1 ("the most appropriate for latency
+//! constrained applications"); this extension estimates what happens
+//! when several inputs share one plan. Layer-by-layer execution with a
+//! batch means each layer runs `batch` times back to back — and if the
+//! layer's policy keeps its **entire filter set** resident, the filters
+//! are fetched once for the whole batch instead of once per image
+//! (the network filters "are used every time a new input is fed").
+
+use crate::{ExecutionPlan, PlanTotals};
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_model::Network;
+
+/// Whether a decision keeps the full filter set of its layer resident
+/// for the whole layer (the precondition for cross-image filter reuse).
+fn filters_fully_resident(
+    d: &crate::LayerDecision,
+    net: &Network,
+) -> bool {
+    let layer = &net.layers[d.layer_index];
+    d.estimate.resident.filters >= layer.shape.filter_elems()
+}
+
+/// Totals for executing `batch` inputs under an existing plan.
+///
+/// Ifmap and ofmap traffic scale with the batch; filter traffic scales
+/// only for layers whose policy re-streams filters per image. Compute
+/// scales with the batch; transfer cycles follow the scaled traffic.
+pub fn batched_totals(
+    plan: &ExecutionPlan,
+    net: &Network,
+    acc: &AcceleratorConfig,
+    batch: u64,
+) -> PlanTotals {
+    assert!(batch >= 1, "batch size must be positive");
+    let mut elems = 0u64;
+    let mut latency = 0u64;
+    let mut compute = 0u64;
+    let mut transfer = 0u64;
+    for d in &plan.decisions {
+        let a = d.effective_accesses();
+        let filter_factor = if filters_fully_resident(d, net) {
+            1
+        } else {
+            batch
+        };
+        let traffic = (a.ifmap_loads + a.ofmap_stores + a.psum_spill_loads + a.psum_spill_stores)
+            * batch
+            + a.filter_loads * filter_factor;
+        let layer_compute = d.estimate.latency.compute_cycles * batch;
+        let l = d.estimate.latency_for_traffic(acc, traffic);
+        // latency_for_traffic keeps the single-image compute; rebuild with
+        // the batched compute under the same overlap rule.
+        let layer_latency = if d.estimate.prefetch {
+            layer_compute.max(l.transfer_cycles)
+        } else {
+            layer_compute + l.transfer_cycles
+        };
+        elems += traffic;
+        compute += layer_compute;
+        transfer += l.transfer_cycles;
+        latency += layer_latency;
+    }
+    PlanTotals {
+        accesses_elems: elems,
+        accesses_bytes: ByteSize::from_elements(elems, acc.data_width),
+        latency_cycles: latency,
+        compute_cycles: compute,
+        transfer_cycles: transfer,
+    }
+}
+
+/// Filter traffic amortization: the ratio of per-image traffic at
+/// `batch` to per-image traffic at batch 1 (1.0 = no amortization,
+/// smaller = better).
+pub fn per_image_traffic_ratio(
+    plan: &ExecutionPlan,
+    net: &Network,
+    acc: &AcceleratorConfig,
+    batch: u64,
+) -> f64 {
+    let b = batched_totals(plan, net, acc, batch);
+    let single = batched_totals(plan, net, acc, 1);
+    (b.accesses_elems as f64 / batch as f64) / single.accesses_elems as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Manager, ManagerConfig, Objective};
+    use smm_model::zoo;
+
+    fn setup(kb: u64) -> (Network, AcceleratorConfig, ExecutionPlan) {
+        let net = zoo::resnet18();
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(kb));
+        let plan = Manager::new(acc, ManagerConfig::new(Objective::Accesses))
+            .heterogeneous(&net)
+            .unwrap();
+        (net, acc, plan)
+    }
+
+    #[test]
+    fn batch_one_matches_plan_totals() {
+        let (net, acc, plan) = setup(256);
+        let b1 = batched_totals(&plan, &net, &acc, 1);
+        assert_eq!(b1.accesses_elems, plan.totals.accesses_elems);
+        assert_eq!(b1.latency_cycles, plan.totals.latency_cycles);
+    }
+
+    #[test]
+    fn filter_traffic_amortizes_across_the_batch() {
+        let (net, acc, plan) = setup(256);
+        // Per-image traffic at batch 8 must be at most the single-image
+        // traffic, and strictly less when any layer holds its filters.
+        let ratio = per_image_traffic_ratio(&plan, &net, &acc, 8);
+        assert!(ratio <= 1.0 + 1e-12);
+        let any_resident = plan
+            .decisions
+            .iter()
+            .any(|d| filters_fully_resident(d, &net));
+        if any_resident {
+            assert!(ratio < 1.0, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn traffic_grows_sublinearly_but_compute_linearly() {
+        let (net, acc, plan) = setup(256);
+        let b1 = batched_totals(&plan, &net, &acc, 1);
+        let b4 = batched_totals(&plan, &net, &acc, 4);
+        assert!(b4.accesses_elems <= 4 * b1.accesses_elems);
+        assert_eq!(b4.compute_cycles, 4 * b1.compute_cycles);
+        assert!(b4.latency_cycles >= b1.latency_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let (net, acc, plan) = setup(64);
+        batched_totals(&plan, &net, &acc, 0);
+    }
+}

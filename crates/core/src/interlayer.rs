@@ -1,0 +1,291 @@
+//! Inter-layer reuse (Section 5.4 of the paper).
+//!
+//! "The output of a layer is used as input to the next layer of the
+//! model. … it can only be exploited if there is enough on-chip memory
+//! space to store the whole output of a layer." When a transition
+//! qualifies, the producer's ofmap store *and* the consumer's ifmap load
+//! are both elided.
+//!
+//! Conditions for the transition `i → i+1`:
+//!
+//! 1. the shapes chain (layer `i+1` consumes exactly layer `i`'s output —
+//!    in serialized branch networks consecutive layers do not always);
+//! 2. layer `i` runs a policy that leaves the whole ofmap resident at the
+//!    end of the layer — the pass may *switch* layer `i` to such a policy
+//!    (intra-layer reuse or policy 3) when the elided traffic outweighs
+//!    the switch's own cost under the plan's objective;
+//! 3. layer `i`'s ofmap plus layer `i+1`'s full allocation fit the GLB
+//!    together (the retained copy coexists with the consumer's working
+//!    tiles, which are staged — with padding — from it).
+
+use crate::plan::ExecutionPlan;
+use crate::Objective;
+use smm_arch::AcceleratorConfig;
+use smm_model::{Layer, Network};
+use smm_policy::{estimate, PolicyEstimate, PolicyKind};
+
+/// Do consecutive layers form a producer→consumer pair?
+pub fn shapes_chain(producer: &Layer, consumer: &Layer) -> bool {
+    let (oh, ow) = producer.shape.output_hw();
+    producer.shape.out_channels() == consumer.shape.in_channels
+        && oh == consumer.shape.ifmap_h
+        && ow == consumer.shape.ifmap_w
+}
+
+/// Number of transitions in `net` where inter-layer reuse is possible at
+/// all (the denominator of Figure 11's coverage).
+pub fn possible_transitions(net: &Network) -> usize {
+    net.layers
+        .windows(2)
+        .filter(|w| shapes_chain(&w[0], &w[1]))
+        .count()
+}
+
+/// Candidate resident-ofmap estimates for a producer layer: its current
+/// choice if already resident, plus feasible intra-layer / policy-3
+/// variants.
+fn resident_candidates(
+    current: &PolicyEstimate,
+    layer: &Layer,
+    acc: &AcceleratorConfig,
+) -> Vec<PolicyEstimate> {
+    let mut out = Vec::new();
+    if current.ofmap_resident_at_end {
+        out.push(current.clone());
+    }
+    for kind in [PolicyKind::IntraLayer, PolicyKind::P3PerChannel] {
+        for prefetch in [current.prefetch, false] {
+            if let Some(e) = estimate(kind, &layer.shape, acc, prefetch) {
+                if e.fits(acc) && !out.contains(&e) {
+                    out.push(e);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply the inter-layer reuse pass to a plan, in execution order.
+/// Returns the number of transitions enabled.
+pub fn apply(
+    plan: &mut ExecutionPlan,
+    net: &Network,
+    acc: &AcceleratorConfig,
+    objective: Objective,
+) -> usize {
+    let glb = acc.glb_elements();
+    let mut enabled = 0;
+    for i in 0..plan.decisions.len().saturating_sub(1) {
+        let producer_layer = &net.layers[i];
+        let consumer_layer = &net.layers[i + 1];
+        if !shapes_chain(producer_layer, consumer_layer) {
+            continue;
+        }
+        let ofmap_elems = producer_layer.shape.ofmap_elems();
+        // Condition 3: the retained ofmap coexists with the consumer's
+        // full allocation.
+        let consumer_required = plan.decisions[i + 1].estimate.required_elems();
+        if ofmap_elems + consumer_required > glb {
+            continue;
+        }
+
+        // Pick the best qualifying producer estimate by net objective.
+        let current = plan.decisions[i].estimate.clone();
+        let consumer = plan.decisions[i + 1].clone();
+        let cons_traffic_now = consumer.effective_accesses().total();
+        let cons_lat_now = consumer.effective_latency(acc).cycles;
+
+        let mut best: Option<(PolicyEstimate, (u64, u64))> = None;
+        for cand in resident_candidates(&current, producer_layer, acc) {
+            // A switched producer must still honour the reuse it already
+            // receives from layer i−1 (its own ifmap may be resident).
+            if plan.decisions[i].ifmap_from_glb {
+                let prev_ofmap = net.layers[i - 1].shape.ofmap_elems();
+                if prev_ofmap + cand.required_elems() > glb {
+                    continue;
+                }
+            }
+            // Traffic after enabling: producer loses its ofmap stores
+            // (and keeps an elided ifmap if it already has one), consumer
+            // loses its ifmap loads.
+            let mut prod_acc = cand.accesses;
+            if plan.decisions[i].ifmap_from_glb {
+                prod_acc.ifmap_loads = 0;
+            }
+            let prod_traffic = prod_acc.total() - prod_acc.ofmap_stores;
+            let cons_traffic = cons_traffic_now - consumer.effective_accesses().ifmap_loads;
+            let prod_lat = cand.latency_for_traffic(acc, prod_traffic).cycles;
+            let cons_lat = consumer
+                .estimate
+                .latency_for_traffic(acc, cons_traffic)
+                .cycles;
+            let metrics = match objective {
+                Objective::Accesses => (prod_traffic + cons_traffic, prod_lat + cons_lat),
+                Objective::Latency => (prod_lat + cons_lat, prod_traffic + cons_traffic),
+            };
+            if best.as_ref().is_none_or(|(_, m)| metrics < *m) {
+                best = Some((cand, metrics));
+            }
+        }
+        let Some((cand, after)) = best else {
+            continue;
+        };
+
+        // Only enable when the objective strictly improves over leaving
+        // the transition alone.
+        let prod_traffic_now = {
+            let mut a = current.accesses;
+            if plan.decisions[i].ifmap_from_glb {
+                a.ifmap_loads = 0;
+            }
+            a.total()
+        };
+        let prod_lat_now = current.latency_for_traffic(acc, prod_traffic_now).cycles;
+        let before = match objective {
+            Objective::Accesses => (
+                prod_traffic_now + cons_traffic_now,
+                prod_lat_now + cons_lat_now,
+            ),
+            Objective::Latency => (
+                prod_lat_now + cons_lat_now,
+                prod_traffic_now + cons_traffic_now,
+            ),
+        };
+        if after >= before {
+            continue;
+        }
+
+        plan.decisions[i].estimate = cand;
+        plan.decisions[i].ofmap_kept_on_chip = true;
+        plan.decisions[i + 1].ifmap_from_glb = true;
+        enabled += 1;
+    }
+    plan.refresh_totals(acc);
+    enabled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Manager, ManagerConfig, Objective};
+    use smm_arch::{AcceleratorConfig, ByteSize};
+    use smm_model::zoo;
+
+    fn manager(kb: u64, ilr: bool) -> Manager {
+        Manager::new(
+            AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+            ManagerConfig::new(Objective::Accesses).with_inter_layer_reuse(ilr),
+        )
+    }
+
+    #[test]
+    fn chained_shapes_detected() {
+        let net = zoo::mobilenet();
+        // conv1 → dw1 chain (112×112×32 → 112×112×32).
+        assert!(shapes_chain(&net.layers[0], &net.layers[1]));
+    }
+
+    #[test]
+    fn branch_points_do_not_chain() {
+        let net = zoo::googlenet();
+        // inc3a_1x1 and inc3a_3x3_reduce both consume the same input;
+        // the former's output is not the latter's input.
+        let a = net.layer("inc3a_1x1").unwrap();
+        let b = net.layer("inc3a_3x3_reduce").unwrap();
+        assert!(!shapes_chain(a, b));
+    }
+
+    #[test]
+    fn mnasnet_is_a_chain_except_the_pooled_classifier() {
+        // Every transition chains except conv_head → fc, which has the
+        // global average pool between (7×7×1280 → 1×1×1280).
+        let net = zoo::mnasnet();
+        assert_eq!(possible_transitions(&net), net.layers.len() - 2);
+    }
+
+    #[test]
+    fn coverage_grows_with_buffer_size() {
+        // Figure 11: coverage grows from ~0% at 64 kB to ~98% at 1 MB.
+        let net = zoo::mnasnet();
+        let possible = possible_transitions(&net);
+        let coverage: Vec<f64> = [64u64, 128, 256, 512, 1024]
+            .iter()
+            .map(|&kb| {
+                let plan = manager(kb, true).heterogeneous(&net).unwrap();
+                plan.inter_layer_coverage(possible)
+            })
+            .collect();
+        assert!(
+            coverage.windows(2).all(|w| w[1] >= w[0] - 0.05),
+            "coverage not monotone-ish: {coverage:?}"
+        );
+        assert!(coverage[4] > 0.5, "1MB coverage too low: {coverage:?}");
+        assert!(
+            coverage[4] > coverage[0] + 0.3,
+            "coverage barely grows: {coverage:?}"
+        );
+    }
+
+    #[test]
+    fn reuse_reduces_accesses_never_increases() {
+        for kb in [64, 256, 1024] {
+            for net in zoo::all_networks() {
+                let off = manager(kb, false).heterogeneous(&net).unwrap();
+                let on = manager(kb, true).heterogeneous(&net).unwrap();
+                assert!(
+                    on.totals.accesses_elems <= off.totals.accesses_elems,
+                    "{} @ {kb}kB",
+                    net.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_buffers_give_substantial_access_benefit() {
+        // Figure 11: ~70% access reduction at 1 MB for MnasNet.
+        let net = zoo::mnasnet();
+        let off = manager(1024, false).heterogeneous(&net).unwrap();
+        let on = manager(1024, true).heterogeneous(&net).unwrap();
+        let benefit = (off.totals.accesses_elems - on.totals.accesses_elems) as f64
+            / off.totals.accesses_elems as f64;
+        assert!(benefit > 0.3, "benefit {benefit}");
+    }
+
+    #[test]
+    fn producer_and_consumer_flags_pair_up() {
+        let net = zoo::mnasnet();
+        let plan = manager(1024, true).heterogeneous(&net).unwrap();
+        let producers = plan
+            .decisions
+            .iter()
+            .filter(|d| d.ofmap_kept_on_chip)
+            .count();
+        let consumers = plan.decisions.iter().filter(|d| d.ifmap_from_glb).count();
+        assert_eq!(producers, consumers);
+        assert!(producers > 0);
+    }
+
+    #[test]
+    fn enabled_count_matches_flags() {
+        let net = zoo::mobilenetv2();
+        let m = manager(1024, false);
+        let mut plan = m.heterogeneous(&net).unwrap();
+        let enabled = apply(&mut plan, &net, m.accelerator(), Objective::Accesses);
+        let consumers = plan.decisions.iter().filter(|d| d.ifmap_from_glb).count();
+        assert_eq!(enabled, consumers);
+    }
+
+    #[test]
+    fn switched_producers_remain_feasible() {
+        let net = zoo::mnasnet();
+        let m = manager(512, true);
+        let plan = m.heterogeneous(&net).unwrap();
+        for d in &plan.decisions {
+            assert!(d.estimate.fits(m.accelerator()), "{}", d.layer_name);
+            if d.ofmap_kept_on_chip {
+                assert!(d.estimate.ofmap_resident_at_end, "{}", d.layer_name);
+            }
+        }
+    }
+}

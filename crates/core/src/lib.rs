@@ -1,0 +1,42 @@
+//! The scratchpad memory-management technique (Section 3.3 of the paper).
+//!
+//! This crate is the paper's primary contribution: the analyser that
+//! matches every layer of a network with the reuse policy that best
+//! serves an optimization objective under the GLB capacity constraint.
+//!
+//! - [`Manager`] — Algorithm 1 (objective: off-chip accesses) and its
+//!   latency-objective twin; produces [`ExecutionPlan`]s.
+//! - [`ExecutionPlan`] — a per-layer policy assignment (homogeneous or
+//!   heterogeneous) with traffic/latency totals and coverage metrics.
+//! - [`interlayer`] — the inter-layer reuse pass of Section 5.4: when a
+//!   layer's ofmap stays resident and the next layer consumes it, the
+//!   store and re-load are both elided.
+//! - [`sweep`] — a Rayon-parallel experiment matrix runner for the
+//!   figure-scale sweeps (models × buffer sizes × schemes).
+//!
+//! # Example
+//!
+//! ```
+//! use smm_arch::{AcceleratorConfig, ByteSize};
+//! use smm_core::{Manager, ManagerConfig, Objective};
+//! use smm_model::zoo;
+//!
+//! let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+//! let manager = Manager::new(acc, ManagerConfig::new(Objective::Accesses));
+//! let plan = manager.heterogeneous(&zoo::resnet18()).unwrap();
+//! assert_eq!(plan.decisions.len(), 21);
+//! assert!(plan.totals.accesses_bytes.mb() > 0.0);
+//! ```
+
+pub mod batch;
+pub mod energy;
+pub mod interlayer;
+mod manager;
+mod plan;
+pub mod report;
+pub mod runtime;
+pub mod sweep;
+pub mod tenancy;
+
+pub use manager::{CandidateReport, Manager, ManagerConfig, Objective, PlanError};
+pub use plan::{ExecutionPlan, LayerDecision, PlanTotals, Scheme};

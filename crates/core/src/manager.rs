@@ -1,0 +1,438 @@
+use crate::plan::{ExecutionPlan, LayerDecision, Scheme};
+use serde::{Deserialize, Serialize};
+use smm_arch::AcceleratorConfig;
+use smm_model::Network;
+use smm_policy::{estimate, PolicyEstimate, PolicyKind};
+use std::fmt;
+
+/// The two optimization objectives of Section 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Objective 1: reduce off-chip data transfers under the memory
+    /// constraint.
+    Accesses,
+    /// Objective 2: reduce latency under the memory constraint.
+    Latency,
+}
+
+impl Objective {
+    /// Figure 8 suffix (`_a` / `_l`).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Objective::Accesses => "_a",
+            Objective::Latency => "_l",
+        }
+    }
+}
+
+/// Knobs of the memory-management technique. Prefetching and inter-layer
+/// reuse can be disabled to reproduce the Figure 10 / Figure 11
+/// ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManagerConfig {
+    pub objective: Objective,
+    /// Allow the double-buffered `+p` policy variants (Eq. 2).
+    pub allow_prefetch: bool,
+    /// Enable the Section 5.4 inter-layer reuse pass.
+    pub inter_layer_reuse: bool,
+}
+
+impl ManagerConfig {
+    /// Default configuration for an objective: prefetching allowed,
+    /// inter-layer reuse off (the paper's base `Hom`/`Het` schemes;
+    /// Section 5.4 evaluates inter-layer reuse separately).
+    pub fn new(objective: Objective) -> Self {
+        ManagerConfig {
+            objective,
+            allow_prefetch: true,
+            inter_layer_reuse: false,
+        }
+    }
+
+    pub fn with_prefetch(mut self, allow: bool) -> Self {
+        self.allow_prefetch = allow;
+        self
+    }
+
+    pub fn with_inter_layer_reuse(mut self, enable: bool) -> Self {
+        self.inter_layer_reuse = enable;
+        self
+    }
+}
+
+/// Planning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No policy — not even the fallback tiling — fits the layer in the
+    /// GLB.
+    LayerDoesNotFit { layer: String, glb_elements: u64 },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::LayerDoesNotFit {
+                layer,
+                glb_elements,
+            } => write!(
+                f,
+                "layer {layer}: no policy fits a GLB of {glb_elements} elements"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One candidate's diagnostics from [`Manager::explain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateReport {
+    pub estimate: PolicyEstimate,
+    /// Satisfies the GLB constraint (Algorithm 1 line 10).
+    pub feasible: bool,
+    /// Would win Algorithm 1's inner loop.
+    pub chosen: bool,
+}
+
+/// The memory-management analyser (Figure 4's "Analyser" box).
+#[derive(Debug, Clone)]
+pub struct Manager {
+    acc: AcceleratorConfig,
+    cfg: ManagerConfig,
+}
+
+impl Manager {
+    pub fn new(acc: AcceleratorConfig, cfg: ManagerConfig) -> Self {
+        Manager { acc, cfg }
+    }
+
+    pub fn accelerator(&self) -> &AcceleratorConfig {
+        &self.acc
+    }
+
+    pub fn config(&self) -> &ManagerConfig {
+        &self.cfg
+    }
+
+    /// `a` beats `b` under the objective? Algorithm 1 lines 11–15:
+    /// primary metric strictly better, or equal primary and strictly
+    /// better secondary.
+    fn better(&self, a: &PolicyEstimate, b: &PolicyEstimate) -> bool {
+        let (pa, sa) = self.metrics(a);
+        let (pb, sb) = self.metrics(b);
+        pa < pb || (pa == pb && sa < sb)
+    }
+
+    fn metrics(&self, e: &PolicyEstimate) -> (u64, u64) {
+        match self.cfg.objective {
+            Objective::Accesses => (e.accesses.total(), e.latency.cycles),
+            Objective::Latency => (e.latency.cycles, e.accesses.total()),
+        }
+    }
+
+    fn prefetch_options(&self) -> &'static [bool] {
+        if self.cfg.allow_prefetch {
+            &[false, true]
+        } else {
+            &[false]
+        }
+    }
+
+    /// Algorithm 1's inner loop for one layer: the best feasible
+    /// candidate among the named policies (and their prefetch variants).
+    /// The paper only reaches for the tile-size search when nothing named
+    /// fits; we keep it in the candidate list unconditionally — a strict
+    /// superset that can only improve the plan (named policies win ties
+    /// because they are evaluated first).
+    fn select(&self, shape: &smm_model::LayerShape) -> Option<PolicyEstimate> {
+        let mut best: Option<PolicyEstimate> = None;
+        for kind in PolicyKind::ALL {
+            for &prefetch in self.prefetch_options() {
+                let Some(e) = estimate(kind, shape, &self.acc, prefetch) else {
+                    continue;
+                };
+                if !e.fits(&self.acc) {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|b| self.better(&e, b)) {
+                    best = Some(e);
+                }
+            }
+        }
+        best
+    }
+
+    /// The best estimate for one layer when constrained to a single named
+    /// policy (used by homogeneous plans): the policy itself or its
+    /// prefetch variant, falling back to the tiled search when the policy
+    /// cannot fit (so a homogeneous plan still executes every layer).
+    fn select_constrained(
+        &self,
+        kind: PolicyKind,
+        shape: &smm_model::LayerShape,
+    ) -> Option<PolicyEstimate> {
+        let mut best: Option<PolicyEstimate> = None;
+        for &prefetch in self.prefetch_options() {
+            let Some(e) = estimate(kind, shape, &self.acc, prefetch) else {
+                continue;
+            };
+            if !e.fits(&self.acc) {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| self.better(&e, b)) {
+                best = Some(e);
+            }
+        }
+        if best.is_some() {
+            return best;
+        }
+        for &prefetch in self.prefetch_options() {
+            let Some(e) = estimate(PolicyKind::Fallback, shape, &self.acc, prefetch) else {
+                continue;
+            };
+            if !e.fits(&self.acc) {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| self.better(&e, b)) {
+                best = Some(e);
+            }
+        }
+        best
+    }
+
+    fn finish_plan(
+        &self,
+        net: &Network,
+        scheme: Scheme,
+        decisions: Vec<LayerDecision>,
+    ) -> ExecutionPlan {
+        let mut plan = ExecutionPlan::new(net.name.clone(), scheme, decisions, &self.acc);
+        if self.cfg.inter_layer_reuse {
+            crate::interlayer::apply(&mut plan, net, &self.acc, self.cfg.objective);
+        }
+        plan
+    }
+
+    /// Explain Algorithm 1's choice for one layer: every candidate with
+    /// its metrics, feasibility, and whether it won. Chosen = the same
+    /// candidate [`select`](Self::heterogeneous) would pick.
+    pub fn explain(&self, shape: &smm_model::LayerShape) -> Vec<CandidateReport> {
+        let chosen = self.select(shape);
+        let mut out = Vec::new();
+        for kind in PolicyKind::ALL {
+            for &prefetch in self.prefetch_options() {
+                let Some(e) = estimate(kind, shape, &self.acc, prefetch) else {
+                    continue;
+                };
+                let feasible = e.fits(&self.acc);
+                let is_chosen = chosen.as_ref() == Some(&e);
+                out.push(CandidateReport {
+                    estimate: e,
+                    feasible,
+                    chosen: is_chosen,
+                });
+            }
+        }
+        out
+    }
+
+    /// The heterogeneous execution plan (`Het`): Algorithm 1 applied per
+    /// layer.
+    pub fn heterogeneous(&self, net: &Network) -> Result<ExecutionPlan, PlanError> {
+        let mut decisions = Vec::with_capacity(net.layers.len());
+        for (i, layer) in net.layers.iter().enumerate() {
+            let est = self.select(&layer.shape).ok_or(PlanError::LayerDoesNotFit {
+                layer: layer.name.clone(),
+                glb_elements: self.acc.glb_elements(),
+            })?;
+            decisions.push(LayerDecision::new(i, layer.name.clone(), est));
+        }
+        Ok(self.finish_plan(net, Scheme::Heterogeneous, decisions))
+    }
+
+    /// A homogeneous execution plan: every layer constrained to `kind`.
+    pub fn homogeneous(&self, net: &Network, kind: PolicyKind) -> Result<ExecutionPlan, PlanError> {
+        let mut decisions = Vec::with_capacity(net.layers.len());
+        for (i, layer) in net.layers.iter().enumerate() {
+            let est = self
+                .select_constrained(kind, &layer.shape)
+                .ok_or(PlanError::LayerDoesNotFit {
+                    layer: layer.name.clone(),
+                    glb_elements: self.acc.glb_elements(),
+                })?;
+            decisions.push(LayerDecision::new(i, layer.name.clone(), est));
+        }
+        Ok(self.finish_plan(net, Scheme::Homogeneous(kind), decisions))
+    }
+
+    /// The best homogeneous plan under the objective (`Hom` in the
+    /// figures): evaluate all named policies and keep the winner.
+    pub fn best_homogeneous(&self, net: &Network) -> Result<ExecutionPlan, PlanError> {
+        let mut best: Option<ExecutionPlan> = None;
+        let mut last_err = None;
+        for kind in PolicyKind::NAMED {
+            match self.homogeneous(net, kind) {
+                Ok(plan) => {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => match self.cfg.objective {
+                            Objective::Accesses => {
+                                (plan.totals.accesses_elems, plan.totals.latency_cycles)
+                                    < (b.totals.accesses_elems, b.totals.latency_cycles)
+                            }
+                            Objective::Latency => {
+                                (plan.totals.latency_cycles, plan.totals.accesses_elems)
+                                    < (b.totals.latency_cycles, b.totals.accesses_elems)
+                            }
+                        },
+                    };
+                    if better {
+                        best = Some(plan);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        best.ok_or_else(|| last_err.expect("at least one policy attempted"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_arch::ByteSize;
+    use smm_model::zoo;
+
+    fn manager(kb: u64, objective: Objective) -> Manager {
+        Manager::new(
+            AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+            ManagerConfig::new(objective),
+        )
+    }
+
+    #[test]
+    fn het_plan_covers_every_layer() {
+        let m = manager(64, Objective::Accesses);
+        let plan = m.heterogeneous(&zoo::resnet18()).unwrap();
+        assert_eq!(plan.decisions.len(), 21);
+        for d in &plan.decisions {
+            assert!(d.estimate.fits(m.accelerator()), "{}", d.layer_name);
+        }
+    }
+
+    #[test]
+    fn het_never_loses_to_hom() {
+        // The heterogeneous plan optimizes each layer independently, so it
+        // can never do worse than any homogeneous plan.
+        for kb in [64, 256, 1024] {
+            let m = manager(kb, Objective::Accesses);
+            for net in zoo::all_networks() {
+                let het = m.heterogeneous(&net).unwrap();
+                let hom = m.best_homogeneous(&net).unwrap();
+                assert!(
+                    het.totals.accesses_elems <= hom.totals.accesses_elems,
+                    "{} @ {kb}kB",
+                    net.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_objective_never_slower_than_accesses_objective() {
+        for net in zoo::all_networks() {
+            let ma = manager(64, Objective::Accesses);
+            let ml = manager(64, Objective::Latency);
+            let pa = ma.heterogeneous(&net).unwrap();
+            let pl = ml.heterogeneous(&net).unwrap();
+            assert!(
+                pl.totals.latency_cycles <= pa.totals.latency_cycles,
+                "{}",
+                net.name
+            );
+            // And symmetrically for accesses.
+            assert!(pa.totals.accesses_elems <= pl.totals.accesses_elems);
+        }
+    }
+
+    #[test]
+    fn bigger_glb_never_hurts() {
+        let net = zoo::mobilenetv2();
+        let mut last = u64::MAX;
+        for kb in [64, 128, 256, 512, 1024] {
+            let m = manager(kb, Objective::Accesses);
+            let plan = m.heterogeneous(&net).unwrap();
+            assert!(plan.totals.accesses_elems <= last, "{kb}kB regressed");
+            last = plan.totals.accesses_elems;
+        }
+    }
+
+    #[test]
+    fn disallowing_prefetch_removes_prefetch_decisions() {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+        let m = Manager::new(
+            acc,
+            ManagerConfig::new(Objective::Latency).with_prefetch(false),
+        );
+        let plan = m.heterogeneous(&zoo::mobilenet()).unwrap();
+        assert_eq!(plan.prefetch_coverage(), 0.0);
+    }
+
+    #[test]
+    fn latency_objective_uses_prefetch() {
+        let m = manager(256, Objective::Latency);
+        let plan = m.heterogeneous(&zoo::mobilenet()).unwrap();
+        assert!(plan.prefetch_coverage() > 0.5);
+    }
+
+    #[test]
+    fn homogeneous_plans_use_single_kind_or_fallback() {
+        let m = manager(64, Objective::Accesses);
+        let plan = m.homogeneous(&zoo::resnet18(), PolicyKind::P2FilterReuse).unwrap();
+        for d in &plan.decisions {
+            assert!(
+                d.estimate.kind == PolicyKind::P2FilterReuse
+                    || d.estimate.kind == PolicyKind::Fallback,
+                "{}: {:?}",
+                d.layer_name,
+                d.estimate.kind
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_glb_fails_with_layer_name() {
+        let m = manager(1, Objective::Accesses);
+        let err = m.heterogeneous(&zoo::resnet18()).unwrap_err();
+        assert!(matches!(err, PlanError::LayerDoesNotFit { .. }));
+        assert!(err.to_string().contains("elements"));
+    }
+
+    #[test]
+    fn objective_suffixes() {
+        assert_eq!(Objective::Accesses.suffix(), "_a");
+        assert_eq!(Objective::Latency.suffix(), "_l");
+    }
+
+    #[test]
+    fn explain_marks_exactly_one_winner() {
+        let m = manager(64, Objective::Accesses);
+        let net = zoo::resnet18();
+        for layer in &net.layers {
+            let report = m.explain(&layer.shape);
+            let winners = report.iter().filter(|c| c.chosen).count();
+            assert_eq!(winners, 1, "{}", layer.name);
+            let winner = report.iter().find(|c| c.chosen).unwrap();
+            assert!(winner.feasible, "{}", layer.name);
+            // No feasible candidate beats the winner on the objective.
+            for c in report.iter().filter(|c| c.feasible) {
+                assert!(
+                    (c.estimate.accesses.total(), c.estimate.latency.cycles)
+                        >= (winner.estimate.accesses.total(), winner.estimate.latency.cycles)
+                        || c.chosen,
+                    "{}", layer.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Formatting helpers for paper-style tables, benefit percentages, and
+//! machine-readable plan exports.
+
+use crate::ExecutionPlan;
+use smm_arch::AcceleratorConfig;
+
+/// Benefit of `new` over `baseline` in percent: positive = improvement
+/// (fewer accesses / less latency). This is the quantity plotted in
+/// Figures 9–11.
+pub fn benefit_pct(baseline: f64, new: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    (baseline - new) / baseline * 100.0
+}
+
+/// A minimal fixed-width text table (right-aligned numeric cells, left
+/// aligned first column), good enough for terminal experiment output.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with column-wise width fitting.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = widths[0]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", c, width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Export a plan as CSV, one row per layer, for spreadsheets and
+/// plotting scripts. Columns: layer, policy, prefetch, block_n,
+/// alloc_ifmap/filters/ofmap (elements), required_bytes,
+/// ifmap/filter/ofmap traffic (elements, after plan-level optimizations),
+/// latency_cycles, inter-layer flags.
+pub fn plan_csv(plan: &ExecutionPlan, acc: &AcceleratorConfig) -> String {
+    let mut out = String::from(
+        "layer,policy,prefetch,block_n,alloc_ifmap,alloc_filters,alloc_ofmap,\
+         required_bytes,ifmap_loads,filter_loads,ofmap_stores,psum_spills,\
+         latency_cycles,ifmap_from_glb,ofmap_kept_on_chip\n",
+    );
+    for d in &plan.decisions {
+        let alloc = d.estimate.allocation();
+        let a = d.effective_accesses();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            d.layer_name,
+            d.estimate.kind.label(),
+            d.estimate.prefetch,
+            d.estimate.block_n.map(|n| n.to_string()).unwrap_or_default(),
+            alloc.ifmap,
+            alloc.filters,
+            alloc.ofmap,
+            d.estimate.required_bytes(acc).bytes(),
+            a.ifmap_loads,
+            a.filter_loads,
+            a.ofmap_stores,
+            a.psum_spill_loads + a.psum_spill_stores,
+            d.effective_latency(acc).cycles,
+            d.ifmap_from_glb,
+            d.ofmap_kept_on_chip,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Manager, ManagerConfig, Objective};
+    use smm_arch::ByteSize;
+    use smm_model::zoo;
+
+    #[test]
+    fn plan_csv_has_one_row_per_layer() {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+        let plan = Manager::new(acc, ManagerConfig::new(Objective::Accesses))
+            .heterogeneous(&zoo::resnet18())
+            .unwrap();
+        let csv = plan_csv(&plan, &acc);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 22); // header + 21 layers
+        assert!(lines[0].starts_with("layer,policy"));
+        assert!(lines[1].starts_with("conv1,"));
+        // Every row has the full column count.
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "{l}");
+        }
+    }
+
+    #[test]
+    fn benefit_sign_convention() {
+        assert_eq!(benefit_pct(100.0, 80.0), 20.0);
+        assert_eq!(benefit_pct(100.0, 133.0), -33.0);
+        assert_eq!(benefit_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["model", "64kB", "128kB"]);
+        t.row(vec!["ResNet18".into(), "12.3".into(), "4.5".into()]);
+        t.row(vec!["MobileNet".into(), "7.0".into(), "3.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("model"));
+        assert!(lines[2].starts_with("ResNet18"));
+        // All data lines share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

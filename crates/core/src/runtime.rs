@@ -1,0 +1,164 @@
+//! Dynamic re-planning under changing capacity.
+//!
+//! The paper argues its lightweight estimators allow "the memory
+//! management to change dynamically even as the requirements change
+//! during runtime" (Section 2.3). This module simulates exactly that: a
+//! layer-by-layer run during which the GLB space available to the model
+//! changes (a co-tenant arrives or leaves, the OS reclaims SRAM, …), and
+//! the manager re-plans each remaining layer against the capacity it
+//! actually has when the layer starts.
+
+use crate::plan::{ExecutionPlan, LayerDecision, Scheme};
+use crate::{Manager, ManagerConfig, PlanError};
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_model::Network;
+
+/// A capacity change taking effect when layer `at_layer` starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityEvent {
+    /// Index of the first layer planned under the new capacity.
+    pub at_layer: usize,
+    /// The GLB space available from that point on.
+    pub glb: ByteSize,
+}
+
+/// The outcome of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicRun {
+    /// The per-layer plan actually executed.
+    pub plan: ExecutionPlan,
+    /// Capacity in effect for each layer.
+    pub capacity_trace: Vec<ByteSize>,
+}
+
+impl DynamicRun {
+    /// Number of layers planned under a different policy than the static
+    /// plan at the initial capacity would have used.
+    pub fn replanned_layers(&self, static_plan: &ExecutionPlan) -> usize {
+        self.plan
+            .decisions
+            .iter()
+            .zip(&static_plan.decisions)
+            .filter(|(d, s)| {
+                d.estimate.kind != s.estimate.kind || d.estimate.prefetch != s.estimate.prefetch
+            })
+            .count()
+    }
+}
+
+/// Execute `net` layer by layer, re-planning against `events` (sorted or
+/// not; the last event at or before a layer wins). Inter-layer reuse is
+/// not applied across capacity changes — a shrink may invalidate a
+/// retained ofmap, so the dynamic path keeps layers independent.
+pub fn run_with_events(
+    acc: AcceleratorConfig,
+    cfg: ManagerConfig,
+    net: &Network,
+    events: &[CapacityEvent],
+) -> Result<DynamicRun, PlanError> {
+    let mut sorted: Vec<&CapacityEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.at_layer);
+
+    let mut decisions = Vec::with_capacity(net.layers.len());
+    let mut capacity_trace = Vec::with_capacity(net.layers.len());
+    let mut current = acc.glb;
+    let cfg = cfg.with_inter_layer_reuse(false);
+    for (i, layer) in net.layers.iter().enumerate() {
+        for e in sorted.iter().filter(|e| e.at_layer == i) {
+            current = e.glb;
+        }
+        capacity_trace.push(current);
+        let manager = Manager::new(acc.with_glb(current), cfg);
+        // Plan just this layer under the live capacity.
+        let single = Network::new(
+            net.name.clone(),
+            vec![layer.clone()],
+        )
+        .expect("single-layer network is valid");
+        let plan = manager.heterogeneous(&single)?;
+        let mut d: LayerDecision = plan.decisions.into_iter().next().expect("one decision");
+        d.layer_index = i;
+        decisions.push(d);
+    }
+    let mut plan = ExecutionPlan::new(net.name.clone(), Scheme::Heterogeneous, decisions, &acc);
+    plan.refresh_totals(&acc);
+    Ok(DynamicRun {
+        plan,
+        capacity_trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+    use smm_model::zoo;
+
+    fn acc(kb: u64) -> AcceleratorConfig {
+        AcceleratorConfig::paper_default(ByteSize::from_kb(kb))
+    }
+
+    #[test]
+    fn no_events_matches_static_plan() {
+        let net = zoo::resnet18();
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let run = run_with_events(acc(256), cfg, &net, &[]).unwrap();
+        let static_plan = Manager::new(acc(256), cfg).heterogeneous(&net).unwrap();
+        assert_eq!(run.plan.totals, static_plan.totals);
+        assert_eq!(run.replanned_layers(&static_plan), 0);
+        assert!(run.capacity_trace.iter().all(|c| *c == ByteSize::from_kb(256)));
+    }
+
+    #[test]
+    fn mid_run_shrink_forces_replanning() {
+        let net = zoo::resnet18();
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let events = [CapacityEvent {
+            at_layer: 10,
+            glb: ByteSize::from_kb(48),
+        }];
+        let run = run_with_events(acc(1024), cfg, &net, &events).unwrap();
+        let static_plan = Manager::new(acc(1024), cfg).heterogeneous(&net).unwrap();
+        // The tail runs under 48 kB: policies must change somewhere.
+        assert!(run.replanned_layers(&static_plan) > 0);
+        // And every decision respects the capacity live at its layer.
+        for (d, cap) in run.plan.decisions.iter().zip(&run.capacity_trace) {
+            let live = acc(1024).with_glb(*cap);
+            assert!(d.estimate.fits(&live), "{}", d.layer_name);
+        }
+        // Traffic can only get worse than the static 1 MB plan.
+        assert!(run.plan.totals.accesses_elems >= static_plan.totals.accesses_elems);
+    }
+
+    #[test]
+    fn capacity_can_recover() {
+        let net = zoo::mobilenet();
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let events = [
+            CapacityEvent {
+                at_layer: 5,
+                glb: ByteSize::from_kb(32),
+            },
+            CapacityEvent {
+                at_layer: 15,
+                glb: ByteSize::from_kb(512),
+            },
+        ];
+        let run = run_with_events(acc(512), cfg, &net, &events).unwrap();
+        assert_eq!(run.capacity_trace[4], ByteSize::from_kb(512));
+        assert_eq!(run.capacity_trace[5], ByteSize::from_kb(32));
+        assert_eq!(run.capacity_trace[15], ByteSize::from_kb(512));
+    }
+
+    #[test]
+    fn impossible_capacity_errors_with_layer_name() {
+        let net = zoo::resnet18();
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let events = [CapacityEvent {
+            at_layer: 3,
+            glb: ByteSize(64),
+        }];
+        let err = run_with_events(acc(256), cfg, &net, &events).unwrap_err();
+        assert!(matches!(err, PlanError::LayerDoesNotFit { .. }));
+    }
+}

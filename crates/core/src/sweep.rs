@@ -1,0 +1,134 @@
+//! Rayon-parallel experiment matrices.
+//!
+//! The paper's figures sweep 6 models × 5 buffer sizes × several schemes.
+//! Each cell is independent, so the sweep is an embarrassingly parallel
+//! map — exactly the shape Rayon's parallel iterators are built for.
+
+use crate::{ExecutionPlan, Manager, ManagerConfig, PlanError};
+use rayon::prelude::*;
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_model::Network;
+
+/// One cell of a plan matrix.
+#[derive(Debug, Clone)]
+pub struct PlanCell {
+    pub network: String,
+    pub glb_kb: u64,
+    pub plan: ExecutionPlan,
+}
+
+/// Which plan flavour a sweep should produce per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepScheme {
+    /// Best homogeneous plan (`Hom`).
+    BestHomogeneous,
+    /// Heterogeneous plan (`Het`).
+    Heterogeneous,
+}
+
+/// Evaluate `networks × glb_kbs` in parallel with one manager
+/// configuration, returning cells in deterministic
+/// (network-major, size-minor) order.
+pub fn plan_matrix(
+    base: AcceleratorConfig,
+    cfg: ManagerConfig,
+    scheme: SweepScheme,
+    networks: &[Network],
+    glb_kbs: &[u64],
+) -> Result<Vec<PlanCell>, PlanError> {
+    let cells: Vec<(usize, usize)> = (0..networks.len())
+        .flat_map(|n| (0..glb_kbs.len()).map(move |g| (n, g)))
+        .collect();
+    cells
+        .par_iter()
+        .map(|&(n, g)| {
+            let net = &networks[n];
+            let kb = glb_kbs[g];
+            let manager = Manager::new(base.with_glb(ByteSize::from_kb(kb)), cfg);
+            let plan = match scheme {
+                SweepScheme::BestHomogeneous => manager.best_homogeneous(net)?,
+                SweepScheme::Heterogeneous => manager.heterogeneous(net)?,
+            };
+            Ok(PlanCell {
+                network: net.name.clone(),
+                glb_kb: kb,
+                plan,
+            })
+        })
+        .collect()
+}
+
+/// Convenience lookup into a matrix produced by [`plan_matrix`].
+pub fn cell<'a>(cells: &'a [PlanCell], network: &str, glb_kb: u64) -> Option<&'a PlanCell> {
+    cells
+        .iter()
+        .find(|c| c.network == network && c.glb_kb == glb_kb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Objective, Scheme};
+    use smm_model::zoo;
+
+    fn base() -> AcceleratorConfig {
+        AcceleratorConfig::paper_default(ByteSize::from_kb(64))
+    }
+
+    #[test]
+    fn matrix_covers_cross_product_in_order() {
+        let nets = vec![zoo::resnet18(), zoo::mobilenet()];
+        let cells = plan_matrix(
+            base(),
+            ManagerConfig::new(Objective::Accesses),
+            SweepScheme::Heterogeneous,
+            &nets,
+            &[64, 256],
+        )
+        .unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(
+            cells
+                .iter()
+                .map(|c| (c.network.as_str(), c.glb_kb))
+                .collect::<Vec<_>>(),
+            vec![
+                ("ResNet18", 64),
+                ("ResNet18", 256),
+                ("MobileNet", 64),
+                ("MobileNet", 256)
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let nets = vec![zoo::mnasnet()];
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let cells = plan_matrix(base(), cfg, SweepScheme::Heterogeneous, &nets, &[64, 1024]).unwrap();
+        for c in &cells {
+            let manager = Manager::new(base().with_glb(ByteSize::from_kb(c.glb_kb)), cfg);
+            let seq = manager.heterogeneous(&nets[0]).unwrap();
+            assert_eq!(seq.totals, c.plan.totals, "{} @ {}kB", c.network, c.glb_kb);
+        }
+    }
+
+    #[test]
+    fn scheme_flag_selects_hom() {
+        let nets = vec![zoo::resnet18()];
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let cells =
+            plan_matrix(base(), cfg, SweepScheme::BestHomogeneous, &nets, &[64]).unwrap();
+        assert!(matches!(cells[0].plan.scheme, Scheme::Homogeneous(_)));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let nets = vec![zoo::resnet18()];
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let cells = plan_matrix(base(), cfg, SweepScheme::Heterogeneous, &nets, &[64]).unwrap();
+        assert!(cell(&cells, "ResNet18", 64).is_some());
+        assert!(cell(&cells, "ResNet18", 128).is_none());
+        assert!(cell(&cells, "VGG", 64).is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Multi-tenant scratchpad partitioning.
+//!
+//! The paper's introduction names "support for multi-tenancy" as one of
+//! the pressures demanding more flexible memory management. This
+//! extension answers the concrete question: two models sharing one
+//! accelerator with a statically partitioned GLB — how should the pool
+//! be split? Each candidate split plans both tenants independently with
+//! the memory manager and the best split under the combined objective
+//! wins.
+
+use crate::{ExecutionPlan, Manager, ManagerConfig, Objective, PlanError};
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_model::Network;
+
+/// A chosen partition of the GLB between two tenants.
+#[derive(Debug, Clone)]
+pub struct TenancyPlan {
+    /// Bytes assigned to tenant A (the remainder goes to B).
+    pub split_a: ByteSize,
+    pub plan_a: ExecutionPlan,
+    pub plan_b: ExecutionPlan,
+}
+
+impl TenancyPlan {
+    /// Combined off-chip traffic in elements.
+    pub fn combined_accesses(&self) -> u64 {
+        self.plan_a.totals.accesses_elems + self.plan_b.totals.accesses_elems
+    }
+
+    /// Combined latency when the tenants time-share the array (sum).
+    pub fn combined_latency(&self) -> u64 {
+        self.plan_a.totals.latency_cycles + self.plan_b.totals.latency_cycles
+    }
+}
+
+/// Search static splits in `step` increments for the best combined
+/// objective. Splits where either tenant cannot plan are skipped; errors
+/// only surface if *no* split works.
+pub fn partition(
+    acc: AcceleratorConfig,
+    cfg: ManagerConfig,
+    tenant_a: &Network,
+    tenant_b: &Network,
+    step_pct: u32,
+) -> Result<TenancyPlan, PlanError> {
+    assert!((1..=50).contains(&step_pct), "step must be 1..=50 percent");
+    let total = acc.glb.bytes();
+    let mut best: Option<TenancyPlan> = None;
+    let mut last_err = None;
+    let mut pct = step_pct;
+    while pct < 100 {
+        let a_bytes = ByteSize(total * pct as u64 / 100);
+        let b_bytes = ByteSize(total - a_bytes.bytes());
+        let ma = Manager::new(acc.with_glb(a_bytes), cfg);
+        let mb = Manager::new(acc.with_glb(b_bytes), cfg);
+        match (ma.heterogeneous(tenant_a), mb.heterogeneous(tenant_b)) {
+            (Ok(plan_a), Ok(plan_b)) => {
+                let cand = TenancyPlan {
+                    split_a: a_bytes,
+                    plan_a,
+                    plan_b,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => match cfg.objective {
+                        Objective::Accesses => {
+                            (cand.combined_accesses(), cand.combined_latency())
+                                < (b.combined_accesses(), b.combined_latency())
+                        }
+                        Objective::Latency => {
+                            (cand.combined_latency(), cand.combined_accesses())
+                                < (b.combined_latency(), b.combined_accesses())
+                        }
+                    },
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => last_err = Some(e),
+        }
+        pct += step_pct;
+    }
+    best.ok_or_else(|| {
+        last_err.unwrap_or(PlanError::LayerDoesNotFit {
+            layer: "<no split evaluated>".into(),
+            glb_elements: acc.glb_elements(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_model::zoo;
+
+    fn acc(kb: u64) -> AcceleratorConfig {
+        AcceleratorConfig::paper_default(ByteSize::from_kb(kb))
+    }
+
+    #[test]
+    fn partition_finds_a_feasible_split() {
+        let t = partition(
+            acc(256),
+            ManagerConfig::new(Objective::Accesses),
+            &zoo::mobilenet(),
+            &zoo::resnet18(),
+            10,
+        )
+        .unwrap();
+        assert!(t.split_a.bytes() > 0);
+        assert!(t.split_a.bytes() < 256 * 1024);
+        assert_eq!(t.plan_a.network, "MobileNet");
+        assert_eq!(t.plan_b.network, "ResNet18");
+    }
+
+    #[test]
+    fn best_split_beats_or_matches_fifty_fifty() {
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let a = zoo::mobilenetv2();
+        let b = zoo::googlenet();
+        let best = partition(acc(256), cfg, &a, &b, 10).unwrap();
+        let half = ByteSize::from_kb(128);
+        let pa = Manager::new(acc(256).with_glb(half), cfg)
+            .heterogeneous(&a)
+            .unwrap();
+        let pb = Manager::new(acc(256).with_glb(half), cfg)
+            .heterogeneous(&b)
+            .unwrap();
+        assert!(
+            best.combined_accesses() <= pa.totals.accesses_elems + pb.totals.accesses_elems
+        );
+    }
+
+    #[test]
+    fn too_small_pool_errors() {
+        let err = partition(
+            acc(2),
+            ManagerConfig::new(Objective::Accesses),
+            &zoo::resnet18(),
+            &zoo::mobilenet(),
+            25,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::LayerDoesNotFit { .. }));
+    }
+
+    #[test]
+    fn finer_steps_never_hurt() {
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let a = zoo::mnasnet();
+        let b = zoo::resnet18();
+        let coarse = partition(acc(512), cfg, &a, &b, 25).unwrap();
+        let fine = partition(acc(512), cfg, &a, &b, 5).unwrap();
+        assert!(fine.combined_accesses() <= coarse.combined_accesses());
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be")]
+    fn bad_step_rejected() {
+        let _ = partition(
+            acc(64),
+            ManagerConfig::new(Objective::Accesses),
+            &zoo::resnet18(),
+            &zoo::resnet18(),
+            0,
+        );
+    }
+}

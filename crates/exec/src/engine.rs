@@ -1,0 +1,401 @@
+//! The replay engine: a unified scratchpad with per-operand traffic
+//! attribution and peak-residency tracking.
+
+use crate::program::Command;
+use smm_model::LayerShape;
+use smm_policy::{AccessCounts, PolicyEstimate};
+use smm_trace::{AddressMap, DramCounter, Scratchpad};
+use std::fmt;
+use std::ops::Range;
+
+/// Replay failure: the schedule needed more scratchpad than the
+/// estimator's memory requirement — a bug in one of the two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    pub message: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule replay failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Observed traffic and residency of one replayed layer schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Replay {
+    /// Ifmap elements read from DRAM.
+    pub ifmap_loads: u64,
+    /// Filter elements read from DRAM.
+    pub filter_loads: u64,
+    /// Ofmap elements written to DRAM (final stores *and* partial-sum
+    /// spills — the replay cannot distinguish them, the estimator can).
+    pub ofmap_writes: u64,
+    /// Ofmap elements read back from DRAM (partial-sum spill re-loads).
+    pub ofmap_reads: u64,
+    /// Peak simultaneously-resident elements.
+    pub peak_resident: u64,
+}
+
+impl Replay {
+    /// Total elements moved.
+    pub fn total(&self) -> u64 {
+        self.ifmap_loads + self.filter_loads + self.ofmap_writes + self.ofmap_reads
+    }
+
+    /// Does the replay agree with the estimator, both on traffic and on
+    /// the capacity bound?
+    pub fn matches(&self, est: &PolicyEstimate) -> bool {
+        self.ifmap_loads == est.accesses.ifmap_loads
+            && self.filter_loads == est.accesses.filter_loads
+            && self.ofmap_writes == est.accesses.ofmap_stores + est.accesses.psum_spill_stores
+            && self.ofmap_reads == est.accesses.psum_spill_loads
+            && self.peak_resident <= est.resident.total()
+    }
+
+    /// The replayed traffic as estimator-shaped counts (spill stores are
+    /// folded into `ofmap_stores`).
+    pub fn as_access_counts(&self) -> AccessCounts {
+        AccessCounts {
+            ifmap_loads: self.ifmap_loads,
+            filter_loads: self.filter_loads,
+            ofmap_stores: self.ofmap_writes,
+            psum_spill_stores: 0,
+            psum_spill_loads: self.ofmap_reads,
+        }
+    }
+}
+
+/// The scheduling engine: one unified scratchpad (the GLB), a padded
+/// address map, and traffic attribution per operand.
+pub struct Engine {
+    map: AddressMap,
+    sp: Scratchpad,
+    dram: DramCounter,
+    shape: LayerShape,
+    pub replay: Replay,
+    record: Option<Vec<Command>>,
+}
+
+impl Engine {
+    /// Build an engine with a scratchpad of exactly `capacity` elements
+    /// (the estimator's single-copy footprint).
+    pub fn new(shape: &LayerShape, capacity: u64) -> Self {
+        let (oh, ow) = shape.output_hw();
+        let map = AddressMap::new(
+            shape.padded_h() as u64,
+            shape.padded_w() as u64,
+            shape.in_channels as u64,
+            shape.single_filter_elems(),
+            shape.num_filters as u64,
+            oh as u64,
+            ow as u64,
+            shape.out_channels() as u64,
+        );
+        let dram = DramCounter::new();
+        let sp = Scratchpad::new(capacity, dram.clone());
+        Engine {
+            map,
+            sp,
+            dram,
+            shape: *shape,
+            replay: Replay::default(),
+            record: None,
+        }
+    }
+
+    /// Same engine, but recording every command it executes (for
+    /// [`crate::Program`] lowering).
+    pub fn recording(shape: &LayerShape, capacity: u64) -> Self {
+        let mut e = Engine::new(shape, capacity);
+        e.record = Some(Vec::new());
+        e
+    }
+
+    /// Take the recorded command stream (empty unless built with
+    /// [`recording`](Self::recording)).
+    pub fn take_commands(&mut self) -> Vec<Command> {
+        self.record.take().unwrap_or_default()
+    }
+
+    fn push_cmd(&mut self, cmd: Command) {
+        if let Some(r) = &mut self.record {
+            r.push(cmd);
+        }
+    }
+
+    fn track_peak(&mut self) {
+        self.replay.peak_resident = self.replay.peak_resident.max(self.sp.resident_count());
+    }
+
+    fn charged_fill(&mut self, range: Range<u64>) -> Result<u64, ExecError> {
+        let before = self.dram.reads();
+        self.sp.fill(range).map_err(|e| ExecError {
+            message: e.to_string(),
+        })?;
+        self.track_peak();
+        Ok(self.dram.reads() - before)
+    }
+
+    /// Bring padded-ifmap rows of one channel on-chip (misses charged).
+    pub fn fill_ifmap_rows(&mut self, c: u64, rows: Range<u64>) -> Result<(), ExecError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.push_cmd(Command::FillIfmapRows {
+            channel: c,
+            rows: rows.clone(),
+        });
+        let r = self.map.ifmap_rows(c, rows);
+        let n = self.charged_fill(r)?;
+        self.replay.ifmap_loads += n;
+        Ok(())
+    }
+
+    /// Stream padded-ifmap rows through without residency (burst transit
+    /// of rows between or after the windows; each element still crosses
+    /// the interface once, as the estimator counts).
+    pub fn stream_ifmap_rows(&mut self, c: u64, rows: Range<u64>) {
+        if rows.is_empty() {
+            return;
+        }
+        self.push_cmd(Command::StreamIfmapRows {
+            channel: c,
+            rows: rows.clone(),
+        });
+        let r = self.map.ifmap_rows(c, rows);
+        self.replay.ifmap_loads += r.end - r.start;
+        self.sp.stream(r);
+    }
+
+    /// Drop padded-ifmap rows of one channel.
+    pub fn evict_ifmap_rows(&mut self, c: u64, rows: Range<u64>) {
+        if rows.is_empty() {
+            return;
+        }
+        self.push_cmd(Command::EvictIfmapRows {
+            channel: c,
+            rows: rows.clone(),
+        });
+        let r = self.map.ifmap_rows(c, rows);
+        self.sp.evict(r);
+    }
+
+    /// Drop the whole ifmap region.
+    pub fn evict_ifmap_all(&mut self) {
+        for c in 0..self.shape.in_channels as u64 {
+            self.evict_ifmap_rows(c, 0..self.shape.padded_h() as u64);
+        }
+    }
+
+    /// Bring whole filters on-chip.
+    pub fn fill_filters(&mut self, fs: Range<u64>) -> Result<(), ExecError> {
+        if fs.is_empty() {
+            return Ok(());
+        }
+        self.push_cmd(Command::FillFilters { filters: fs.clone() });
+        let r = self.map.filters(fs);
+        let n = self.charged_fill(r)?;
+        self.replay.filter_loads += n;
+        Ok(())
+    }
+
+    /// Stream whole filters through without residency.
+    pub fn stream_filters(&mut self, fs: Range<u64>) {
+        if fs.is_empty() {
+            return;
+        }
+        self.push_cmd(Command::StreamFilters { filters: fs.clone() });
+        let r = self.map.filters(fs);
+        self.replay.filter_loads += r.end - r.start;
+        self.sp.stream(r);
+    }
+
+    /// Drop whole filters.
+    pub fn evict_filters(&mut self, fs: Range<u64>) {
+        if fs.is_empty() {
+            return;
+        }
+        self.push_cmd(Command::EvictFilters { filters: fs.clone() });
+        let r = self.map.filters(fs);
+        self.sp.evict(r);
+    }
+
+    /// Address range of one channel slice of one filter (`F_H·F_W`
+    /// contiguous elements — filters are stored filter-major,
+    /// channel-minor).
+    fn filter_channel_range(&self, f: u64, c: u64) -> Range<u64> {
+        let per_channel = self.shape.filter_h as u64 * self.shape.filter_w as u64;
+        let base = self.map.filters(f..f + 1).start + c * per_channel;
+        base..base + per_channel
+    }
+
+    /// Bring channel `c` of filter `f` on-chip.
+    pub fn fill_filter_channel(&mut self, f: u64, c: u64) -> Result<(), ExecError> {
+        self.push_cmd(Command::FillFilterChannel { filter: f, channel: c });
+        let r = self.filter_channel_range(f, c);
+        let n = self.charged_fill(r)?;
+        self.replay.filter_loads += n;
+        Ok(())
+    }
+
+    /// Stream channel `c` of filter `f` through without residency.
+    pub fn stream_filter_channel(&mut self, f: u64, c: u64) {
+        self.push_cmd(Command::StreamFilterChannel { filter: f, channel: c });
+        let r = self.filter_channel_range(f, c);
+        self.replay.filter_loads += r.end - r.start;
+        self.sp.stream(r);
+    }
+
+    /// Drop channel `c` of filter `f`.
+    pub fn evict_filter_channel(&mut self, f: u64, c: u64) {
+        self.push_cmd(Command::EvictFilterChannel { filter: f, channel: c });
+        self.sp.evict(self.filter_channel_range(f, c));
+    }
+
+    /// Address range of ofmap rows `rows` of output channel `c`.
+    fn ofmap_rows_range(&self, c: u64, rows: Range<u64>) -> Range<u64> {
+        let ow = self.shape.output_hw().1 as u64;
+        let start = self.map.ofmap(c, rows.start, 0);
+        start..start + (rows.end - rows.start) * ow
+    }
+
+    /// Allocate space for ofmap rows of one channel (produced on-chip).
+    pub fn alloc_ofmap_rows(&mut self, c: u64, rows: Range<u64>) -> Result<(), ExecError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.push_cmd(Command::AllocOfmapRows {
+            channel: c,
+            rows: rows.clone(),
+        });
+        let r = self.ofmap_rows_range(c, rows);
+        self.sp.allocate(r).map_err(|e| ExecError {
+            message: e.to_string(),
+        })?;
+        self.track_peak();
+        Ok(())
+    }
+
+    /// Write ofmap rows of one channel off-chip and release the space.
+    pub fn store_ofmap_rows(&mut self, c: u64, rows: Range<u64>) {
+        if rows.is_empty() {
+            return;
+        }
+        self.push_cmd(Command::StoreOfmapRows {
+            channel: c,
+            rows: rows.clone(),
+        });
+        let r = self.ofmap_rows_range(c, rows);
+        self.replay.ofmap_writes += r.end - r.start;
+        self.sp.writeback(r);
+    }
+
+    /// Re-load previously spilled partial sums (charged as ofmap reads).
+    pub fn reload_psum_rows(&mut self, c: u64, rows: Range<u64>) -> Result<(), ExecError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.push_cmd(Command::ReloadPsumRows {
+            channel: c,
+            rows: rows.clone(),
+        });
+        let r = self.ofmap_rows_range(c, rows);
+        let before = self.dram.reads();
+        self.sp.fill(r).map_err(|e| ExecError {
+            message: e.to_string(),
+        })?;
+        self.track_peak();
+        self.replay.ofmap_reads += self.dram.reads() - before;
+        Ok(())
+    }
+
+    /// The layer shape being replayed.
+    pub fn shape(&self) -> &LayerShape {
+        &self.shape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> LayerShape {
+        LayerShape {
+            ifmap_h: 8,
+            ifmap_w: 8,
+            in_channels: 2,
+            filter_h: 3,
+            filter_w: 3,
+            num_filters: 4,
+            stride: 1,
+            padding: 1,
+            depthwise: false,
+        }
+    }
+
+    #[test]
+    fn attribution_by_operand() {
+        let s = shape();
+        let mut e = Engine::new(&s, 10_000);
+        e.fill_ifmap_rows(0, 0..3).unwrap();
+        e.fill_filters(0..2).unwrap();
+        e.alloc_ofmap_rows(0, 0..1).unwrap();
+        e.store_ofmap_rows(0, 0..1);
+        assert_eq!(e.replay.ifmap_loads, 3 * 10);
+        assert_eq!(e.replay.filter_loads, 2 * 18);
+        assert_eq!(e.replay.ofmap_writes, 8);
+        assert_eq!(e.replay.ofmap_reads, 0);
+    }
+
+    #[test]
+    fn refill_is_free_restream_is_not() {
+        let s = shape();
+        let mut e = Engine::new(&s, 10_000);
+        e.fill_ifmap_rows(0, 0..3).unwrap();
+        e.fill_ifmap_rows(0, 1..4).unwrap(); // 1 new row
+        assert_eq!(e.replay.ifmap_loads, 4 * 10);
+        e.stream_ifmap_rows(0, 0..2); // always charged
+        assert_eq!(e.replay.ifmap_loads, 6 * 10);
+    }
+
+    #[test]
+    fn peak_residency_tracked() {
+        let s = shape();
+        let mut e = Engine::new(&s, 10_000);
+        e.fill_ifmap_rows(0, 0..5).unwrap();
+        e.evict_ifmap_rows(0, 0..4);
+        e.fill_filters(0..1).unwrap();
+        assert_eq!(e.replay.peak_resident, 50);
+    }
+
+    #[test]
+    fn capacity_violation_is_an_error() {
+        let s = shape();
+        let mut e = Engine::new(&s, 16);
+        assert!(e.fill_ifmap_rows(0, 0..3).is_err());
+    }
+
+    #[test]
+    fn filter_channel_ranges_are_disjoint_per_filter() {
+        let s = shape();
+        let e = Engine::new(&s, 10_000);
+        let a = e.filter_channel_range(1, 0);
+        let b = e.filter_channel_range(1, 1);
+        assert_eq!(a.end, b.start);
+        assert_eq!(b.end - a.start, s.single_filter_elems());
+    }
+
+    #[test]
+    fn psum_reload_counts_as_ofmap_read() {
+        let s = shape();
+        let mut e = Engine::new(&s, 10_000);
+        e.alloc_ofmap_rows(0, 0..2).unwrap();
+        e.store_ofmap_rows(0, 0..2);
+        e.reload_psum_rows(0, 0..2).unwrap();
+        assert_eq!(e.replay.ofmap_writes, 16);
+        assert_eq!(e.replay.ofmap_reads, 16);
+    }
+}

@@ -1,0 +1,41 @@
+//! Executable tile schedules for the scratchpad policies.
+//!
+//! The paper's estimators (`estimate_memory` / `estimate_accesses`) are
+//! closed-form; this crate *lowers* each policy into the concrete
+//! DMA-level schedule it describes — fills, evictions, streams and
+//! write-backs over an element-granular [`smm_trace::Scratchpad`] — and
+//! replays it. Two properties fall out, and the tests assert both for
+//! every policy on every layer shape tried:
+//!
+//! 1. **Traffic validation** — the replayed DRAM traffic equals the
+//!    estimator's `AccessCounts`, element for element.
+//! 2. **Capacity validation** — the replay never holds more resident
+//!    elements than the estimator's memory requirement (a scratchpad of
+//!    exactly that size never overflows).
+//!
+//! This is the proposal-side counterpart of the baseline's trace mode
+//! (`smm_systolic::schedule`), and the reproduction's stand-in for the
+//! paper's "results … have been validated against [28]".
+//!
+//! # Example
+//!
+//! ```
+//! use smm_arch::{AcceleratorConfig, ByteSize};
+//! use smm_exec::replay;
+//! use smm_model::zoo;
+//! use smm_policy::{estimate, PolicyKind};
+//!
+//! let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+//! let layer = &zoo::resnet18().layers[5];
+//! let est = estimate(PolicyKind::P1IfmapReuse, &layer.shape, &acc, false).unwrap();
+//! let replayed = replay(&layer.shape, &est).unwrap();
+//! assert!(replayed.matches(&est));
+//! ```
+
+mod engine;
+mod program;
+mod run;
+
+pub use engine::{Engine, ExecError, Replay};
+pub use program::{Command, Program};
+pub use run::replay;

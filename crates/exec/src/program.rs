@@ -1,0 +1,248 @@
+//! DMA command streams.
+//!
+//! The paper's future work is integrating the technique "into an open
+//! source DL compiler such as TVM". The artifact such an integration
+//! needs is exactly what the replay engine already performs: an ordered
+//! stream of DMA commands. This module records that stream — a concrete,
+//! inspectable lowering of a policy decision — and can encode it as a
+//! compact binary trace.
+
+use crate::engine::{ExecError, Replay};
+use crate::run::replay_recorded;
+use smm_model::LayerShape;
+use smm_policy::PolicyEstimate;
+use smm_trace::{TraceRecord, TraceWriter};
+use std::fmt;
+use std::ops::Range;
+
+/// One DMA-level command of a lowered layer schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Fetch padded-ifmap rows of one channel into the GLB.
+    FillIfmapRows { channel: u64, rows: Range<u64> },
+    /// Stream padded-ifmap rows through without retaining them.
+    StreamIfmapRows { channel: u64, rows: Range<u64> },
+    /// Release padded-ifmap rows of one channel.
+    EvictIfmapRows { channel: u64, rows: Range<u64> },
+    /// Fetch whole filters.
+    FillFilters { filters: Range<u64> },
+    /// Stream whole filters through.
+    StreamFilters { filters: Range<u64> },
+    /// Release whole filters.
+    EvictFilters { filters: Range<u64> },
+    /// Fetch one channel slice of one filter.
+    FillFilterChannel { filter: u64, channel: u64 },
+    /// Stream one channel slice of one filter.
+    StreamFilterChannel { filter: u64, channel: u64 },
+    /// Release one channel slice of one filter.
+    EvictFilterChannel { filter: u64, channel: u64 },
+    /// Reserve GLB space for ofmap rows of one output channel.
+    AllocOfmapRows { channel: u64, rows: Range<u64> },
+    /// Write ofmap rows of one output channel off-chip.
+    StoreOfmapRows { channel: u64, rows: Range<u64> },
+    /// Re-fetch spilled partial sums.
+    ReloadPsumRows { channel: u64, rows: Range<u64> },
+}
+
+impl Command {
+    /// Whether this command moves data over the off-chip interface.
+    pub fn touches_dram(&self) -> bool {
+        !matches!(
+            self,
+            Command::EvictIfmapRows { .. }
+                | Command::EvictFilters { .. }
+                | Command::EvictFilterChannel { .. }
+                | Command::AllocOfmapRows { .. }
+        )
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::FillIfmapRows { channel, rows } => {
+                write!(f, "fill   ifmap  c{channel} rows {}..{}", rows.start, rows.end)
+            }
+            Command::StreamIfmapRows { channel, rows } => {
+                write!(f, "stream ifmap  c{channel} rows {}..{}", rows.start, rows.end)
+            }
+            Command::EvictIfmapRows { channel, rows } => {
+                write!(f, "evict  ifmap  c{channel} rows {}..{}", rows.start, rows.end)
+            }
+            Command::FillFilters { filters } => {
+                write!(f, "fill   filter f{}..f{}", filters.start, filters.end)
+            }
+            Command::StreamFilters { filters } => {
+                write!(f, "stream filter f{}..f{}", filters.start, filters.end)
+            }
+            Command::EvictFilters { filters } => {
+                write!(f, "evict  filter f{}..f{}", filters.start, filters.end)
+            }
+            Command::FillFilterChannel { filter, channel } => {
+                write!(f, "fill   filter f{filter} ch {channel}")
+            }
+            Command::StreamFilterChannel { filter, channel } => {
+                write!(f, "stream filter f{filter} ch {channel}")
+            }
+            Command::EvictFilterChannel { filter, channel } => {
+                write!(f, "evict  filter f{filter} ch {channel}")
+            }
+            Command::AllocOfmapRows { channel, rows } => {
+                write!(f, "alloc  ofmap  c{channel} rows {}..{}", rows.start, rows.end)
+            }
+            Command::StoreOfmapRows { channel, rows } => {
+                write!(f, "store  ofmap  c{channel} rows {}..{}", rows.start, rows.end)
+            }
+            Command::ReloadPsumRows { channel, rows } => {
+                write!(f, "reload psum   c{channel} rows {}..{}", rows.start, rows.end)
+            }
+        }
+    }
+}
+
+/// A lowered layer schedule: the command stream plus the traffic it
+/// produced when replayed.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub commands: Vec<Command>,
+    pub replay: Replay,
+}
+
+impl Program {
+    /// Lower one policy decision into its command stream (replaying it in
+    /// the process, so the program is validated as it is produced).
+    pub fn lower(shape: &LayerShape, est: &PolicyEstimate) -> Result<Program, ExecError> {
+        replay_recorded(shape, est)
+    }
+
+    /// Human-readable listing.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.commands.iter().enumerate() {
+            out.push_str(&format!("{i:>6}  {c}\n"));
+        }
+        out
+    }
+
+    /// Encode the DRAM-touching commands as a binary trace (one record
+    /// per command, sequence number as the cycle stamp).
+    pub fn encode_trace(&self) -> bytes::Bytes {
+        let mut w = TraceWriter::new();
+        for (i, c) in self.commands.iter().enumerate() {
+            if !c.touches_dram() {
+                continue;
+            }
+            let (addr, count, is_read) = match c {
+                Command::FillIfmapRows { channel, rows }
+                | Command::StreamIfmapRows { channel, rows } => {
+                    (channel << 32 | rows.start, (rows.end - rows.start) as u32, true)
+                }
+                Command::FillFilters { filters } | Command::StreamFilters { filters } => {
+                    (1 << 48 | filters.start, (filters.end - filters.start) as u32, true)
+                }
+                Command::FillFilterChannel { filter, channel }
+                | Command::StreamFilterChannel { filter, channel } => {
+                    (1 << 48 | filter << 16 | channel, 1, true)
+                }
+                Command::StoreOfmapRows { channel, rows } => {
+                    (2 << 48 | channel << 32 | rows.start, (rows.end - rows.start) as u32, false)
+                }
+                Command::ReloadPsumRows { channel, rows } => {
+                    (2 << 48 | channel << 32 | rows.start, (rows.end - rows.start) as u32, true)
+                }
+                _ => unreachable!("touches_dram filtered the rest"),
+            };
+            w.push(TraceRecord {
+                cycle: i as u64,
+                addr,
+                count,
+                is_read,
+            });
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_arch::{AcceleratorConfig, ByteSize};
+    use smm_policy::{estimate, PolicyKind};
+
+    fn small_layer() -> LayerShape {
+        LayerShape {
+            ifmap_h: 8,
+            ifmap_w: 8,
+            in_channels: 4,
+            filter_h: 3,
+            filter_w: 3,
+            num_filters: 8,
+            stride: 1,
+            padding: 1,
+            depthwise: false,
+        }
+    }
+
+    fn est(kind: PolicyKind) -> PolicyEstimate {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+        estimate(kind, &small_layer(), &acc, false).unwrap()
+    }
+
+    #[test]
+    fn lowering_produces_a_validated_program() {
+        for kind in PolicyKind::NAMED {
+            let e = est(kind);
+            let p = Program::lower(&small_layer(), &e).unwrap();
+            assert!(!p.commands.is_empty(), "{kind:?}");
+            assert!(p.replay.matches(&e), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn listing_is_line_per_command() {
+        let e = est(PolicyKind::P2FilterReuse);
+        let p = Program::lower(&small_layer(), &e).unwrap();
+        assert_eq!(p.listing().lines().count(), p.commands.len());
+        assert!(p.listing().contains("fill   ifmap"));
+        assert!(p.listing().contains("store  ofmap"));
+    }
+
+    #[test]
+    fn p1_program_slides_a_window() {
+        let e = est(PolicyKind::P1IfmapReuse);
+        let p = Program::lower(&small_layer(), &e).unwrap();
+        let evicts = p
+            .commands
+            .iter()
+            .filter(|c| matches!(c, Command::EvictIfmapRows { .. }))
+            .count();
+        assert!(evicts > 4, "a sliding window evicts as it goes: {evicts}");
+    }
+
+    #[test]
+    fn binary_trace_round_trips() {
+        let e = est(PolicyKind::IntraLayer);
+        let p = Program::lower(&small_layer(), &e).unwrap();
+        let encoded = p.encode_trace();
+        let decoded = TraceWriter::decode(&encoded).unwrap();
+        let dram_cmds = p.commands.iter().filter(|c| c.touches_dram()).count();
+        assert_eq!(decoded.len(), dram_cmds);
+        assert!(decoded.iter().any(|r| !r.is_read), "stores present");
+    }
+
+    #[test]
+    fn touches_dram_classification() {
+        assert!(Command::FillFilters { filters: 0..2 }.touches_dram());
+        assert!(!Command::EvictFilters { filters: 0..2 }.touches_dram());
+        assert!(!Command::AllocOfmapRows {
+            channel: 0,
+            rows: 0..1
+        }
+        .touches_dram());
+        assert!(Command::ReloadPsumRows {
+            channel: 0,
+            rows: 0..1
+        }
+        .touches_dram());
+    }
+}

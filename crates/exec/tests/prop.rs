@@ -1,0 +1,72 @@
+//! Property tests: on arbitrary (small) layer shapes, every policy
+//! estimate that exists must replay to exactly its own numbers.
+
+use proptest::prelude::*;
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_exec::replay;
+use smm_model::LayerShape;
+use smm_policy::{estimate, PolicyKind};
+
+fn arb_shape() -> impl Strategy<Value = LayerShape> {
+    (
+        2u32..20,  // ifmap_h
+        2u32..20,  // ifmap_w
+        1u32..6,   // in_channels
+        1u32..4,   // filter (square)
+        2u32..10,  // num_filters
+        1u32..3,   // stride
+        0u32..2,   // padding
+        any::<bool>(),
+    )
+        .prop_map(|(ih, iw, ci, k, nf, s, p, dw)| LayerShape {
+            ifmap_h: ih,
+            ifmap_w: iw,
+            in_channels: ci,
+            filter_h: k,
+            filter_w: k,
+            num_filters: if dw { ci } else { nf },
+            stride: s,
+            padding: p,
+            depthwise: dw,
+        })
+        .prop_filter("shape must validate", |s| s.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every named-policy estimate replays exactly, for every budget.
+    #[test]
+    fn estimates_replay_exactly(shape in arb_shape(), kb in 1u64..64) {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(kb));
+        for kind in PolicyKind::ALL {
+            let Some(est) = estimate(kind, &shape, &acc, false) else { continue };
+            let replayed = replay(&shape, &est)
+                .unwrap_or_else(|e| panic!("{kind:?} on {shape:?}: {e}"));
+            prop_assert!(
+                replayed.matches(&est),
+                "{kind:?} on {shape:?}: est {:?} vs got {replayed:?}",
+                est.accesses
+            );
+        }
+    }
+
+    /// Prefetch variants describe the same schedule: identical traffic,
+    /// same replay, twice the allocation.
+    #[test]
+    fn prefetch_variant_is_schedule_equivalent(shape in arb_shape()) {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+        for kind in PolicyKind::NAMED {
+            let (Some(plain), Some(pf)) = (
+                estimate(kind, &shape, &acc, false),
+                estimate(kind, &shape, &acc, true),
+            ) else { continue };
+            // Identical block size means identical schedule.
+            if plain.block_n == pf.block_n {
+                prop_assert_eq!(plain.accesses, pf.accesses, "{:?}", kind);
+                let r = replay(&shape, &pf).unwrap();
+                prop_assert!(r.matches(&pf), "{:?}", kind);
+            }
+        }
+    }
+}

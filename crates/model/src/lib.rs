@@ -1,0 +1,34 @@
+//! CNN model descriptions for scratchpad memory management.
+//!
+//! The paper's inputs (Figure 4) are a CNN model description plus the
+//! accelerator specification. This crate provides the model side:
+//!
+//! - [`LayerShape`] / [`Layer`] — the per-layer hyperparameters of
+//!   Table 1 (`I_H/I_W`, `F_H/F_W`, `C_I`, `F#`, `O_H/O_W`, `C_O`, `S`, `P`)
+//!   plus derived quantities: output dimensions, data-type footprints and
+//!   MAC counts.
+//! - [`Network`] — an ordered, layer-by-layer model (residual connections
+//!   serialized, as in the paper's baseline).
+//! - [`zoo`] — the six evaluated networks of Table 2: EfficientNetB0,
+//!   GoogLeNet, MnasNet, MobileNet, MobileNetV2, ResNet18.
+//! - [`topology`] — a SCALE-Sim-style topology CSV reader/writer standing
+//!   in for the paper's TensorFlow/PyTorch translator.
+//!
+//! # Example
+//!
+//! ```
+//! use smm_model::zoo;
+//!
+//! let net = zoo::resnet18();
+//! assert_eq!(net.layers.len(), 21); // Table 2
+//! let l1 = &net.layers[0];
+//! assert_eq!(l1.shape.output_hw(), (112, 112));
+//! ```
+
+mod layer;
+mod network;
+pub mod topology;
+pub mod zoo;
+
+pub use layer::{Layer, LayerKind, LayerShape, ShapeError};
+pub use network::{LayerFootprint, Network, NetworkStats};

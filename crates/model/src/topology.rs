@@ -1,0 +1,253 @@
+//! SCALE-Sim-style topology files.
+//!
+//! The paper generates its model descriptions "through code that
+//! translates TensorFlow or PyTorch models to the input format of the
+//! system". The de-facto input format of the baseline simulator
+//! (SCALE-Sim) is a topology CSV with one row per layer:
+//!
+//! ```text
+//! Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width,
+//! Channels, Num Filter, Strides,
+//! ```
+//!
+//! This module reads that classic 8-column format and an extended
+//! 10-column variant with explicit `Padding` and `Kind` columns (the
+//! classic format has neither; on read, padding defaults to 0 and the
+//! kind is inferred from the dimensions). [`write`] always emits the
+//! extended format so a written file round-trips losslessly.
+
+use crate::{Layer, LayerKind, LayerShape, Network};
+use std::fmt::Write as _;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The file has no layer rows.
+    Empty,
+    /// A row has the wrong number of columns.
+    BadColumnCount { line: usize, got: usize },
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: &'static str },
+    /// The `Kind` column holds an unknown code.
+    BadKind { line: usize, code: String },
+    /// The resulting layer failed shape validation.
+    BadShape { line: usize, message: String },
+    /// The resulting network failed validation (e.g. duplicate names).
+    BadNetwork(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology has no layer rows"),
+            TopologyError::BadColumnCount { line, got } => {
+                write!(f, "line {line}: expected 8 or 10 columns, got {got}")
+            }
+            TopologyError::BadNumber { line, field } => {
+                write!(f, "line {line}: field {field} is not a number")
+            }
+            TopologyError::BadKind { line, code } => {
+                write!(f, "line {line}: unknown layer kind {code:?}")
+            }
+            TopologyError::BadShape { line, message } => write!(f, "line {line}: {message}"),
+            TopologyError::BadNetwork(m) => write!(f, "topology: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Infer the Table 2 layer kind from dimensions, for classic 8-column
+/// rows that carry no explicit kind.
+fn infer_kind(shape: &LayerShape) -> LayerKind {
+    if shape.depthwise {
+        LayerKind::DepthwiseConv
+    } else if shape.ifmap_h == 1 && shape.ifmap_w == 1 && shape.filter_h == 1 && shape.filter_w == 1
+    {
+        LayerKind::FullyConnected
+    } else if shape.filter_h == 1 && shape.filter_w == 1 {
+        LayerKind::PointwiseConv
+    } else {
+        LayerKind::Conv
+    }
+}
+
+fn parse_u32(s: &str, line: usize, field: &'static str) -> Result<u32, TopologyError> {
+    s.trim()
+        .parse()
+        .map_err(|_| TopologyError::BadNumber { line, field })
+}
+
+/// Parse a topology CSV into a [`Network`].
+///
+/// Lines that are blank, start with `#`, or form the classic header row
+/// (first cell "Layer name") are skipped. Trailing commas (which
+/// SCALE-Sim topology files carry) are tolerated.
+pub fn parse(name: impl Into<String>, text: &str) -> Result<Network, TopologyError> {
+    let mut layers = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim().trim_end_matches(',');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if cells[0].eq_ignore_ascii_case("layer name") {
+            continue;
+        }
+        if cells.len() != 8 && cells.len() != 10 {
+            return Err(TopologyError::BadColumnCount {
+                line,
+                got: cells.len(),
+            });
+        }
+        let ifmap_h = parse_u32(cells[1], line, "ifmap height")?;
+        let ifmap_w = parse_u32(cells[2], line, "ifmap width")?;
+        let filter_h = parse_u32(cells[3], line, "filter height")?;
+        let filter_w = parse_u32(cells[4], line, "filter width")?;
+        let in_channels = parse_u32(cells[5], line, "channels")?;
+        let num_filters = parse_u32(cells[6], line, "num filter")?;
+        let stride = parse_u32(cells[7], line, "strides")?;
+        let (padding, kind) = if cells.len() == 10 {
+            let padding = parse_u32(cells[8], line, "padding")?;
+            let kind = LayerKind::from_code(cells[9]).ok_or_else(|| TopologyError::BadKind {
+                line,
+                code: cells[9].to_string(),
+            })?;
+            (padding, Some(kind))
+        } else {
+            (0, None)
+        };
+        let mut shape = LayerShape {
+            ifmap_h,
+            ifmap_w,
+            in_channels,
+            filter_h,
+            filter_w,
+            num_filters,
+            stride,
+            padding,
+            depthwise: kind.is_some_and(LayerKind::is_depthwise),
+        };
+        let kind = kind.unwrap_or_else(|| infer_kind(&shape));
+        shape.depthwise = kind.is_depthwise();
+        let layer = Layer::new(cells[0], kind, shape).map_err(|e| TopologyError::BadShape {
+            line,
+            message: e.to_string(),
+        })?;
+        layers.push(layer);
+    }
+    if layers.is_empty() {
+        return Err(TopologyError::Empty);
+    }
+    Network::new(name, layers).map_err(|e| TopologyError::BadNetwork(e.to_string()))
+}
+
+/// Serialize a [`Network`] to the extended 10-column topology format.
+pub fn write(net: &Network) -> String {
+    let mut out = String::with_capacity(64 * net.layers.len());
+    out.push_str(
+        "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, \
+         Channels, Num Filter, Strides, Padding, Kind,\n",
+    );
+    for l in &net.layers {
+        let s = &l.shape;
+        let _ = writeln!(
+            out,
+            "{}, {}, {}, {}, {}, {}, {}, {}, {}, {},",
+            l.name,
+            s.ifmap_h,
+            s.ifmap_w,
+            s.filter_h,
+            s.filter_w,
+            s.in_channels,
+            s.num_filters,
+            s.stride,
+            s.padding,
+            l.kind.code(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn classic_scale_sim_row_parses() {
+        let text = "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,\n\
+                    Conv1, 224, 224, 7, 7, 3, 64, 2,\n";
+        let net = parse("test", text).unwrap();
+        assert_eq!(net.layers.len(), 1);
+        let l = &net.layers[0];
+        assert_eq!(l.name, "Conv1");
+        assert_eq!(l.kind, LayerKind::Conv);
+        assert_eq!(l.shape.padding, 0);
+    }
+
+    #[test]
+    fn extended_row_carries_padding_and_kind() {
+        let text = "dw3, 56, 56, 3, 3, 128, 128, 1, 1, DW,\n";
+        let net = parse("test", text).unwrap();
+        let l = &net.layers[0];
+        assert_eq!(l.kind, LayerKind::DepthwiseConv);
+        assert!(l.shape.depthwise);
+        assert_eq!(l.shape.padding, 1);
+    }
+
+    #[test]
+    fn kind_inference_for_classic_rows() {
+        let text = "pw, 56, 56, 1, 1, 64, 128, 1,\nfc, 1, 1, 1, 1, 512, 1000, 1,\n";
+        let net = parse("t", text).unwrap();
+        assert_eq!(net.layers[0].kind, LayerKind::PointwiseConv);
+        assert_eq!(net.layers[1].kind, LayerKind::FullyConnected);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\nconv, 8, 8, 3, 3, 4, 8, 1,\n";
+        assert_eq!(parse("t", text).unwrap().layers.len(), 1);
+    }
+
+    #[test]
+    fn bad_inputs_are_reported_with_line_numbers() {
+        assert_eq!(parse("t", "").unwrap_err(), TopologyError::Empty);
+        assert!(matches!(
+            parse("t", "x, 1, 2,\n").unwrap_err(),
+            TopologyError::BadColumnCount { line: 1, got: 3 }
+        ));
+        assert!(matches!(
+            parse("t", "x, a, 8, 3, 3, 4, 8, 1,\n").unwrap_err(),
+            TopologyError::BadNumber { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("t", "x, 8, 8, 3, 3, 4, 8, 1, 0, ZZ,\n").unwrap_err(),
+            TopologyError::BadKind { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("t", "x, 8, 8, 9, 9, 4, 8, 1,\n").unwrap_err(),
+            TopologyError::BadShape { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn zoo_networks_round_trip() {
+        for net in zoo::all_networks() {
+            let text = write(&net);
+            let parsed = parse(net.name.clone(), &text)
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name));
+            assert_eq!(parsed, net, "{} did not round-trip", net.name);
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected_at_network_level() {
+        let text = "a, 8, 8, 3, 3, 4, 8, 1,\na, 8, 8, 3, 3, 4, 8, 1,\n";
+        assert!(matches!(
+            parse("t", text).unwrap_err(),
+            TopologyError::BadNetwork(_)
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+use super::{conv, dw, fc, pw};
+use crate::{Layer, Network};
+
+/// One EfficientNet MBConv block: optional 1×1 expansion, depth-wise k×k,
+/// squeeze-and-excitation (two FC layers on globally pooled features, with
+/// a bottleneck of `cin/4`), and 1×1 linear projection.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    hw: u32,
+    cin: u32,
+    cout: u32,
+    expand: u32,
+    k: u32,
+    stride: u32,
+) -> u32 {
+    let cexp = cin * expand;
+    if expand != 1 {
+        layers.push(pw(format!("{name}_expand"), hw, cin, cexp));
+    }
+    layers.push(dw(format!("{name}_dw"), hw, cexp, k, stride));
+    let out_hw = if stride == 2 { hw / 2 } else { hw };
+    // Squeeze-and-excitation operates on 1×1 pooled features; the reduce
+    // ratio is 0.25 of the block *input* channels (EfficientNet convention).
+    let se = (cin / 4).max(1);
+    layers.push(fc(format!("{name}_se_reduce"), cexp, se));
+    layers.push(fc(format!("{name}_se_expand"), se, cexp));
+    layers.push(pw(format!("{name}_project"), out_hw, cexp, cout));
+    out_hw
+}
+
+/// EfficientNet-B0 [Tan & Le, ICML'19], 82 layers (Table 2): the 3×3 stem,
+/// sixteen MBConv blocks — (t,k,c,n,s) = (1,3,16,1,1),(6,3,24,2,2),
+/// (6,5,40,2,2),(6,3,80,3,2),(6,5,112,3,1),(6,5,192,4,2),(6,3,320,1,1) —
+/// each including its two squeeze-and-excitation FC layers, the
+/// 1×1×1280 head, and the classifier.
+pub fn efficientnetb0() -> Network {
+    const CFG: [(u32, u32, u32, u32, u32); 7] = [
+        // (t, k, c, n, s)
+        (1, 3, 16, 1, 1),
+        (6, 3, 24, 2, 2),
+        (6, 5, 40, 2, 2),
+        (6, 3, 80, 3, 2),
+        (6, 5, 112, 3, 1),
+        (6, 5, 192, 4, 2),
+        (6, 3, 320, 1, 1),
+    ];
+
+    let mut layers = vec![conv("conv1", 224, 3, 3, 32, 2, 1)];
+    let mut hw = 112u32;
+    let mut cin = 32u32;
+    for (gi, &(t, k, c, n, s)) in CFG.iter().enumerate() {
+        for r in 0..n {
+            let stride = if r == 0 { s } else { 1 };
+            let name = format!("b{}_{}", gi + 1, r + 1);
+            hw = mbconv(&mut layers, &name, hw, cin, c, t, k, stride);
+            cin = c;
+        }
+    }
+    layers.push(pw("conv_head", hw, cin, 1280));
+    layers.push(fc("fc", 1280, 1000));
+
+    Network::new("EfficientNetB0", layers).expect("EfficientNetB0 definition must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn has_82_layers() {
+        assert_eq!(efficientnetb0().layers.len(), 82);
+    }
+
+    #[test]
+    fn se_layers_are_fully_connected() {
+        let net = efficientnetb0();
+        let se = net.layer("b2_1_se_reduce").unwrap();
+        assert_eq!(se.kind, LayerKind::FullyConnected);
+        // b2_1 input is 16 channels, expanded ×6 = 96; reduce to 16/4 = 4.
+        assert_eq!(se.shape.in_channels, 96);
+        assert_eq!(se.shape.out_channels(), 4);
+        let see = net.layer("b2_1_se_expand").unwrap();
+        assert_eq!(see.shape.in_channels, 4);
+        assert_eq!(see.shape.out_channels(), 96);
+    }
+
+    #[test]
+    fn first_block_skips_expansion() {
+        let net = efficientnetb0();
+        assert!(net.layer("b1_1_expand").is_none());
+        assert!(net.layer("b2_1_expand").is_some());
+    }
+
+    #[test]
+    fn head_sees_7x7x320() {
+        let net = efficientnetb0();
+        let head = net.layer("conv_head").unwrap();
+        assert_eq!(head.shape.ifmap_h, 7);
+        assert_eq!(head.shape.in_channels, 320);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // EfficientNet-B0 is ~0.39 GMACs at 224×224.
+        let macs: u64 = efficientnetb0().layers.iter().map(|l| l.shape.macs()).sum();
+        assert!(macs > 300_000_000, "{macs}");
+        assert!(macs < 500_000_000, "{macs}");
+    }
+}

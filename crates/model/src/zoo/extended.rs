@@ -1,0 +1,179 @@
+//! Extension networks beyond the paper's six (Table 2).
+//!
+//! These are not part of the reproduction targets; they exist to
+//! exercise the memory manager on architectures with very different
+//! pressure profiles: VGG16 (enormous feature maps *and* filters —
+//! nothing named fits small buffers), AlexNet (large strides and
+//! classifier-dominated filters), ResNet34 (a deeper ResNet18),
+//! and SqueezeNet (aggressively small filters).
+
+use super::{conv, fc, proj, pw};
+use crate::{Layer, Network};
+
+/// ResNet34 [He et al., CVPR'16]: 37 layers — the ResNet18 recipe with
+/// 3/4/6/3 basic blocks per stage.
+pub fn resnet34() -> Network {
+    let mut layers = vec![conv("conv1", 224, 3, 7, 64, 2, 3)];
+    // (blocks, spatial in, channels in, channels out)
+    let stages: [(u32, u32, u32, u32); 4] =
+        [(3, 56, 64, 64), (4, 56, 64, 128), (6, 28, 128, 256), (3, 14, 256, 512)];
+    for (si, &(blocks, in_hw, in_ch, out_ch)) in stages.iter().enumerate() {
+        let s = si + 1;
+        let downsample = in_ch != out_ch;
+        let out_hw = if downsample { in_hw / 2 } else { in_hw };
+        for b in 1..=blocks {
+            let (hw, ch, stride) = if b == 1 && downsample {
+                (in_hw, in_ch, 2)
+            } else {
+                (out_hw, out_ch, 1)
+            };
+            layers.push(conv(format!("s{s}_b{b}_conv1"), hw, ch, 3, out_ch, stride, 1));
+            layers.push(conv(format!("s{s}_b{b}_conv2"), out_hw, out_ch, 3, out_ch, 1, 1));
+            if b == 1 && downsample {
+                layers.push(proj(format!("s{s}_proj"), in_hw, in_ch, out_ch, 2));
+            }
+        }
+    }
+    layers.push(fc("fc", 512, 1000));
+    Network::new("ResNet34", layers).expect("ResNet34 definition must validate")
+}
+
+/// VGG16 [Simonyan & Zisserman, 2015]: 16 layers of uniform 3×3
+/// convolutions and three huge fully-connected layers.
+pub fn vgg16() -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    // (spatial, in channels, out channels) per conv; pools between groups.
+    let cfg: [(u32, u32, u32); 13] = [
+        (224, 3, 64),
+        (224, 64, 64),
+        (112, 64, 128),
+        (112, 128, 128),
+        (56, 128, 256),
+        (56, 256, 256),
+        (56, 256, 256),
+        (28, 256, 512),
+        (28, 512, 512),
+        (28, 512, 512),
+        (14, 512, 512),
+        (14, 512, 512),
+        (14, 512, 512),
+    ];
+    for (i, &(hw, cin, cout)) in cfg.iter().enumerate() {
+        layers.push(conv(format!("conv{}", i + 1), hw, cin, 3, cout, 1, 1));
+    }
+    layers.push(fc("fc1", 7 * 7 * 512, 4096));
+    layers.push(fc("fc2", 4096, 4096));
+    layers.push(fc("fc3", 4096, 1000));
+    Network::new("VGG16", layers).expect("VGG16 definition must validate")
+}
+
+/// AlexNet [Krizhevsky et al., 2012]: 8 layers.
+pub fn alexnet() -> Network {
+    let layers = vec![
+        conv("conv1", 227, 3, 11, 96, 4, 0),
+        conv("conv2", 27, 96, 5, 256, 1, 2),
+        conv("conv3", 13, 256, 3, 384, 1, 1),
+        conv("conv4", 13, 384, 3, 384, 1, 1),
+        conv("conv5", 13, 384, 3, 256, 1, 1),
+        fc("fc1", 6 * 6 * 256, 4096),
+        fc("fc2", 4096, 4096),
+        fc("fc3", 4096, 1000),
+    ];
+    Network::new("AlexNet", layers).expect("AlexNet definition must validate")
+}
+
+/// SqueezeNet 1.0 [Iandola et al., 2016]: 26 layers — a stem, eight fire
+/// modules (squeeze 1×1, expand 1×1 + expand 3×3, serialized), plus the
+/// 1×1 classifier convolution. Spatial plan follows the original pooling
+/// placement (after the stem, fire4 and fire8).
+pub fn squeezenet() -> Network {
+    fn fire(layers: &mut Vec<Layer>, name: &str, hw: u32, cin: u32, s: u32, e: u32) -> u32 {
+        layers.push(pw(format!("{name}_squeeze"), hw, cin, s));
+        layers.push(pw(format!("{name}_expand1x1"), hw, s, e));
+        layers.push(conv(format!("{name}_expand3x3"), hw, s, 3, e, 1, 1));
+        2 * e
+    }
+
+    let mut layers = vec![conv("conv1", 224, 3, 7, 96, 2, 0)]; // → 109, pool → 54
+    let mut ch = 96;
+    ch = fire(&mut layers, "fire2", 54, ch, 16, 64);
+    ch = fire(&mut layers, "fire3", 54, ch, 16, 64);
+    ch = fire(&mut layers, "fire4", 54, ch, 32, 128); // pool → 27
+    ch = fire(&mut layers, "fire5", 27, ch, 32, 128);
+    ch = fire(&mut layers, "fire6", 27, ch, 48, 192);
+    ch = fire(&mut layers, "fire7", 27, ch, 48, 192);
+    ch = fire(&mut layers, "fire8", 27, ch, 64, 256); // pool → 13
+    ch = fire(&mut layers, "fire9", 13, ch, 64, 256);
+    layers.push(pw("conv10", 13, ch, 1000));
+    Network::new("SqueezeNet", layers).expect("SqueezeNet definition must validate")
+}
+
+/// The extension networks (not part of the paper's Table 2 set).
+pub fn extended_networks() -> Vec<Network> {
+    vec![alexnet(), resnet34(), squeezenet(), vgg16()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts() {
+        assert_eq!(resnet34().layers.len(), 37);
+        assert_eq!(vgg16().layers.len(), 16);
+        assert_eq!(alexnet().layers.len(), 8);
+        assert_eq!(squeezenet().layers.len(), 26);
+    }
+
+    #[test]
+    fn all_extended_networks_validate() {
+        for net in extended_networks() {
+            for l in &net.layers {
+                l.shape
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", net.name, l.name));
+            }
+        }
+    }
+
+    #[test]
+    fn vgg16_macs_in_expected_range() {
+        // VGG16 is ~15.5 GMACs at 224×224.
+        let macs: u64 = vgg16().layers.iter().map(|l| l.shape.macs()).sum();
+        assert!(macs > 14_000_000_000, "{macs}");
+        assert!(macs < 17_000_000_000, "{macs}");
+    }
+
+    #[test]
+    fn alexnet_conv1_dims() {
+        let net = alexnet();
+        assert_eq!(net.layers[0].shape.output_hw(), (55, 55));
+    }
+
+    #[test]
+    fn resnet34_chains_like_resnet18() {
+        let net = resnet34();
+        let l = net.layer("s3_b1_conv1").unwrap();
+        assert_eq!(l.shape.in_channels, 128);
+        assert_eq!(l.shape.out_channels(), 256);
+        assert_eq!(l.shape.output_hw(), (14, 14));
+    }
+
+    #[test]
+    fn squeezenet_fire_channel_flow() {
+        let net = squeezenet();
+        let s = net.layer("fire5_squeeze").unwrap();
+        assert_eq!(s.shape.in_channels, 256);
+        assert_eq!(s.shape.out_channels(), 32);
+        let c10 = net.layer("conv10").unwrap();
+        assert_eq!(c10.shape.in_channels, 512);
+    }
+
+    #[test]
+    fn resnet34_macs_in_expected_range() {
+        // ResNet34 is ~3.6 GMACs at 224×224.
+        let macs: u64 = resnet34().layers.iter().map(|l| l.shape.macs()).sum();
+        assert!(macs > 3_200_000_000, "{macs}");
+        assert!(macs < 4_100_000_000, "{macs}");
+    }
+}

@@ -1,0 +1,110 @@
+use super::{conv, fc, pw};
+use crate::{Layer, Network};
+
+/// One Inception module: four parallel branches serialized in order
+/// (1×1), (3×3 reduce, 3×3), (5×5 reduce, 5×5), (pool projection).
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    hw: u32,
+    cin: u32,
+    n1: u32,
+    n3r: u32,
+    n3: u32,
+    n5r: u32,
+    n5: u32,
+    pp: u32,
+) -> u32 {
+    layers.push(pw(format!("{name}_1x1"), hw, cin, n1));
+    layers.push(pw(format!("{name}_3x3_reduce"), hw, cin, n3r));
+    layers.push(conv(format!("{name}_3x3"), hw, n3r, 3, n3, 1, 1));
+    layers.push(pw(format!("{name}_5x5_reduce"), hw, cin, n5r));
+    layers.push(conv(format!("{name}_5x5"), hw, n5r, 5, n5, 1, 2));
+    layers.push(pw(format!("{name}_pool_proj"), hw, cin, pp));
+    n1 + n3 + n5 + pp
+}
+
+/// One auxiliary classifier: after a 4×4 average pool, a 1×1×128
+/// convolution and two fully-connected layers.
+fn aux_classifier(layers: &mut Vec<Layer>, name: &str, cin: u32) {
+    layers.push(pw(format!("{name}_conv"), 4, cin, 128));
+    layers.push(fc(format!("{name}_fc1"), 4 * 4 * 128, 1024));
+    layers.push(fc(format!("{name}_fc2"), 1024, 1000));
+}
+
+/// GoogLeNet [Szegedy et al., CVPR'15], 64 layers (Table 2): stem
+/// (7×7 conv, 1×1 reduce, 3×3 conv), nine Inception modules of six
+/// convolutions each, the two auxiliary classifiers (three layers each),
+/// and the final classifier.
+pub fn googlenet() -> Network {
+    let mut layers = vec![
+        conv("conv1", 224, 3, 7, 64, 2, 3), // → 112, pool → 56
+        pw("conv2_reduce", 56, 64, 64),
+        conv("conv2", 56, 64, 3, 192, 1, 1), // pool → 28
+    ];
+
+    // (name, hw, cin, 1x1, 3x3red, 3x3, 5x5red, 5x5, poolproj)
+    let c3a = inception(&mut layers, "inc3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    let c3b = inception(&mut layers, "inc3b", 28, c3a, 128, 128, 192, 32, 96, 64);
+    // max-pool → 14
+    let c4a = inception(&mut layers, "inc4a", 14, c3b, 192, 96, 208, 16, 48, 64);
+    aux_classifier(&mut layers, "aux1", c4a);
+    let c4b = inception(&mut layers, "inc4b", 14, c4a, 160, 112, 224, 24, 64, 64);
+    let c4c = inception(&mut layers, "inc4c", 14, c4b, 128, 128, 256, 24, 64, 64);
+    let c4d = inception(&mut layers, "inc4d", 14, c4c, 112, 144, 288, 32, 64, 64);
+    aux_classifier(&mut layers, "aux2", c4d);
+    let c4e = inception(&mut layers, "inc4e", 14, c4d, 256, 160, 320, 32, 128, 128);
+    // max-pool → 7
+    let c5a = inception(&mut layers, "inc5a", 7, c4e, 256, 160, 320, 32, 128, 128);
+    let c5b = inception(&mut layers, "inc5b", 7, c5a, 384, 192, 384, 48, 128, 128);
+
+    layers.push(fc("fc", c5b, 1000));
+
+    Network::new("GoogLeNet", layers).expect("GoogLeNet definition must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_64_layers() {
+        assert_eq!(googlenet().layers.len(), 64);
+    }
+
+    #[test]
+    fn inception_output_channels_chain() {
+        let net = googlenet();
+        // inc3a outputs 64+128+32+32 = 256, consumed by inc3b.
+        let i3b = net.layer("inc3b_1x1").unwrap();
+        assert_eq!(i3b.shape.in_channels, 256);
+        // inc4e outputs 832, consumed (after pooling) by inc5a at 7×7.
+        let i5a = net.layer("inc5a_1x1").unwrap();
+        assert_eq!(i5a.shape.in_channels, 832);
+        assert_eq!(i5a.shape.ifmap_h, 7);
+    }
+
+    #[test]
+    fn classifier_sees_1024_features() {
+        let net = googlenet();
+        let f = net.layer("fc").unwrap();
+        assert_eq!(f.shape.in_channels, 1024);
+    }
+
+    #[test]
+    fn aux_classifiers_present() {
+        let net = googlenet();
+        assert_eq!(net.layer("aux1_conv").unwrap().shape.in_channels, 512);
+        assert_eq!(net.layer("aux2_conv").unwrap().shape.in_channels, 528);
+        assert_eq!(net.layer("aux1_fc1").unwrap().shape.in_channels, 2048);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // GoogLeNet is ~1.5 GMACs at 224×224 (aux heads included).
+        let macs: u64 = googlenet().layers.iter().map(|l| l.shape.macs()).sum();
+        assert!(macs > 1_200_000_000, "{macs}");
+        assert!(macs < 1_900_000_000, "{macs}");
+    }
+}

@@ -1,0 +1,99 @@
+use super::{conv, dw, fc, pw};
+use crate::{Layer, Network};
+
+/// One MnasNet MBConv block: 1×1 expansion, depth-wise k×k, 1×1 projection.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    hw: u32,
+    cin: u32,
+    cout: u32,
+    expand: u32,
+    k: u32,
+    stride: u32,
+) -> u32 {
+    let cexp = cin * expand;
+    layers.push(pw(format!("{name}_expand"), hw, cin, cexp));
+    layers.push(dw(format!("{name}_dw"), hw, cexp, k, stride));
+    let out_hw = if stride == 2 { hw / 2 } else { hw };
+    layers.push(pw(format!("{name}_project"), out_hw, cexp, cout));
+    out_hw
+}
+
+/// MnasNet-B1 [Tan et al., CVPR'19], 53 layers (Table 2): the 3×3 stem,
+/// a depth-wise-separable pair, sixteen MBConv blocks
+/// (t,k,c,n,s) = (3,3,24,3,2),(3,5,40,3,2),(6,5,80,3,2),(6,3,96,2,1),
+/// (6,5,192,4,2),(6,3,320,1,1), the 1×1×1280 head, and the classifier.
+pub fn mnasnet() -> Network {
+    const CFG: [(u32, u32, u32, u32, u32); 6] = [
+        // (t, k, c, n, s)
+        (3, 3, 24, 3, 2),
+        (3, 5, 40, 3, 2),
+        (6, 5, 80, 3, 2),
+        (6, 3, 96, 2, 1),
+        (6, 5, 192, 4, 2),
+        (6, 3, 320, 1, 1),
+    ];
+
+    let mut layers = vec![conv("conv1", 224, 3, 3, 32, 2, 1)];
+    // SepConv stage: DW 3×3 on 32 channels, project to 16.
+    layers.push(dw("sep_dw", 112, 32, 3, 1));
+    layers.push(pw("sep_project", 112, 32, 16));
+
+    let mut hw = 112u32;
+    let mut cin = 16u32;
+    for (gi, &(t, k, c, n, s)) in CFG.iter().enumerate() {
+        for r in 0..n {
+            let stride = if r == 0 { s } else { 1 };
+            let name = format!("b{}_{}", gi + 1, r + 1);
+            hw = mbconv(&mut layers, &name, hw, cin, c, t, k, stride);
+            cin = c;
+        }
+    }
+    layers.push(pw("conv_head", hw, cin, 1280));
+    layers.push(fc("fc", 1280, 1000));
+
+    Network::new("MnasNet", layers).expect("MnasNet definition must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_53_layers() {
+        assert_eq!(mnasnet().layers.len(), 53);
+    }
+
+    #[test]
+    fn five_by_five_kernels_present() {
+        let net = mnasnet();
+        let d = net.layer("b2_1_dw").unwrap();
+        assert_eq!((d.shape.filter_h, d.shape.filter_w), (5, 5));
+        assert_eq!(d.shape.padding, 2);
+    }
+
+    #[test]
+    fn spatial_plan_ends_at_7x7() {
+        let net = mnasnet();
+        let head = net.layer("conv_head").unwrap();
+        assert_eq!(head.shape.ifmap_h, 7);
+        assert_eq!(head.shape.in_channels, 320);
+    }
+
+    #[test]
+    fn sepconv_reduces_to_16_channels() {
+        let net = mnasnet();
+        let p = net.layer("sep_project").unwrap();
+        assert_eq!(p.shape.out_channels(), 16);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // MnasNet-B1 is ~0.31 GMACs at 224×224.
+        let macs: u64 = mnasnet().layers.iter().map(|l| l.shape.macs()).sum();
+        assert!(macs > 250_000_000, "{macs}");
+        assert!(macs < 450_000_000, "{macs}");
+    }
+}

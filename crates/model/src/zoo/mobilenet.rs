@@ -1,0 +1,73 @@
+use super::{conv, dw, fc, pw};
+use crate::Network;
+
+/// MobileNet v1 [Howard et al., 2017], 28 layers (Table 2): the 3×3 stem,
+/// thirteen depth-wise-separable pairs (DW 3×3 + PW 1×1), and the
+/// classifier.
+pub fn mobilenet() -> Network {
+    // (spatial before the pair, in channels, out channels, dw stride)
+    const PAIRS: [(u32, u32, u32, u32); 13] = [
+        (112, 32, 64, 1),
+        (112, 64, 128, 2),
+        (56, 128, 128, 1),
+        (56, 128, 256, 2),
+        (28, 256, 256, 1),
+        (28, 256, 512, 2),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 1024, 2),
+        (7, 1024, 1024, 1),
+    ];
+
+    let mut layers = vec![conv("conv1", 224, 3, 3, 32, 2, 1)];
+    for (i, &(hw, cin, cout, s)) in PAIRS.iter().enumerate() {
+        let n = i + 1;
+        layers.push(dw(format!("dw{n}"), hw, cin, 3, s));
+        let pw_hw = if s == 2 { hw / 2 } else { hw };
+        layers.push(pw(format!("pw{n}"), pw_hw, cin, cout));
+    }
+    layers.push(fc("fc", 1024, 1000));
+
+    Network::new("MobileNet", layers).expect("MobileNet definition must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_28_layers() {
+        assert_eq!(mobilenet().layers.len(), 28);
+    }
+
+    #[test]
+    fn pairs_chain_spatially() {
+        let net = mobilenet();
+        // Each pw's input spatial extent equals the preceding dw's output.
+        for n in 1..=13 {
+            let d = net.layer(&format!("dw{n}")).unwrap();
+            let p = net.layer(&format!("pw{n}")).unwrap();
+            assert_eq!(d.shape.output_hw().0, p.shape.ifmap_h, "pair {n}");
+            assert_eq!(d.shape.out_channels(), p.shape.in_channels, "pair {n}");
+        }
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7x1024() {
+        let net = mobilenet();
+        let last_pw = net.layer("pw13").unwrap();
+        assert_eq!(last_pw.shape.output_hw(), (7, 7));
+        assert_eq!(last_pw.shape.out_channels(), 1024);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // MobileNet v1 is ~0.57 GMACs at 224×224.
+        let macs: u64 = mobilenet().layers.iter().map(|l| l.shape.macs()).sum();
+        assert!(macs > 450_000_000, "{macs}");
+        assert!(macs < 700_000_000, "{macs}");
+    }
+}

@@ -1,0 +1,104 @@
+use super::{conv, dw, fc, pw};
+use crate::{Layer, Network};
+
+/// One inverted-residual (MBConv) block: optional 1×1 expansion,
+/// depth-wise 3×3, and 1×1 linear projection.
+fn bottleneck(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    hw: u32,
+    cin: u32,
+    cout: u32,
+    expand: u32,
+    stride: u32,
+) {
+    let cexp = cin * expand;
+    let mut cur_hw = hw;
+    if expand != 1 {
+        layers.push(pw(format!("{name}_expand"), hw, cin, cexp));
+    }
+    layers.push(dw(format!("{name}_dw"), cur_hw, cexp, 3, stride));
+    if stride == 2 {
+        cur_hw /= 2;
+    }
+    layers.push(pw(format!("{name}_project"), cur_hw, cexp, cout));
+}
+
+/// MobileNetV2 [Sandler et al., CVPR'18], 53 layers (Table 2): the 3×3
+/// stem, seventeen inverted-residual bottlenecks
+/// (t,c,n,s) = (1,16,1,1),(6,24,2,2),(6,32,3,2),(6,64,4,2),(6,96,3,1),
+/// (6,160,3,2),(6,320,1,1), the 1×1×1280 head, and the classifier.
+pub fn mobilenetv2() -> Network {
+    // (expansion t, out channels c, repeats n, first stride s)
+    const CFG: [(u32, u32, u32, u32); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+
+    let mut layers = vec![conv("conv1", 224, 3, 3, 32, 2, 1)];
+    let mut hw = 112u32;
+    let mut cin = 32u32;
+    for (gi, &(t, c, n, s)) in CFG.iter().enumerate() {
+        for r in 0..n {
+            let stride = if r == 0 { s } else { 1 };
+            let name = format!("b{}_{}", gi + 1, r + 1);
+            bottleneck(&mut layers, &name, hw, cin, c, t, stride);
+            if stride == 2 {
+                hw /= 2;
+            }
+            cin = c;
+        }
+    }
+    layers.push(pw("conv_head", hw, cin, 1280));
+    layers.push(fc("fc", 1280, 1000));
+
+    Network::new("MobileNetV2", layers).expect("MobileNetV2 definition must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_53_layers() {
+        assert_eq!(mobilenetv2().layers.len(), 53);
+    }
+
+    #[test]
+    fn first_bottleneck_has_no_expansion() {
+        let net = mobilenetv2();
+        assert!(net.layer("b1_1_expand").is_none());
+        assert!(net.layer("b1_1_dw").is_some());
+        assert!(net.layer("b2_1_expand").is_some());
+    }
+
+    #[test]
+    fn head_sees_7x7x320() {
+        let net = mobilenetv2();
+        let head = net.layer("conv_head").unwrap();
+        assert_eq!(head.shape.ifmap_h, 7);
+        assert_eq!(head.shape.in_channels, 320);
+        assert_eq!(head.shape.out_channels(), 1280);
+    }
+
+    #[test]
+    fn expansion_factor_applied() {
+        let net = mobilenetv2();
+        let e = net.layer("b6_2_expand").unwrap();
+        assert_eq!(e.shape.in_channels, 160);
+        assert_eq!(e.shape.out_channels(), 960);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // MobileNetV2 is ~0.3 GMACs at 224×224.
+        let macs: u64 = mobilenetv2().layers.iter().map(|l| l.shape.macs()).sum();
+        assert!(macs > 250_000_000, "{macs}");
+        assert!(macs < 450_000_000, "{macs}");
+    }
+}

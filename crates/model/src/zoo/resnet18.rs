@@ -1,0 +1,114 @@
+use super::{conv, fc, proj};
+use crate::Network;
+
+/// ResNet18 [He et al., CVPR'16], serialized to 21 layers (Table 2):
+/// the 7×7 stem, four stages of two basic blocks (two 3×3 convolutions
+/// each), the three strided 1×1 projection shortcuts, and the classifier.
+///
+/// Spatial plan (after the stem's stride-2 conv and the 3×3 max-pool):
+/// 224 → 112 → 56 (stage 1) → 28 (stage 2) → 14 (stage 3) → 7 (stage 4).
+pub fn resnet18() -> Network {
+    let mut layers = vec![conv("conv1", 224, 3, 7, 64, 2, 3)];
+
+    // Stage 1: 56×56, 64 channels, no projection.
+    for b in 1..=2 {
+        for c in 1..=2 {
+            layers.push(conv(format!("s1_b{b}_conv{c}"), 56, 64, 3, 64, 1, 1));
+        }
+    }
+
+    // Stages 2–4: first block downsamples (stride-2 first conv + projection).
+    let stages: [(u32, u32, u32); 3] = [(56, 64, 128), (28, 128, 256), (14, 256, 512)];
+    for (si, &(in_hw, in_ch, out_ch)) in stages.iter().enumerate() {
+        let s = si + 2;
+        let out_hw = in_hw / 2;
+        layers.push(conv(
+            format!("s{s}_b1_conv1"),
+            in_hw,
+            in_ch,
+            3,
+            out_ch,
+            2,
+            1,
+        ));
+        layers.push(conv(
+            format!("s{s}_b1_conv2"),
+            out_hw,
+            out_ch,
+            3,
+            out_ch,
+            1,
+            1,
+        ));
+        layers.push(proj(format!("s{s}_proj"), in_hw, in_ch, out_ch, 2));
+        layers.push(conv(
+            format!("s{s}_b2_conv1"),
+            out_hw,
+            out_ch,
+            3,
+            out_ch,
+            1,
+            1,
+        ));
+        layers.push(conv(
+            format!("s{s}_b2_conv2"),
+            out_hw,
+            out_ch,
+            3,
+            out_ch,
+            1,
+            1,
+        ));
+    }
+
+    layers.push(fc("fc", 512, 1000));
+
+    Network::new("ResNet18", layers).expect("ResNet18 definition must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_21_layers() {
+        assert_eq!(resnet18().layers.len(), 21);
+    }
+
+    #[test]
+    fn stem_produces_112x112x64() {
+        let net = resnet18();
+        let stem = &net.layers[0].shape;
+        assert_eq!(stem.output_hw(), (112, 112));
+        assert_eq!(stem.out_channels(), 64);
+    }
+
+    #[test]
+    fn stage_transitions_halve_spatial_and_double_channels() {
+        let net = resnet18();
+        let l = net.layer("s3_b1_conv1").unwrap();
+        assert_eq!(l.shape.ifmap_h, 28);
+        assert_eq!(l.shape.in_channels, 128);
+        assert_eq!(l.shape.output_hw(), (14, 14));
+        assert_eq!(l.shape.out_channels(), 256);
+    }
+
+    #[test]
+    fn projections_match_block_outputs() {
+        let net = resnet18();
+        for s in 2..=4 {
+            let p = net.layer(&format!("s{s}_proj")).unwrap();
+            let c2 = net.layer(&format!("s{s}_b1_conv2")).unwrap();
+            assert_eq!(p.shape.output_hw(), c2.shape.output_hw());
+            assert_eq!(p.shape.out_channels(), c2.shape.out_channels());
+        }
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // ResNet18 inference is ~1.8 GMACs at 224×224.
+        let macs: u64 = resnet18().layers.iter().map(|l| l.shape.macs()).sum();
+        assert!(macs > 1_500_000_000, "{macs}");
+        assert!(macs < 2_200_000_000, "{macs}");
+    }
+}

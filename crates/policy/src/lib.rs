@@ -1,0 +1,52 @@
+//! On-chip scratchpad memory-management policies (Section 3.2 of the
+//! paper) and their lightweight estimators.
+//!
+//! Each policy describes how a layer's three data types (ifmap, filters,
+//! ofmap) are tiled into the unified Global Buffer, and comes with three
+//! estimators — `estimate_memory`, `estimate_accesses`,
+//! `estimate_latency` in Algorithm 1's terms — realized here as a single
+//! [`PolicyEstimate`] produced by [`estimate`]:
+//!
+//! - **intra-layer reuse** — everything on-chip, each element moved once.
+//! - **Policy 1, ifmap reuse** — all filters resident, ifmap slides
+//!   height-wise in `F_H × I_W × C_I` windows, one ofmap row-set.
+//! - **Policy 2, filter reuse** — whole ifmap resident, filters one by
+//!   one, one ofmap channel.
+//! - **Policy 3, per-channel reuse** — one channel of every filter
+//!   resident, single-channel ifmap window, whole ofmap accumulates.
+//! - **Policy 4, partial ifmap reuse** — like policy 1 but filters come
+//!   in blocks of `n`, re-loading the ifmap `⌈F#/n⌉` times.
+//! - **Policy 5, partial per-channel reuse** — like policy 3 but filter
+//!   channels come in blocks of `n`, re-loading the ifmap `⌈F#/n⌉` times.
+//! - **fallback tiling** — the "search for appropriate tile sizes" of
+//!   Algorithm 1, for layers no named policy fits.
+//!
+//! Every policy also has a **prefetching** variant that double-buffers
+//! each tile (Eq. 2: `GLB ≥ 2(I_tile + F_tile + O_tile)`), trading
+//! capacity for latency by overlapping transfers with compute.
+//!
+//! # Example
+//!
+//! ```
+//! use smm_arch::{AcceleratorConfig, ByteSize};
+//! use smm_policy::{estimate, PolicyKind};
+//! use smm_model::zoo;
+//!
+//! let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+//! let layer = &zoo::resnet18().layers[1];
+//! let est = estimate(PolicyKind::P1IfmapReuse, &layer.shape, &acc, false).unwrap();
+//! // P1 keeps every filter resident and slides an F_H-row window.
+//! assert_eq!(est.resident.filters, layer.shape.filter_elems());
+//! assert!(est.fits(&acc));
+//! ```
+
+mod estimate;
+mod fallback;
+mod kind;
+mod policies;
+pub mod window;
+
+pub use estimate::{AccessCounts, Footprint, LatencyEstimate, PolicyEstimate};
+pub use fallback::{FallbackTiling, LoopOrder};
+pub use kind::PolicyKind;
+pub use policies::{estimate, estimate_all, feasible};

@@ -1,0 +1,79 @@
+//! SCALE-Sim's analytical output-stationary cycle model.
+//!
+//! Each OS fold streams `K` partial sums into an `R × C` array and drains
+//! the results: `2R + C + K − 2` cycles (the SCALE-Sim systolic fill +
+//! drain + reduction pipeline). The paper runs the baseline "for zero
+//! stalls", so baseline latency is exactly these compute cycles,
+//! independent of buffer sizes.
+
+use crate::gemm::FoldPlan;
+
+/// Cycles of one output-stationary fold.
+pub fn fold_cycles(rows: usize, cols: usize, k: u64) -> u64 {
+    2 * rows as u64 + cols as u64 + k - 2
+}
+
+/// Total stall-free compute cycles for a fold plan.
+///
+/// Depth-wise layers are `repeats` independent `(M, 1, K)` GEMMs; an
+/// output-stationary array maps those channels across its columns (each
+/// column accumulates its own channel), so the channel dimension folds by
+/// the column count instead of serializing.
+pub fn compute_cycles(plan: &FoldPlan) -> u64 {
+    let per_fold = fold_cycles(plan.rows, plan.cols, plan.gemm.k);
+    if plan.gemm.repeats > 1 {
+        plan.gemm.repeats.div_ceil(plan.cols as u64) * plan.row_folds() * per_fold
+    } else {
+        plan.row_folds() * plan.col_folds() * per_fold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::GemmShape;
+
+    #[test]
+    fn single_fold_formula() {
+        assert_eq!(fold_cycles(16, 16, 100), 32 + 16 + 100 - 2);
+    }
+
+    #[test]
+    fn folds_multiply() {
+        let g = GemmShape {
+            m: 64,
+            n: 32,
+            k: 10,
+            repeats: 1,
+        };
+        let p = FoldPlan::new(16, 16, g);
+        assert_eq!(compute_cycles(&p), 4 * 2 * (32 + 16 + 10 - 2));
+    }
+
+    #[test]
+    fn depthwise_channels_fold_across_columns() {
+        let g = GemmShape {
+            m: 64,
+            n: 1,
+            k: 9,
+            repeats: 32,
+        };
+        let p = FoldPlan::new(16, 16, g);
+        // 32 channels over 16 columns → 2 channel folds, not 32.
+        assert_eq!(compute_cycles(&p), 2 * 4 * (32 + 16 + 9 - 2));
+    }
+
+    #[test]
+    fn bigger_array_fills_longer_but_folds_less() {
+        let g = GemmShape {
+            m: 256,
+            n: 256,
+            k: 64,
+            repeats: 1,
+        };
+        let small = FoldPlan::new(8, 8, g);
+        let large = FoldPlan::new(32, 32, g);
+        // The larger array needs 16× fewer folds; total cycles must drop.
+        assert!(compute_cycles(&large) < compute_cycles(&small));
+    }
+}

@@ -1,0 +1,148 @@
+//! im2col GEMM view of a layer and its output-stationary fold plan.
+
+use smm_model::LayerShape;
+
+/// GEMM dimensions of one layer after im2col:
+/// `M = O_H·O_W` output pixels, `N` filters, `K` reduction depth.
+/// Depth-wise layers decompose into `repeats` independent `(M, 1, K)`
+/// GEMMs (one per channel); everything else has `repeats = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    pub m: u64,
+    pub n: u64,
+    pub k: u64,
+    pub repeats: u64,
+}
+
+impl GemmShape {
+    /// Build the GEMM view of a layer.
+    pub fn of(shape: &LayerShape) -> Self {
+        let (m, n, k) = shape.gemm_dims();
+        GemmShape {
+            m,
+            n,
+            k,
+            repeats: if shape.depthwise {
+                shape.in_channels as u64
+            } else {
+                1
+            },
+        }
+    }
+
+    /// Total MACs represented (matches `LayerShape::macs`).
+    pub fn macs(&self) -> u64 {
+        self.m * self.n * self.k * self.repeats
+    }
+}
+
+/// Output-stationary fold decomposition on an `R × C` array: row folds
+/// tile `M` by `R`, column folds tile `N` by `C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldPlan {
+    pub rows: usize,
+    pub cols: usize,
+    pub gemm: GemmShape,
+}
+
+impl FoldPlan {
+    pub fn new(rows: usize, cols: usize, gemm: GemmShape) -> Self {
+        assert!(rows > 0 && cols > 0, "PE array must be non-empty");
+        FoldPlan { rows, cols, gemm }
+    }
+
+    /// Number of row folds `⌈M/R⌉`.
+    pub fn row_folds(&self) -> u64 {
+        self.gemm.m.div_ceil(self.rows as u64)
+    }
+
+    /// Number of column folds `⌈N/C⌉`.
+    pub fn col_folds(&self) -> u64 {
+        self.gemm.n.div_ceil(self.cols as u64)
+    }
+
+    /// Output-pixel range of row fold `i`.
+    pub fn row_fold_pixels(&self, i: u64) -> std::ops::Range<u64> {
+        let start = i * self.rows as u64;
+        start..(start + self.rows as u64).min(self.gemm.m)
+    }
+
+    /// Filter range of column fold `j`.
+    pub fn col_fold_filters(&self, j: u64) -> std::ops::Range<u64> {
+        let start = j * self.cols as u64;
+        start..(start + self.cols as u64).min(self.gemm.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> LayerShape {
+        LayerShape {
+            ifmap_h: 28,
+            ifmap_w: 28,
+            in_channels: 128,
+            filter_h: 3,
+            filter_w: 3,
+            num_filters: 96,
+            stride: 1,
+            padding: 1,
+            depthwise: false,
+        }
+    }
+
+    #[test]
+    fn gemm_dims_of_conv() {
+        let g = GemmShape::of(&conv());
+        assert_eq!(g.m, 28 * 28);
+        assert_eq!(g.n, 96);
+        assert_eq!(g.k, 9 * 128);
+        assert_eq!(g.repeats, 1);
+        assert_eq!(g.macs(), conv().macs());
+    }
+
+    #[test]
+    fn gemm_dims_of_depthwise() {
+        let s = LayerShape {
+            depthwise: true,
+            num_filters: 128,
+            ..conv()
+        };
+        let g = GemmShape::of(&s);
+        assert_eq!((g.m, g.n, g.k), (784, 1, 9));
+        assert_eq!(g.repeats, 128);
+        assert_eq!(g.macs(), s.macs());
+    }
+
+    #[test]
+    fn fold_counts() {
+        let p = FoldPlan::new(16, 16, GemmShape::of(&conv()));
+        assert_eq!(p.row_folds(), 49); // 784 / 16
+        assert_eq!(p.col_folds(), 6); // ⌈96/16⌉
+    }
+
+    #[test]
+    fn fold_ranges_cover_without_overlap() {
+        let p = FoldPlan::new(16, 16, GemmShape::of(&conv()));
+        let mut pixels = 0;
+        for i in 0..p.row_folds() {
+            let r = p.row_fold_pixels(i);
+            pixels += r.end - r.start;
+        }
+        assert_eq!(pixels, p.gemm.m);
+        let mut filters = 0;
+        for j in 0..p.col_folds() {
+            let r = p.col_fold_filters(j);
+            filters += r.end - r.start;
+        }
+        assert_eq!(filters, p.gemm.n);
+    }
+
+    #[test]
+    fn last_fold_is_partial() {
+        let p = FoldPlan::new(16, 16, GemmShape::of(&conv()));
+        let last = p.col_fold_filters(p.col_folds() - 1);
+        assert_eq!(last.end - last.start, 96 - 5 * 16);
+    }
+}

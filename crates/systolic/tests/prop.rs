@@ -1,0 +1,89 @@
+//! Property tests for the baseline: invariants that must hold for any
+//! layer shape and buffer configuration.
+
+use proptest::prelude::*;
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_model::LayerShape;
+use smm_systolic::schedule::trace_layer;
+use smm_systolic::{simulate_layer, BaselineConfig, BufferSplit, Dataflow};
+
+fn arb_shape() -> impl Strategy<Value = LayerShape> {
+    (
+        2u32..24,
+        2u32..24,
+        1u32..8,
+        1u32..4,
+        1u32..12,
+        1u32..3,
+        0u32..2,
+        any::<bool>(),
+    )
+        .prop_map(|(ih, iw, ci, k, nf, s, p, dw)| LayerShape {
+            ifmap_h: ih,
+            ifmap_w: iw,
+            in_channels: ci,
+            filter_h: k,
+            filter_w: k,
+            num_filters: if dw { ci } else { nf },
+            stride: s,
+            padding: p,
+            depthwise: dw,
+        })
+        .prop_filter("shape must validate", |s| s.validate().is_ok())
+}
+
+fn cfg(kb: u64, split: BufferSplit) -> BaselineConfig {
+    BaselineConfig::paper(
+        AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+        split,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Analytical and trace-mode counts agree on arbitrary shapes and
+    /// buffer sizes — including degenerate, buffer-starved ones.
+    #[test]
+    fn trace_equals_analytic(shape in arb_shape(), kb in 5u64..128) {
+        for split in BufferSplit::ALL {
+            let c = cfg(kb, split);
+            let analytic = simulate_layer(&c, &shape);
+            let traced = trace_layer(&c, &shape);
+            prop_assert!(
+                traced.matches(&analytic),
+                "{split:?} @ {kb}kB on {shape:?}: {analytic:?} vs {traced:?}"
+            );
+        }
+    }
+
+    /// Baseline traffic never drops below the compulsory minimum and
+    /// never increases when the buffers grow.
+    #[test]
+    fn traffic_bounds_and_monotonicity(shape in arb_shape()) {
+        let mut last = u64::MAX;
+        for kb in [8u64, 32, 128, 512] {
+            let sim = simulate_layer(&cfg(kb, BufferSplit::SA_50_50), &shape);
+            prop_assert!(sim.filter_loads >= shape.filter_elems());
+            prop_assert_eq!(sim.ofmap_stores, shape.ofmap_elems());
+            prop_assert!(sim.total_accesses() <= last, "{kb}kB regressed");
+            last = sim.total_accesses();
+        }
+    }
+
+    /// Every dataflow's compute covers the layer's MACs: an R×C array
+    /// cannot beat MACs / (R·C) cycles.
+    #[test]
+    fn dataflow_compute_at_least_ideal(shape in arb_shape()) {
+        let c = cfg(64, BufferSplit::SA_50_50);
+        let ideal = shape.macs().div_ceil((c.acc.pe_rows * c.acc.pe_cols) as u64);
+        for df in Dataflow::ALL {
+            let sim = smm_systolic::simulate_layer_dataflow(&c, &shape, df);
+            prop_assert!(
+                sim.compute_cycles >= ideal,
+                "{df:?}: {} < ideal {ideal}",
+                sim.compute_cycles
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+use std::ops::Range;
+
+/// The three operand regions of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    Ifmap,
+    Filter,
+    Ofmap,
+}
+
+/// Element-granular address layout for one layer.
+///
+/// The three operands are laid out back to back in a flat address space:
+/// ifmap (channel-major, then row, then column, over the *padded*
+/// extent), filters (filter-major), ofmap (channel-major). Addresses are
+/// element indices, not bytes — the data width only matters when traffic
+/// is converted to cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMap {
+    pad_h: u64,
+    pad_w: u64,
+    in_ch: u64,
+    filt_per_f: u64,
+    num_f: u64,
+    out_h: u64,
+    out_w: u64,
+    out_ch: u64,
+    ifmap_base: u64,
+    filter_base: u64,
+    ofmap_base: u64,
+    end: u64,
+}
+
+impl AddressMap {
+    /// Build a layout. `filt_per_f` is one filter's element count (which
+    /// differs between standard and depth-wise convolutions).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pad_h: u64,
+        pad_w: u64,
+        in_ch: u64,
+        filt_per_f: u64,
+        num_f: u64,
+        out_h: u64,
+        out_w: u64,
+        out_ch: u64,
+    ) -> Self {
+        let ifmap_base = 0;
+        let filter_base = ifmap_base + pad_h * pad_w * in_ch;
+        let ofmap_base = filter_base + filt_per_f * num_f;
+        let end = ofmap_base + out_h * out_w * out_ch;
+        AddressMap {
+            pad_h,
+            pad_w,
+            in_ch,
+            filt_per_f,
+            num_f,
+            out_h,
+            out_w,
+            out_ch,
+            ifmap_base,
+            filter_base,
+            ofmap_base,
+            end,
+        }
+    }
+
+    /// Total element footprint of all three regions.
+    pub fn total_elems(&self) -> u64 {
+        self.end
+    }
+
+    /// Address of padded-ifmap element `(channel, row, col)`.
+    pub fn ifmap(&self, c: u64, y: u64, x: u64) -> u64 {
+        debug_assert!(c < self.in_ch && y < self.pad_h && x < self.pad_w);
+        self.ifmap_base + (c * self.pad_h + y) * self.pad_w + x
+    }
+
+    /// Address range covering padded-ifmap rows `rows` of channel `c`
+    /// (full width).
+    pub fn ifmap_rows(&self, c: u64, rows: Range<u64>) -> Range<u64> {
+        debug_assert!(rows.end <= self.pad_h);
+        self.ifmap(c, rows.start, 0)..self.ifmap(c, rows.end.max(1) - 1, 0) + self.pad_w
+    }
+
+    /// Address range of filters `fs` (whole filters).
+    pub fn filters(&self, fs: Range<u64>) -> Range<u64> {
+        debug_assert!(fs.end <= self.num_f);
+        let start = self.filter_base + fs.start * self.filt_per_f;
+        let end = self.filter_base + fs.end * self.filt_per_f;
+        start..end
+    }
+
+    /// Address of ofmap element `(channel, row, col)`.
+    pub fn ofmap(&self, c: u64, y: u64, x: u64) -> u64 {
+        debug_assert!(c < self.out_ch && y < self.out_h && x < self.out_w);
+        self.ofmap_base + (c * self.out_h + y) * self.out_w + x
+    }
+
+    /// Which region an address belongs to.
+    pub fn region_of(&self, addr: u64) -> Option<Region> {
+        if addr < self.filter_base {
+            Some(Region::Ifmap)
+        } else if addr < self.ofmap_base {
+            Some(Region::Filter)
+        } else if addr < self.end {
+            Some(Region::Ofmap)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        // 6×6 padded ifmap, 3 channels; 2×2×3 filters × 4; 5×5×4 ofmap.
+        AddressMap::new(6, 6, 3, 12, 4, 5, 5, 4)
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let m = map();
+        assert_eq!(m.region_of(0), Some(Region::Ifmap));
+        assert_eq!(m.region_of(6 * 6 * 3), Some(Region::Filter));
+        assert_eq!(m.region_of(6 * 6 * 3 + 12 * 4), Some(Region::Ofmap));
+        assert_eq!(m.region_of(m.total_elems()), None);
+    }
+
+    #[test]
+    fn ifmap_addressing_is_channel_major() {
+        let m = map();
+        assert_eq!(m.ifmap(0, 0, 0), 0);
+        assert_eq!(m.ifmap(0, 0, 5), 5);
+        assert_eq!(m.ifmap(0, 1, 0), 6);
+        assert_eq!(m.ifmap(1, 0, 0), 36);
+    }
+
+    #[test]
+    fn ifmap_row_ranges_cover_full_width() {
+        let m = map();
+        let r = m.ifmap_rows(1, 2..4);
+        assert_eq!(r.start, m.ifmap(1, 2, 0));
+        assert_eq!(r.end, m.ifmap(1, 3, 5) + 1);
+        assert_eq!(r.end - r.start, 2 * 6);
+    }
+
+    #[test]
+    fn filter_ranges_are_filter_major() {
+        let m = map();
+        let r = m.filters(1..3);
+        assert_eq!(r.end - r.start, 2 * 12);
+        assert_eq!(m.region_of(r.start), Some(Region::Filter));
+        assert_eq!(m.region_of(r.end - 1), Some(Region::Filter));
+    }
+
+    #[test]
+    fn ofmap_addresses_bounded() {
+        let m = map();
+        let last = m.ofmap(3, 4, 4);
+        assert_eq!(last, m.total_elems() - 1);
+    }
+
+    #[test]
+    fn total_footprint() {
+        assert_eq!(map().total_elems(), 108 + 48 + 100);
+    }
+}

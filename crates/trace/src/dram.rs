@@ -1,0 +1,119 @@
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Thread-safe DRAM traffic accounting in elements.
+///
+/// The counter is cheaply cloneable (an `Arc` of a mutex-protected pair),
+/// so a scratchpad per operand can share one DRAM interface, as the
+/// physical system does.
+#[derive(Debug, Clone, Default)]
+pub struct DramCounter {
+    inner: Arc<Mutex<Counts>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counts {
+    reads: u64,
+    writes: u64,
+}
+
+impl DramCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` elements read from DRAM.
+    pub fn read(&self, n: u64) {
+        self.inner.lock().reads += n;
+    }
+
+    /// Record `n` elements written to DRAM.
+    pub fn write(&self, n: u64) {
+        self.inner.lock().writes += n;
+    }
+
+    /// Elements read so far.
+    pub fn reads(&self) -> u64 {
+        self.inner.lock().reads
+    }
+
+    /// Elements written so far.
+    pub fn writes(&self) -> u64 {
+        self.inner.lock().writes
+    }
+
+    /// Total elements moved.
+    pub fn total(&self) -> u64 {
+        let c = *self.inner.lock();
+        c.reads + c.writes
+    }
+
+    /// Transfer cycles at `elements_per_cycle` bandwidth (ceiling).
+    pub fn transfer_cycles(&self, elements_per_cycle: u64) -> u64 {
+        self.total().div_ceil(elements_per_cycle.max(1))
+    }
+
+    /// Reset both counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = Counts::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counts_accumulate() {
+        let d = DramCounter::new();
+        d.read(100);
+        d.write(40);
+        d.read(1);
+        assert_eq!(d.reads(), 101);
+        assert_eq!(d.writes(), 40);
+        assert_eq!(d.total(), 141);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let d = DramCounter::new();
+        let d2 = d.clone();
+        d2.read(7);
+        assert_eq!(d.reads(), 7);
+    }
+
+    #[test]
+    fn transfer_cycles_round_up() {
+        let d = DramCounter::new();
+        d.read(33);
+        assert_eq!(d.transfer_cycles(16), 3);
+        assert_eq!(d.transfer_cycles(0), 33, "zero bandwidth clamps to 1");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let d = DramCounter::new();
+        d.write(5);
+        d.reset();
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_race() {
+        let d = DramCounter::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let d = d.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        d.read(1);
+                        d.write(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(d.reads(), 8_000);
+        assert_eq!(d.writes(), 16_000);
+    }
+}

@@ -1,0 +1,127 @@
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// One trace event: at `cycle`, `count` elements starting at `addr` moved
+/// in (`is_read = true`) or out of the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub cycle: u64,
+    pub addr: u64,
+    pub count: u32,
+    pub is_read: bool,
+}
+
+const RECORD_BYTES: usize = 8 + 8 + 4 + 1;
+const MAGIC: &[u8; 4] = b"SMMT";
+
+/// Compact binary trace emitter (SCALE-Sim emits CSV traces that dominate
+/// its runtime; a fixed-width binary record keeps our trace mode cheap).
+///
+/// Format: 4-byte magic `SMMT`, then fixed 21-byte records
+/// (cycle u64 LE, addr u64 LE, count u32 LE, is_read u8).
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    buf: BytesMut,
+}
+
+impl TraceWriter {
+    pub fn new() -> Self {
+        let mut buf = BytesMut::with_capacity(4096);
+        buf.put_slice(MAGIC);
+        TraceWriter { buf }
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, r: TraceRecord) {
+        self.buf.put_u64_le(r.cycle);
+        self.buf.put_u64_le(r.addr);
+        self.buf.put_u32_le(r.count);
+        self.buf.put_u8(r.is_read as u8);
+    }
+
+    /// Number of records written.
+    pub fn len(&self) -> usize {
+        (self.buf.len() - MAGIC.len()) / RECORD_BYTES
+    }
+
+    /// Whether no records have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Decode a trace produced by [`finish`](Self::finish).
+    pub fn decode(data: &[u8]) -> Option<Vec<TraceRecord>> {
+        let body = data.strip_prefix(MAGIC.as_slice())?;
+        if body.len() % RECORD_BYTES != 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(body.len() / RECORD_BYTES);
+        for chunk in body.chunks_exact(RECORD_BYTES) {
+            out.push(TraceRecord {
+                cycle: u64::from_le_bytes(chunk[0..8].try_into().unwrap()),
+                addr: u64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+                count: u32::from_le_bytes(chunk[16..20].try_into().unwrap()),
+                is_read: chunk[20] != 0,
+            });
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = TraceWriter::new();
+        let records = [
+            TraceRecord {
+                cycle: 0,
+                addr: 100,
+                count: 16,
+                is_read: true,
+            },
+            TraceRecord {
+                cycle: 12,
+                addr: u64::MAX,
+                count: 1,
+                is_read: false,
+            },
+        ];
+        for r in records {
+            w.push(r);
+        }
+        assert_eq!(w.len(), 2);
+        let bytes = w.finish();
+        let decoded = TraceWriter::decode(&bytes).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let w = TraceWriter::new();
+        assert!(w.is_empty());
+        let bytes = w.finish();
+        assert_eq!(TraceWriter::decode(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn corrupt_traces_rejected() {
+        assert!(TraceWriter::decode(b"nope").is_none());
+        let mut w = TraceWriter::new();
+        w.push(TraceRecord {
+            cycle: 1,
+            addr: 2,
+            count: 3,
+            is_read: true,
+        });
+        let mut bytes = w.finish().to_vec();
+        bytes.pop(); // truncate
+        assert!(TraceWriter::decode(&bytes).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! Scenario: a battery-operated edge accelerator with a small 64 kB
+//! scratchpad. Off-chip transfers cost 10–100× the energy of a local
+//! computation (paper Section 2.3), so the deployment question is: how
+//! much DRAM traffic does the flexible unified buffer save over a
+//! conventional split-buffer design, per model?
+//!
+//! ```text
+//! cargo run --example edge_deployment
+//! ```
+
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::core::report::{benefit_pct, TextTable};
+use scratchpad_mm::core::{Manager, ManagerConfig, Objective};
+use scratchpad_mm::model::zoo;
+use scratchpad_mm::systolic::{simulate_network, BaselineConfig, BufferSplit};
+
+/// Energy model: off-chip element transfers dominate; count them as the
+/// proxy (the paper argues access reduction ≈ energy reduction for small
+/// battery-operated accelerators).
+fn main() {
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+    let manager = Manager::new(acc, ManagerConfig::new(Objective::Accesses));
+
+    let mut table = TextTable::new(&[
+        "Network",
+        "best split",
+        "baseline MB",
+        "Het MB",
+        "saved",
+        "policies used",
+    ]);
+
+    for net in zoo::all_networks() {
+        // A fair baseline: the *best* of the three fixed partitions for
+        // this model — the choice an expert would hand-tune.
+        let (best_split, best_mb) = BufferSplit::ALL
+            .iter()
+            .map(|&s| {
+                let rep = simulate_network(&BaselineConfig::paper(acc, s), &net);
+                (s, rep.total_bytes.mb())
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("three splits evaluated");
+
+        let het = manager.heterogeneous(&net).expect("planning succeeds");
+        let het_mb = het.totals.accesses_bytes.mb();
+
+        let policies: Vec<String> = het
+            .policies_used()
+            .iter()
+            .map(|(k, p)| format!("{}{}", k.label(), if *p { "+p" } else { "" }))
+            .collect();
+
+        table.row(vec![
+            net.name.clone(),
+            best_split.label(),
+            format!("{best_mb:.1}"),
+            format!("{het_mb:.1}"),
+            format!("{:.0}%", benefit_pct(best_mb, het_mb)),
+            policies.join(" "),
+        ]);
+    }
+
+    println!("Edge deployment: 64 kB GLB, energy proxy = off-chip MB\n");
+    print!("{}", table.render());
+    println!(
+        "\nEvery percent of traffic saved is battery life: the unified \
+         buffer adapts its partitioning per layer instead of committing \
+         to one split for the whole model."
+    );
+}

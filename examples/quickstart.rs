@@ -1,0 +1,39 @@
+//! Quickstart: plan a network's scratchpad usage in a dozen lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::core::{Manager, ManagerConfig, Objective};
+use scratchpad_mm::model::zoo;
+
+fn main() {
+    // The paper's accelerator: 16×16 PEs, 512 OPs/cycle, 8-bit data,
+    // 16 bytes/cycle off-chip bandwidth — here with a 64 kB unified GLB.
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+
+    // Objective 1: minimize off-chip data transfers (Algorithm 1).
+    let manager = Manager::new(acc, ManagerConfig::new(Objective::Accesses));
+
+    let net = zoo::resnet18();
+    let plan = manager.heterogeneous(&net).expect("64 kB fits every layer");
+
+    println!("{} heterogeneous plan @ 64kB:", net.name);
+    for d in &plan.decisions {
+        println!(
+            "  {:<14} {:>6}{}  ({:>7.1} kB resident, {:>8} off-chip elements)",
+            d.layer_name,
+            d.estimate.kind.label(),
+            if d.estimate.prefetch { "+p" } else { "  " },
+            d.estimate.required_bytes(&acc).kb(),
+            d.effective_accesses().total(),
+        );
+    }
+    println!(
+        "\ntotal: {:.2} MB off-chip, {} cycles, prefetch coverage {:.0}%",
+        plan.totals.accesses_bytes.mb(),
+        plan.totals.latency_cycles,
+        plan.prefetch_coverage() * 100.0
+    );
+}

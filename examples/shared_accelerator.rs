@@ -1,0 +1,76 @@
+//! Scenario: one accelerator, two co-resident models (the multi-tenancy
+//! pressure the paper's introduction calls out), plus a batched side
+//! channel. How should the 256 kB scratchpad be split between an
+//! always-on keyword model and an on-demand vision model, and what does
+//! batching the vision requests save?
+//!
+//! ```text
+//! cargo run --example shared_accelerator
+//! ```
+
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::core::batch::{batched_totals, per_image_traffic_ratio};
+use scratchpad_mm::core::energy::{plan_energy, EnergyModel};
+use scratchpad_mm::core::tenancy::partition;
+use scratchpad_mm::core::{Manager, ManagerConfig, Objective};
+use scratchpad_mm::model::zoo;
+
+fn main() {
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+    let cfg = ManagerConfig::new(Objective::Accesses);
+
+    // --- Tenancy: split the GLB between the two models. -----------------
+    let keyword = zoo::mobilenet(); // stands in for the always-on model
+    let vision = zoo::resnet18();
+    let t = partition(acc, cfg, &keyword, &vision, 5).expect("a split exists");
+    let b_bytes = ByteSize(acc.glb.bytes() - t.split_a.bytes());
+    println!(
+        "GLB split: {} -> {}, {} -> {}",
+        t.split_a, keyword.name, b_bytes, vision.name
+    );
+    println!(
+        "  {}: {:.2} MB/inference   {}: {:.2} MB/inference",
+        keyword.name,
+        t.plan_a.totals.accesses_bytes.mb(),
+        vision.name,
+        t.plan_b.totals.accesses_bytes.mb()
+    );
+
+    // Compare against the naive 50/50 split.
+    let half = acc.with_glb(ByteSize::from_kb(128));
+    let naive_a = Manager::new(half, cfg).heterogeneous(&keyword).unwrap();
+    let naive_b = Manager::new(half, cfg).heterogeneous(&vision).unwrap();
+    let naive = naive_a.totals.accesses_elems + naive_b.totals.accesses_elems;
+    println!(
+        "  combined traffic vs naive 50/50: {:.1}% lower",
+        (1.0 - t.combined_accesses() as f64 / naive as f64) * 100.0
+    );
+
+    // --- Batching: amortize the vision model's filters. ------------------
+    println!("\nBatching {} on its {} partition:", vision.name, b_bytes);
+    let vision_acc = acc.with_glb(b_bytes);
+    for batch in [1u64, 4, 16] {
+        let totals = batched_totals(&t.plan_b, &vision, &vision_acc, batch);
+        println!(
+            "  batch {:>2}: {:>7.2} MB total, {:.2} MB/image ({:.0}% of single-image traffic)",
+            batch,
+            totals.accesses_bytes.mb(),
+            totals.accesses_bytes.mb() / batch as f64,
+            per_image_traffic_ratio(&t.plan_b, &vision, &vision_acc, batch) * 100.0
+        );
+    }
+
+    // --- Energy: what the traffic means in joules. -----------------------
+    let model = EnergyModel::default();
+    let e_a = plan_energy(&model, &t.plan_a, &keyword);
+    let e_b = plan_energy(&model, &t.plan_b, &vision);
+    println!(
+        "\nEnergy per inference: {} {:.0} uJ ({:.0}% DRAM), {} {:.0} uJ ({:.0}% DRAM)",
+        keyword.name,
+        e_a.total_uj(),
+        e_a.dram_share() * 100.0,
+        vision.name,
+        e_b.total_uj(),
+        e_b.dram_share() * 100.0
+    );
+}

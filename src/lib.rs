@@ -1,0 +1,21 @@
+//! Scratchpad memory management for deep learning accelerators.
+//!
+//! Umbrella crate re-exporting the workspace API. See the individual
+//! crates for the subsystems:
+//!
+//! - [`arch`] — accelerator specification (PE array, GLB size, bandwidth).
+//! - [`model`] — CNN layer descriptions, the six-network model zoo, topology IO.
+//! - [`policy`] — the on-chip memory policies of Section 3.2 and their estimators.
+//! - [`core`] — the memory-management analyser (Algorithm 1), execution plans,
+//!   prefetching and inter-layer reuse passes.
+//! - [`trace`] — address streams and the SRAM/DRAM models behind the baseline.
+//! - [`systolic`] — the SCALE-Sim-like output-stationary baseline accelerator.
+//! - [`exec`] — executable tile schedules that replay each policy against the
+//!   memory models and validate the estimators element-for-element.
+pub use smm_arch as arch;
+pub use smm_core as core;
+pub use smm_exec as exec;
+pub use smm_model as model;
+pub use smm_policy as policy;
+pub use smm_systolic as systolic;
+pub use smm_trace as trace;

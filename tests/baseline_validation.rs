@@ -1,0 +1,72 @@
+//! Cross-validation of the analytical baseline against the element-exact
+//! trace-mode schedule, over real zoo layers — the reproduction's
+//! equivalent of validating against the original simulator.
+
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::model::zoo;
+use scratchpad_mm::systolic::schedule::trace_layer;
+use scratchpad_mm::systolic::{simulate_layer, BaselineConfig, BufferSplit};
+
+fn cfg(kb: u64, split: BufferSplit) -> BaselineConfig {
+    BaselineConfig::paper(
+        AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+        split,
+    )
+}
+
+/// Trace-mode replay is element-exact; with the bitmap scratchpad nearly
+/// the whole zoo replays quickly — only the very largest stem layers and
+/// classifier filter sets are skipped in debug runs.
+fn traceable(shape: &scratchpad_mm::model::LayerShape) -> bool {
+    shape.ifmap_h <= 120 && shape.ifmap_w <= 120 && shape.filter_elems() <= 3_000_000
+}
+
+#[test]
+fn trace_matches_analytic_on_zoo_layers() {
+    let mut checked = 0;
+    for net in [zoo::resnet18(), zoo::mobilenetv2()] {
+        for layer in &net.layers {
+            if !traceable(&layer.shape) {
+                continue;
+            }
+            for (kb, split) in [
+                (64, BufferSplit::SA_25_75),
+                (64, BufferSplit::SA_50_50),
+                (256, BufferSplit::SA_50_50),
+            ] {
+                let c = cfg(kb, split);
+                let analytic = simulate_layer(&c, &layer.shape);
+                let traced = trace_layer(&c, &layer.shape);
+                assert!(
+                    traced.matches(&analytic),
+                    "{}/{} @ {kb}kB {}: {analytic:?} vs {traced:?}",
+                    net.name,
+                    layer.name,
+                    split.label()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 150, "only {checked} layer configs validated");
+}
+
+#[test]
+fn baseline_traffic_at_least_compulsory() {
+    // No configuration may report less than one load per unique element.
+    for net in zoo::all_networks() {
+        for kb in [64, 1024] {
+            let c = cfg(kb, BufferSplit::SA_50_50);
+            for layer in &net.layers {
+                let sim = simulate_layer(&c, &layer.shape);
+                assert!(
+                    sim.filter_loads >= layer.shape.filter_elems(),
+                    "{}/{}",
+                    net.name,
+                    layer.name
+                );
+                assert!(sim.ofmap_stores == layer.shape.ofmap_elems());
+            }
+        }
+    }
+}

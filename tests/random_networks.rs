@@ -1,0 +1,190 @@
+//! Randomized stress tests: generate random-but-valid layer chains and
+//! check the planner's invariants hold on networks far outside the zoo.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::core::{Manager, ManagerConfig, Objective};
+use scratchpad_mm::model::{Layer, LayerKind, LayerShape, Network};
+use scratchpad_mm::systolic::schedule::trace_layer;
+use scratchpad_mm::systolic::{simulate_layer, BaselineConfig, BufferSplit};
+
+/// Generate a random chain of convolution layers with coherent shapes.
+fn random_network(rng: &mut StdRng, max_layers: usize) -> Network {
+    let mut layers = Vec::new();
+    let mut hw: u32 = *[32u32, 56, 64].get(rng.gen_range(0..3)).unwrap();
+    let mut ch: u32 = 1 << rng.gen_range(0..4);
+    let n_layers = rng.gen_range(2..=max_layers);
+    for i in 0..n_layers {
+        let kind = rng.gen_range(0..4);
+        let (layer, out_hw, out_ch) = match kind {
+            0 => {
+                // Standard conv, odd kernel, stride 1 or 2.
+                let k = [1u32, 3, 5][rng.gen_range(0..3)];
+                let s = if hw >= 8 && rng.gen_bool(0.3) { 2 } else { 1 };
+                let nf = 1 << rng.gen_range(2..6);
+                let shape = LayerShape {
+                    ifmap_h: hw,
+                    ifmap_w: hw,
+                    in_channels: ch,
+                    filter_h: k,
+                    filter_w: k,
+                    num_filters: nf,
+                    stride: s,
+                    padding: k / 2,
+                    depthwise: false,
+                };
+                let (oh, _) = shape.output_hw();
+                (
+                    Layer::new(format!("conv{i}"), LayerKind::Conv, shape).unwrap(),
+                    oh,
+                    nf,
+                )
+            }
+            1 => {
+                let s = if hw >= 8 && rng.gen_bool(0.3) { 2 } else { 1 };
+                let shape = LayerShape {
+                    ifmap_h: hw,
+                    ifmap_w: hw,
+                    in_channels: ch,
+                    filter_h: 3,
+                    filter_w: 3,
+                    num_filters: ch,
+                    stride: s,
+                    padding: 1,
+                    depthwise: true,
+                };
+                let (oh, _) = shape.output_hw();
+                (
+                    Layer::new(format!("dw{i}"), LayerKind::DepthwiseConv, shape).unwrap(),
+                    oh,
+                    ch,
+                )
+            }
+            2 => {
+                let nf = 1 << rng.gen_range(2..7);
+                let shape = LayerShape {
+                    ifmap_h: hw,
+                    ifmap_w: hw,
+                    in_channels: ch,
+                    filter_h: 1,
+                    filter_w: 1,
+                    num_filters: nf,
+                    stride: 1,
+                    padding: 0,
+                    depthwise: false,
+                };
+                (
+                    Layer::new(format!("pw{i}"), LayerKind::PointwiseConv, shape).unwrap(),
+                    hw,
+                    nf,
+                )
+            }
+            _ => {
+                let nf = rng.gen_range(10..500);
+                let shape = LayerShape {
+                    ifmap_h: 1,
+                    ifmap_w: 1,
+                    in_channels: ch * hw.min(4),
+                    filter_h: 1,
+                    filter_w: 1,
+                    num_filters: nf,
+                    stride: 1,
+                    padding: 0,
+                    depthwise: false,
+                };
+                (
+                    Layer::new(format!("fc{i}"), LayerKind::FullyConnected, shape).unwrap(),
+                    1,
+                    nf,
+                )
+            }
+        };
+        layers.push(layer);
+        hw = out_hw.max(1);
+        ch = out_ch;
+        if hw == 1 {
+            break; // reached classifier scale
+        }
+    }
+    Network::new("random", layers).expect("generated network is valid")
+}
+
+#[test]
+fn planner_invariants_hold_on_random_networks() {
+    let mut rng = StdRng::seed_from_u64(0xB0FFE7);
+    for trial in 0..40 {
+        let net = random_network(&mut rng, 12);
+        for kb in [64u64, 256] {
+            let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(kb));
+            let het = Manager::new(acc, ManagerConfig::new(Objective::Accesses))
+                .heterogeneous(&net)
+                .unwrap_or_else(|e| panic!("trial {trial} @ {kb}kB: {e}"));
+            let hom = Manager::new(acc, ManagerConfig::new(Objective::Accesses))
+                .best_homogeneous(&net)
+                .unwrap();
+            // Het never loses to Hom; every layer fits; traffic at least
+            // one load per element.
+            assert!(het.totals.accesses_elems <= hom.totals.accesses_elems);
+            for (layer, d) in net.layers.iter().zip(&het.decisions) {
+                assert!(d.estimate.fits(&acc), "trial {trial}: {}", d.layer_name);
+                // Compulsory traffic: every filter in, every ofmap element
+                // out, and a nonzero ifmap stream. (The full padded ifmap
+                // is not a lower bound: strided fallback schedules skip
+                // rows no filter window covers.)
+                let min = layer.shape.filter_elems() + layer.shape.ofmap_elems();
+                assert!(
+                    d.estimate.accesses.total() > min,
+                    "trial {trial}: {} below compulsory traffic",
+                    d.layer_name
+                );
+                assert!(d.estimate.accesses.ifmap_loads > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn objectives_are_consistent_on_random_networks() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..20 {
+        let net = random_network(&mut rng, 10);
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(128));
+        let a = Manager::new(acc, ManagerConfig::new(Objective::Accesses))
+            .heterogeneous(&net)
+            .unwrap();
+        let l = Manager::new(acc, ManagerConfig::new(Objective::Latency))
+            .heterogeneous(&net)
+            .unwrap();
+        assert!(l.totals.latency_cycles <= a.totals.latency_cycles);
+        assert!(a.totals.accesses_elems <= l.totals.accesses_elems);
+    }
+}
+
+#[test]
+fn baseline_trace_matches_analytic_on_random_layers() {
+    let mut rng = StdRng::seed_from_u64(0xACE);
+    let mut checked = 0;
+    for _ in 0..12 {
+        let net = random_network(&mut rng, 6);
+        for layer in &net.layers {
+            // Keep the replay cheap.
+            if layer.shape.ifmap_elems() > 200_000 || layer.shape.filter_elems() > 400_000 {
+                continue;
+            }
+            let cfg = BaselineConfig::paper(
+                AcceleratorConfig::paper_default(ByteSize::from_kb(64)),
+                BufferSplit::SA_50_50,
+            );
+            let analytic = simulate_layer(&cfg, &layer.shape);
+            let traced = trace_layer(&cfg, &layer.shape);
+            assert!(
+                traced.matches(&analytic),
+                "{:?}: {analytic:?} vs {traced:?}",
+                layer.shape
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 20, "only {checked} random layers validated");
+}

@@ -1,0 +1,44 @@
+//! The import path: topology CSV → network → plan must be equivalent to
+//! planning the in-memory model directly (the paper's TF/PyTorch
+//! translator substitute).
+
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::core::{Manager, ManagerConfig, Objective};
+use scratchpad_mm::model::{topology, zoo};
+
+#[test]
+fn plans_are_identical_through_the_topology_format() {
+    let manager = Manager::new(
+        AcceleratorConfig::paper_default(ByteSize::from_kb(128)),
+        ManagerConfig::new(Objective::Accesses),
+    );
+    for net in zoo::all_networks() {
+        let csv = topology::write(&net);
+        let reparsed = topology::parse(net.name.clone(), &csv).expect("round-trip parses");
+        let direct = manager.heterogeneous(&net).expect("direct plan");
+        let via_csv = manager.heterogeneous(&reparsed).expect("csv plan");
+        assert_eq!(direct.totals, via_csv.totals, "{}", net.name);
+        for (a, b) in direct.decisions.iter().zip(&via_csv.decisions) {
+            assert_eq!(a.estimate, b.estimate, "{}/{}", net.name, a.layer_name);
+        }
+    }
+}
+
+#[test]
+fn classic_8_column_files_still_plan() {
+    // A SCALE-Sim v1 style file (no padding / kind columns).
+    let csv = "\
+Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,
+conv1, 56, 56, 3, 3, 16, 32, 1,
+conv2, 54, 54, 3, 3, 32, 64, 2,
+fc,     1,  1, 1, 1, 64, 10, 1,
+";
+    let net = topology::parse("legacy", csv).expect("parses");
+    let plan = Manager::new(
+        AcceleratorConfig::paper_default(ByteSize::from_kb(64)),
+        ManagerConfig::new(Objective::Accesses),
+    )
+    .heterogeneous(&net)
+    .expect("plans");
+    assert_eq!(plan.decisions.len(), 3);
+}
