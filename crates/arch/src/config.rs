@@ -154,6 +154,7 @@ impl Default for AcceleratorConfigBuilder {
 }
 
 impl AcceleratorConfigBuilder {
+    /// Set the PE array dimensions (and derive OPs/cycle from them).
     pub fn pe_array(mut self, rows: usize, cols: usize) -> Self {
         self.cfg.pe_rows = rows;
         self.cfg.pe_cols = cols;
@@ -163,26 +164,31 @@ impl AcceleratorConfigBuilder {
         self
     }
 
+    /// Override the compute throughput in operations per cycle.
     pub fn ops_per_cycle(mut self, ops: u64) -> Self {
         self.cfg.ops_per_cycle = ops;
         self
     }
 
+    /// Set the element data width.
     pub fn data_width(mut self, width: DataWidth) -> Self {
         self.cfg.data_width = width;
         self
     }
 
+    /// Set the Global Buffer capacity.
     pub fn glb(mut self, glb: ByteSize) -> Self {
         self.cfg.glb = glb;
         self
     }
 
+    /// Set the off-chip memory bandwidth in bytes per cycle.
     pub fn dram_bytes_per_cycle(mut self, bytes: u64) -> Self {
         self.cfg.dram_bytes_per_cycle = bytes;
         self
     }
 
+    /// Validate and produce the configuration.
     pub fn build(self) -> Result<AcceleratorConfig, ConfigError> {
         self.cfg.validate()?;
         Ok(self.cfg)
@@ -218,11 +224,13 @@ mod tests {
         let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
         assert_eq!(acc.dram_elements_per_cycle(), 16);
         assert_eq!(
-            acc.with_data_width(DataWidth::W16).dram_elements_per_cycle(),
+            acc.with_data_width(DataWidth::W16)
+                .dram_elements_per_cycle(),
             8
         );
         assert_eq!(
-            acc.with_data_width(DataWidth::W32).dram_elements_per_cycle(),
+            acc.with_data_width(DataWidth::W32)
+                .dram_elements_per_cycle(),
             4
         );
     }
@@ -262,7 +270,10 @@ mod tests {
 
         let mut acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
         acc.ops_per_cycle = 3;
-        assert!(matches!(acc.validate(), Err(ConfigError::BadOpsPerCycle(3))));
+        assert!(matches!(
+            acc.validate(),
+            Err(ConfigError::BadOpsPerCycle(3))
+        ));
 
         let mut acc = AcceleratorConfig::paper_default(ByteSize(0));
         acc.glb = ByteSize(0);

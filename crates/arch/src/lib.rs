@@ -19,6 +19,8 @@
 //! assert_eq!(acc.dram_elements_per_cycle(), 16);
 //! ```
 
+#![warn(missing_docs)]
+
 mod config;
 mod size;
 mod width;

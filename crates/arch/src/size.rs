@@ -15,6 +15,7 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
+    /// Zero bytes.
     pub const ZERO: ByteSize = ByteSize(0);
 
     /// Construct from kilobytes (1 kB = 1024 bytes, as in the paper's

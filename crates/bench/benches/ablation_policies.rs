@@ -23,11 +23,9 @@ fn bench_estimators(c: &mut Criterion) {
     let a = acc();
     let mut group = c.benchmark_group("estimate");
     for kind in PolicyKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, &k| b.iter(|| black_box(estimate(k, &shape, &a, false))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| black_box(estimate(k, &shape, &a, false)))
+        });
     }
     group.finish();
 }

@@ -47,8 +47,9 @@ pub fn fig5_data() -> Vec<Fig5Row> {
             let a = acc(kb);
             let mut baselines = [0.0; 3];
             for (bi, &split) in BufferSplit::ALL.iter().enumerate() {
-                baselines[bi] =
-                    simulate_network(&BaselineConfig::paper(a, split), net).total_bytes.mb();
+                baselines[bi] = simulate_network(&BaselineConfig::paper(a, split), net)
+                    .total_bytes
+                    .mb();
             }
             let idx = n * SIZES_KB.len() + g;
             Fig5Row {
@@ -66,12 +67,17 @@ pub fn fig5_data() -> Vec<Fig5Row> {
 /// columns.
 pub fn fig5() -> String {
     let data = fig5_data();
-    let mut out =
-        String::from("Figure 5: volume of off-chip memory accesses (MB) per scheme\n");
+    let mut out = String::from("Figure 5: volume of off-chip memory accesses (MB) per scheme\n");
     for net in zoo::all_networks() {
         out.push_str(&format!("\n{}\n", net.name));
         let mut t = TextTable::new(&[
-            "GLB", "sa_25_75", "sa_50_50", "sa_75_25", "Hom", "Het", "Het reduction",
+            "GLB",
+            "sa_25_75",
+            "sa_50_50",
+            "sa_75_25",
+            "Hom",
+            "Het",
+            "Het reduction",
         ]);
         for row in data.iter().filter(|r| r.network == net.name) {
             t.row(vec![
@@ -115,15 +121,17 @@ pub fn fig6() -> String {
         "Figure 6: Het memory breakdown for ResNet18, 64 kB GLB \
          (allocated kB per data type; 50-50 baseline partition would be 30/30)\n",
     );
-    let mut t = TextTable::new(&["layer", "policy", "ifmap kB", "filter kB", "ofmap kB", "total"]);
+    let mut t = TextTable::new(&[
+        "layer",
+        "policy",
+        "ifmap kB",
+        "filter kB",
+        "ofmap kB",
+        "total",
+    ]);
     for d in &plan.decisions {
         let alloc = d.estimate.allocation();
-        let kb = |elems: u64| {
-            format!(
-                "{:.1}",
-                ByteSize::from_elements(elems, a.data_width).kb()
-            )
-        };
+        let kb = |elems: u64| format!("{:.1}", ByteSize::from_elements(elems, a.data_width).kb());
         t.row(vec![
             d.layer_name.clone(),
             format!(
@@ -157,9 +165,8 @@ pub fn fig7_benefit(width: DataWidth, glb_kb: u64) -> f64 {
 /// Figure 7: benefit of Het over Hom for different data widths
 /// (MobileNetV2).
 pub fn fig7() -> String {
-    let mut out = String::from(
-        "Figure 7: access reduction of Het over Hom for MobileNetV2 (percent)\n",
-    );
+    let mut out =
+        String::from("Figure 7: access reduction of Het over Hom for MobileNetV2 (percent)\n");
     let mut t = TextTable::new(&["GLB", "8-bit", "16-bit", "32-bit"]);
     for &kb in &SIZES_KB {
         t.row(vec![

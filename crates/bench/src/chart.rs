@@ -46,10 +46,7 @@ mod tests {
 
     #[test]
     fn block_lines_align() {
-        let rows = vec![
-            ("sa_25_75".to_string(), 113.6),
-            ("Het".to_string(), 16.1),
-        ];
+        let rows = vec![("sa_25_75".to_string(), 113.6), ("Het".to_string(), 16.1)];
         let out = bar_block(&rows, 30);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);

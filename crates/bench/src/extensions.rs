@@ -33,7 +33,11 @@ pub fn energy() -> String {
     for net in zoo::all_networks() {
         let base_bytes = BufferSplit::ALL
             .iter()
-            .map(|&s| simulate_network(&BaselineConfig::paper(a, s), &net).total_bytes.bytes())
+            .map(|&s| {
+                simulate_network(&BaselineConfig::paper(a, s), &net)
+                    .total_bytes
+                    .bytes()
+            })
             .min()
             .expect("three splits");
         let base_e = traffic_energy(&model, base_bytes, &net);
@@ -79,9 +83,9 @@ pub fn validate_bounded(max_map_elems: u64, max_filter_elems: u64) -> (usize, us
     let layers: Vec<(String, smm_model::LayerShape)> = [zoo::resnet18(), zoo::mobilenetv2()]
         .iter()
         .flat_map(|net| {
-            net.layers.iter().map(move |l| {
-                (format!("{}/{}", net.name, l.name), l.shape)
-            })
+            net.layers
+                .iter()
+                .map(move |l| (format!("{}/{}", net.name, l.name), l.shape))
         })
         .filter(|(_, s)| {
             s.padded_ifmap_elems() <= max_map_elems
@@ -100,7 +104,10 @@ pub fn validate_bounded(max_map_elems: u64, max_filter_elems: u64) -> (usize, us
                     continue; // same schedule as the plain variant
                 }
                 total += 1;
-                if replay(shape, &est).map(|r| r.matches(&est)).unwrap_or(false) {
+                if replay(shape, &est)
+                    .map(|r| r.matches(&est))
+                    .unwrap_or(false)
+                {
                     ok += 1;
                 }
             }

@@ -23,11 +23,9 @@ pub struct Fig8Row {
 pub fn fig8_data() -> Vec<Fig8Row> {
     let mut rows = Vec::new();
     for net in zoo::all_networks() {
-        let baseline = simulate_network(
-            &BaselineConfig::paper(acc(64), BufferSplit::SA_50_50),
-            &net,
-        )
-        .latency_cycles;
+        let baseline =
+            simulate_network(&BaselineConfig::paper(acc(64), BufferSplit::SA_50_50), &net)
+                .latency_cycles;
         for &kb in &SIZES_KB {
             let a = acc(kb);
             let plan = |obj| {

@@ -50,22 +50,70 @@ pub type Experiment = (&'static str, &'static str, fn() -> String);
 /// Experiment registry.
 pub fn experiments() -> Vec<Experiment> {
     vec![
-        ("table2", "model inventory", tables::table2 as fn() -> String),
-        ("table3", "max memory per min-transfer policy", tables::table3),
+        (
+            "table2",
+            "model inventory",
+            tables::table2 as fn() -> String,
+        ),
+        (
+            "table3",
+            "max memory per min-transfer policy",
+            tables::table3,
+        ),
         ("table4", "memory policies used at 64kB", tables::table4),
         ("fig1", "motivational buffer mappings", motivation::fig1),
-        ("fig2", "ifmap re-loads per access direction", motivation::fig2),
-        ("fig3", "ResNet18 per-layer memory breakdown", motivation::fig3),
-        ("fig5", "off-chip accesses: baselines vs Hom/Het", accesses::fig5),
-        ("fig6", "Het memory breakdown, ResNet18 @ 64kB", accesses::fig6),
+        (
+            "fig2",
+            "ifmap re-loads per access direction",
+            motivation::fig2,
+        ),
+        (
+            "fig3",
+            "ResNet18 per-layer memory breakdown",
+            motivation::fig3,
+        ),
+        (
+            "fig5",
+            "off-chip accesses: baselines vs Hom/Het",
+            accesses::fig5,
+        ),
+        (
+            "fig6",
+            "Het memory breakdown, ResNet18 @ 64kB",
+            accesses::fig6,
+        ),
         ("fig7", "Het-over-Hom benefit vs data width", accesses::fig7),
         ("fig8", "latency: baseline vs Hom/Het", latency::fig8),
         ("fig9", "Het_l vs Het_a benefit @ 64kB", latency::fig9),
-        ("fig10", "prefetching ablation (MobileNet)", ablations::fig10),
-        ("fig11", "inter-layer reuse ablation (MnasNet)", ablations::fig11),
-        ("energy", "energy comparison at 64kB (extension)", extensions::energy),
-        ("validate", "schedule-replay estimator validation (extension)", extensions::validate),
-        ("dataflow", "baseline dataflow ablation OS/WS/IS (extension)", extensions::dataflow),
-        ("dse", "heuristic policies vs tile-size DSE (extension)", extensions::dse),
+        (
+            "fig10",
+            "prefetching ablation (MobileNet)",
+            ablations::fig10,
+        ),
+        (
+            "fig11",
+            "inter-layer reuse ablation (MnasNet)",
+            ablations::fig11,
+        ),
+        (
+            "energy",
+            "energy comparison at 64kB (extension)",
+            extensions::energy,
+        ),
+        (
+            "validate",
+            "schedule-replay estimator validation (extension)",
+            extensions::validate,
+        ),
+        (
+            "dataflow",
+            "baseline dataflow ablation OS/WS/IS (extension)",
+            extensions::dataflow,
+        ),
+        (
+            "dse",
+            "heuristic policies vs tile-size DSE (extension)",
+            extensions::dse,
+        ),
     ]
 }

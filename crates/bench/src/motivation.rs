@@ -17,11 +17,16 @@ pub fn fig1() -> String {
     let total = 72.0; // total on-chip kB in both organizations
     let (sep_i, sep_f, sep_o) = (24.0, 24.0, 24.0);
 
-    let mut out = String::from(
-        "Figure 1: separate buffers vs managed global buffer (requirements in kB)\n",
-    );
+    let mut out =
+        String::from("Figure 1: separate buffers vs managed global buffer (requirements in kB)\n");
     let mut t = TextTable::new(&[
-        "case", "ifmap", "filter", "ofmap", "separate fits?", "global fits?", "global slack",
+        "case",
+        "ifmap",
+        "filter",
+        "ofmap",
+        "separate fits?",
+        "global fits?",
+        "global slack",
     ]);
     for (name, i, f, o) in cases {
         let sep_ok = i <= sep_i && f <= sep_f && o <= sep_o;

@@ -19,7 +19,10 @@ pub fn table2() -> String {
             kinds.join(", "),
         ]);
     }
-    format!("Table 2: characteristics of the DL models studied\n{}", t.render())
+    format!(
+        "Table 2: characteristics of the DL models studied\n{}",
+        t.render()
+    )
 }
 
 /// Maximum over layers of a policy's memory requirement, in kB at 8-bit.
@@ -63,7 +66,11 @@ pub fn table4() -> String {
         let plan = manager.heterogeneous(&net).expect("64kB plans");
         let mut parts: Vec<String> = Vec::new();
         for (kind, prefetch) in plan.policies_used() {
-            parts.push(format!("{}{}", kind.label(), if prefetch { "+p" } else { "" }));
+            parts.push(format!(
+                "{}{}",
+                kind.label(),
+                if prefetch { "+p" } else { "" }
+            ));
         }
         t.row(vec![net.name.clone(), parts.join(", ")]);
     }

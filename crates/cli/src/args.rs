@@ -23,6 +23,10 @@ pub struct Options {
     pub batch: u64,
     /// Second positional target (the second tenant for `tenants`).
     pub target2: Option<String>,
+    /// Collect and print the observability profile report.
+    pub profile: bool,
+    /// Write a Chrome trace-event JSON file of the run.
+    pub trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -39,6 +43,8 @@ impl Default for Options {
             csv: false,
             batch: 1,
             target2: None,
+            profile: false,
+            trace_out: None,
         }
     }
 }
@@ -91,6 +97,8 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             "--no-prefetch" => opts.prefetch = false,
             "--inter-layer" => opts.inter_layer = true,
             "--csv" => opts.csv = true,
+            "--profile" => opts.profile = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--batch" => {
                 opts.batch = value("--batch")?
                     .parse()
@@ -146,6 +154,17 @@ mod tests {
         assert_eq!(o.split, BufferSplit::SA_25_75);
         assert!(!o.prefetch);
         assert!(o.inter_layer);
+    }
+
+    #[test]
+    fn profile_and_trace_out() {
+        let o = parse(&argv("resnet18 --profile --trace-out trace.json")).unwrap();
+        assert!(o.profile);
+        assert_eq!(o.trace_out.as_deref(), Some("trace.json"));
+        assert!(parse(&argv("resnet18 --trace-out")).is_err());
+        let off = parse(&argv("resnet18")).unwrap();
+        assert!(!off.profile);
+        assert!(off.trace_out.is_none());
     }
 
     #[test]

@@ -43,6 +43,34 @@ fn manager(opts: &Options) -> Manager {
     )
 }
 
+/// Run `body` with the observability collector enabled when `--profile`
+/// or `--trace-out` asked for it, then print the profile report and/or
+/// write the Chrome trace. The report and trace are still produced when
+/// `body` fails, so a failing run can be inspected too.
+fn with_observability(
+    opts: &Options,
+    body: impl FnOnce() -> Result<(), String>,
+) -> Result<(), String> {
+    let active = opts.profile || opts.trace_out.is_some();
+    if active {
+        smm_obs::reset();
+        smm_obs::set_enabled(true);
+    }
+    let result = body();
+    if active {
+        smm_obs::set_enabled(false);
+        if opts.profile {
+            println!();
+            print!("{}", smm_obs::report());
+        }
+        if let Some(path) = &opts.trace_out {
+            smm_obs::write_chrome_trace(path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+        }
+    }
+    result
+}
+
 /// `smm list-models`
 pub fn list_models() -> Result<(), String> {
     let mut t = TextTable::new(&["Network", "Layers", "Types", "MACs (M)", "Max layer kB"]);
@@ -63,6 +91,10 @@ pub fn list_models() -> Result<(), String> {
 
 /// `smm analyze <model>`
 pub fn analyze(opts: &Options) -> Result<(), String> {
+    with_observability(opts, || analyze_body(opts))
+}
+
+fn analyze_body(opts: &Options) -> Result<(), String> {
     let net = load_network(opts)?;
     let m = manager(opts);
     let plan = if opts.heterogeneous {
@@ -158,8 +190,8 @@ pub fn tenants(opts: &Options) -> Result<(), String> {
     let cfg = ManagerConfig::new(opts.objective)
         .with_prefetch(opts.prefetch)
         .with_inter_layer_reuse(opts.inter_layer);
-    let t = tenancy::partition(accelerator(opts), cfg, &net_a, &net_b, 5)
-        .map_err(|e| e.to_string())?;
+    let t =
+        tenancy::partition(accelerator(opts), cfg, &net_a, &net_b, 5).map_err(|e| e.to_string())?;
     println!(
         "best static split of {}: {} for {}, {} for {}",
         accelerator(opts).glb,
@@ -201,7 +233,14 @@ pub fn explain(opts: &Options) -> Result<(), String> {
         m.config().objective
     );
     let mut t = TextTable::new(&[
-        "policy", "+p", "n", "memory kB", "accesses", "cycles", "fits", "chosen",
+        "policy",
+        "+p",
+        "n",
+        "memory kB",
+        "accesses",
+        "cycles",
+        "fits",
+        "chosen",
     ]);
     for c in m.explain(&layer.shape) {
         t.row(vec![
@@ -225,6 +264,10 @@ pub fn explain(opts: &Options) -> Result<(), String> {
 /// `smm lower <model> <layer>` — the DMA command stream of the chosen
 /// policy for one layer (truncated listing).
 pub fn lower(opts: &Options) -> Result<(), String> {
+    with_observability(opts, || lower_body(opts))
+}
+
+fn lower_body(opts: &Options) -> Result<(), String> {
     let net = load_network(opts)?;
     let Some(layer_name) = &opts.target2 else {
         return Err("lower needs a layer name".into());
@@ -238,8 +281,8 @@ pub fn lower(opts: &Options) -> Result<(), String> {
         .into_iter()
         .find(|c| c.chosen)
         .ok_or_else(|| format!("no policy fits {layer_name} in {}", m.accelerator().glb))?;
-    let program = smm_exec::Program::lower(&layer.shape, &chosen.estimate)
-        .map_err(|e| e.to_string())?;
+    let program =
+        smm_exec::Program::lower(&layer.shape, &chosen.estimate).map_err(|e| e.to_string())?;
     println!(
         "{}/{}: {}{} lowered to {} DMA commands (replayed: {} elements moved, peak {} resident)",
         net.name,
@@ -298,6 +341,10 @@ pub fn baseline(opts: &Options) -> Result<(), String> {
 
 /// `smm sweep <model>` — Figure 5/8-style comparison for one model.
 pub fn sweep(opts: &Options) -> Result<(), String> {
+    with_observability(opts, || sweep_body(opts))
+}
+
+fn sweep_body(opts: &Options) -> Result<(), String> {
     let net = load_network(opts)?;
     let mut t = TextTable::new(&[
         "GLB", "sa_25_75", "sa_50_50", "sa_75_25", "Hom", "Het", "base cyc", "Het cyc",
@@ -308,12 +355,7 @@ pub fn sweep(opts: &Options) -> Result<(), String> {
             ..opts.clone()
         };
         let acc = accelerator(&o);
-        let mb = |elems: u64| {
-            format!(
-                "{:.2}",
-                ByteSize::from_elements(elems, acc.data_width).mb()
-            )
-        };
+        let mb = |elems: u64| format!("{:.2}", ByteSize::from_elements(elems, acc.data_width).mb());
         let baselines: Vec<String> = BufferSplit::ALL
             .iter()
             .map(|&split| {

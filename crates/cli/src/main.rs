@@ -34,6 +34,10 @@ OPTIONS (analyze / baseline / sweep):
     --inter-layer         Enable the inter-layer reuse pass
     --csv                 Emit the analyze plan as CSV
     --batch <N>           Also report batched-execution totals
+
+OPTIONS (analyze / sweep / lower):
+    --profile             Print the observability report (counters, spans)
+    --trace-out <FILE>    Write a Chrome trace-event JSON of the run
 ";
 
 fn main() -> ExitCode {

@@ -14,10 +14,7 @@ use smm_model::Network;
 
 /// Whether a decision keeps the full filter set of its layer resident
 /// for the whole layer (the precondition for cross-image filter reuse).
-fn filters_fully_resident(
-    d: &crate::LayerDecision,
-    net: &Network,
-) -> bool {
+fn filters_fully_resident(d: &crate::LayerDecision, net: &Network) -> bool {
     let layer = &net.layers[d.layer_index];
     d.estimate.resident.filters >= layer.shape.filter_elems()
 }

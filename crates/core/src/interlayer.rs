@@ -73,6 +73,7 @@ pub fn apply(
     acc: &AcceleratorConfig,
     objective: Objective,
 ) -> usize {
+    let _span = smm_obs::span!("interlayer.apply", "{}", plan.network);
     let glb = acc.glb_elements();
     let mut enabled = 0;
     for i in 0..plan.decisions.len().saturating_sub(1) {
@@ -155,6 +156,10 @@ pub fn apply(
             continue;
         }
 
+        smm_obs::add(smm_obs::Counter::InterLayerTransitions, 1);
+        if cand != current {
+            smm_obs::add(smm_obs::Counter::InterLayerSwitches, 1);
+        }
         plan.decisions[i].estimate = cand;
         plan.decisions[i].ofmap_kept_on_chip = true;
         plan.decisions[i + 1].ifmap_from_glb = true;

@@ -146,18 +146,29 @@ impl Manager {
     /// because they are evaluated first).
     fn select(&self, shape: &smm_model::LayerShape) -> Option<PolicyEstimate> {
         let mut best: Option<PolicyEstimate> = None;
+        let mut candidates = 0u64;
+        let mut rejected = 0u64;
         for kind in PolicyKind::ALL {
             for &prefetch in self.prefetch_options() {
                 let Some(e) = estimate(kind, shape, &self.acc, prefetch) else {
                     continue;
                 };
+                candidates += 1;
                 if !e.fits(&self.acc) {
+                    if prefetch {
+                        rejected += 1;
+                    }
                     continue;
                 }
                 if best.as_ref().is_none_or(|b| self.better(&e, b)) {
                     best = Some(e);
                 }
             }
+        }
+        if smm_obs::enabled() {
+            smm_obs::add(smm_obs::Counter::PlannerCandidates, candidates);
+            smm_obs::add(smm_obs::Counter::PlannerPrefetchRejected, rejected);
+            smm_obs::observe(smm_obs::Histogram::CandidatesPerLayer, candidates);
         }
         best
     }
@@ -239,12 +250,17 @@ impl Manager {
     /// The heterogeneous execution plan (`Het`): Algorithm 1 applied per
     /// layer.
     pub fn heterogeneous(&self, net: &Network) -> Result<ExecutionPlan, PlanError> {
+        let _net_span = smm_obs::span!("plan.network", "{} ({})", net.name, "het");
         let mut decisions = Vec::with_capacity(net.layers.len());
         for (i, layer) in net.layers.iter().enumerate() {
-            let est = self.select(&layer.shape).ok_or(PlanError::LayerDoesNotFit {
-                layer: layer.name.clone(),
-                glb_elements: self.acc.glb_elements(),
-            })?;
+            let _layer_span = smm_obs::span!("plan.layer", "{}", layer.name);
+            let est = self
+                .select(&layer.shape)
+                .ok_or(PlanError::LayerDoesNotFit {
+                    layer: layer.name.clone(),
+                    glb_elements: self.acc.glb_elements(),
+                })?;
+            smm_obs::add(smm_obs::Counter::PlannerLayersPlanned, 1);
             decisions.push(LayerDecision::new(i, layer.name.clone(), est));
         }
         Ok(self.finish_plan(net, Scheme::Heterogeneous, decisions))
@@ -252,14 +268,16 @@ impl Manager {
 
     /// A homogeneous execution plan: every layer constrained to `kind`.
     pub fn homogeneous(&self, net: &Network, kind: PolicyKind) -> Result<ExecutionPlan, PlanError> {
+        let _net_span = smm_obs::span!("plan.network", "{} (hom {:?})", net.name, kind);
         let mut decisions = Vec::with_capacity(net.layers.len());
         for (i, layer) in net.layers.iter().enumerate() {
-            let est = self
-                .select_constrained(kind, &layer.shape)
-                .ok_or(PlanError::LayerDoesNotFit {
-                    layer: layer.name.clone(),
-                    glb_elements: self.acc.glb_elements(),
-                })?;
+            let _layer_span = smm_obs::span!("plan.layer", "{}", layer.name);
+            let est =
+                self.select_constrained(kind, &layer.shape)
+                    .ok_or(PlanError::LayerDoesNotFit {
+                        layer: layer.name.clone(),
+                        glb_elements: self.acc.glb_elements(),
+                    })?;
             decisions.push(LayerDecision::new(i, layer.name.clone(), est));
         }
         Ok(self.finish_plan(net, Scheme::Homogeneous(kind), decisions))
@@ -388,7 +406,9 @@ mod tests {
     #[test]
     fn homogeneous_plans_use_single_kind_or_fallback() {
         let m = manager(64, Objective::Accesses);
-        let plan = m.homogeneous(&zoo::resnet18(), PolicyKind::P2FilterReuse).unwrap();
+        let plan = m
+            .homogeneous(&zoo::resnet18(), PolicyKind::P2FilterReuse)
+            .unwrap();
         for d in &plan.decisions {
             assert!(
                 d.estimate.kind == PolicyKind::P2FilterReuse
@@ -428,9 +448,13 @@ mod tests {
             for c in report.iter().filter(|c| c.feasible) {
                 assert!(
                     (c.estimate.accesses.total(), c.estimate.latency.cycles)
-                        >= (winner.estimate.accesses.total(), winner.estimate.latency.cycles)
+                        >= (
+                            winner.estimate.accesses.total(),
+                            winner.estimate.latency.cycles
+                        )
                         || c.chosen,
-                    "{}", layer.name
+                    "{}",
+                    layer.name
                 );
             }
         }

@@ -152,7 +152,11 @@ impl ExecutionPlan {
         if self.decisions.is_empty() {
             return 0.0;
         }
-        let n = self.decisions.iter().filter(|d| d.estimate.prefetch).count();
+        let n = self
+            .decisions
+            .iter()
+            .filter(|d| d.estimate.prefetch)
+            .count();
         n as f64 / self.decisions.len() as f64
     }
 
@@ -221,10 +225,7 @@ mod tests {
         assert_eq!(d.effective_accesses().ifmap_loads, 0);
         d.ofmap_kept_on_chip = true;
         assert_eq!(d.effective_accesses().ofmap_stores, 0);
-        assert_eq!(
-            d.effective_accesses().total(),
-            base.filter_loads
-        );
+        assert_eq!(d.effective_accesses().total(), base.filter_loads);
     }
 
     #[test]
@@ -288,6 +289,9 @@ mod tests {
     #[test]
     fn scheme_labels() {
         assert_eq!(Scheme::Heterogeneous.label(), "Het");
-        assert_eq!(Scheme::Homogeneous(PolicyKind::P2FilterReuse).label(), "Hom");
+        assert_eq!(
+            Scheme::Homogeneous(PolicyKind::P2FilterReuse).label(),
+            "Hom"
+        );
     }
 }

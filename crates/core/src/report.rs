@@ -95,7 +95,10 @@ pub fn plan_csv(plan: &ExecutionPlan, acc: &AcceleratorConfig) -> String {
             d.layer_name,
             d.estimate.kind.label(),
             d.estimate.prefetch,
-            d.estimate.block_n.map(|n| n.to_string()).unwrap_or_default(),
+            d.estimate
+                .block_n
+                .map(|n| n.to_string())
+                .unwrap_or_default(),
             alloc.ifmap,
             alloc.filters,
             alloc.ofmap,

@@ -56,6 +56,7 @@ pub fn run_with_events(
     net: &Network,
     events: &[CapacityEvent],
 ) -> Result<DynamicRun, PlanError> {
+    let _span = smm_obs::span!("runtime.dynamic", "{} ({} events)", net.name, events.len());
     let mut sorted: Vec<&CapacityEvent> = events.iter().collect();
     sorted.sort_by_key(|e| e.at_layer);
 
@@ -70,11 +71,8 @@ pub fn run_with_events(
         capacity_trace.push(current);
         let manager = Manager::new(acc.with_glb(current), cfg);
         // Plan just this layer under the live capacity.
-        let single = Network::new(
-            net.name.clone(),
-            vec![layer.clone()],
-        )
-        .expect("single-layer network is valid");
+        let single = Network::new(net.name.clone(), vec![layer.clone()])
+            .expect("single-layer network is valid");
         let plan = manager.heterogeneous(&single)?;
         let mut d: LayerDecision = plan.decisions.into_iter().next().expect("one decision");
         d.layer_index = i;
@@ -106,7 +104,10 @@ mod tests {
         let static_plan = Manager::new(acc(256), cfg).heterogeneous(&net).unwrap();
         assert_eq!(run.plan.totals, static_plan.totals);
         assert_eq!(run.replanned_layers(&static_plan), 0);
-        assert!(run.capacity_trace.iter().all(|c| *c == ByteSize::from_kb(256)));
+        assert!(run
+            .capacity_trace
+            .iter()
+            .all(|c| *c == ByteSize::from_kb(256)));
     }
 
     #[test]

@@ -39,11 +39,14 @@ pub fn plan_matrix(
     let cells: Vec<(usize, usize)> = (0..networks.len())
         .flat_map(|n| (0..glb_kbs.len()).map(move |g| (n, g)))
         .collect();
+    let _span = smm_obs::span!("sweep.matrix", "{} cells", cells.len());
     cells
         .par_iter()
         .map(|&(n, g)| {
             let net = &networks[n];
             let kb = glb_kbs[g];
+            let _cell_span = smm_obs::span!("sweep.cell", "{}@{}kB", networks[n].name, kb);
+            smm_obs::add(smm_obs::Counter::SweepCells, 1);
             let manager = Manager::new(base.with_glb(ByteSize::from_kb(kb)), cfg);
             let plan = match scheme {
                 SweepScheme::BestHomogeneous => manager.best_homogeneous(net)?,
@@ -105,7 +108,8 @@ mod tests {
     fn parallel_matches_sequential() {
         let nets = vec![zoo::mnasnet()];
         let cfg = ManagerConfig::new(Objective::Accesses);
-        let cells = plan_matrix(base(), cfg, SweepScheme::Heterogeneous, &nets, &[64, 1024]).unwrap();
+        let cells =
+            plan_matrix(base(), cfg, SweepScheme::Heterogeneous, &nets, &[64, 1024]).unwrap();
         for c in &cells {
             let manager = Manager::new(base().with_glb(ByteSize::from_kb(c.glb_kb)), cfg);
             let seq = manager.heterogeneous(&nets[0]).unwrap();
@@ -117,8 +121,7 @@ mod tests {
     fn scheme_flag_selects_hom() {
         let nets = vec![zoo::resnet18()];
         let cfg = ManagerConfig::new(Objective::Accesses);
-        let cells =
-            plan_matrix(base(), cfg, SweepScheme::BestHomogeneous, &nets, &[64]).unwrap();
+        let cells = plan_matrix(base(), cfg, SweepScheme::BestHomogeneous, &nets, &[64]).unwrap();
         assert!(matches!(cells[0].plan.scheme, Scheme::Homogeneous(_)));
     }
 

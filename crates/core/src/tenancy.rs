@@ -127,9 +127,7 @@ mod tests {
         let pb = Manager::new(acc(256).with_glb(half), cfg)
             .heterogeneous(&b)
             .unwrap();
-        assert!(
-            best.combined_accesses() <= pa.totals.accesses_elems + pb.totals.accesses_elems
-        );
+        assert!(best.combined_accesses() <= pa.totals.accesses_elems + pb.totals.accesses_elems);
     }
 
     #[test]

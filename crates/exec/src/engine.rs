@@ -121,6 +121,7 @@ impl Engine {
     }
 
     fn push_cmd(&mut self, cmd: Command) {
+        smm_obs::add(smm_obs::Counter::ReplayDmaCommands, 1);
         if let Some(r) = &mut self.record {
             r.push(cmd);
         }
@@ -195,7 +196,9 @@ impl Engine {
         if fs.is_empty() {
             return Ok(());
         }
-        self.push_cmd(Command::FillFilters { filters: fs.clone() });
+        self.push_cmd(Command::FillFilters {
+            filters: fs.clone(),
+        });
         let r = self.map.filters(fs);
         let n = self.charged_fill(r)?;
         self.replay.filter_loads += n;
@@ -207,7 +210,9 @@ impl Engine {
         if fs.is_empty() {
             return;
         }
-        self.push_cmd(Command::StreamFilters { filters: fs.clone() });
+        self.push_cmd(Command::StreamFilters {
+            filters: fs.clone(),
+        });
         let r = self.map.filters(fs);
         self.replay.filter_loads += r.end - r.start;
         self.sp.stream(r);
@@ -218,7 +223,9 @@ impl Engine {
         if fs.is_empty() {
             return;
         }
-        self.push_cmd(Command::EvictFilters { filters: fs.clone() });
+        self.push_cmd(Command::EvictFilters {
+            filters: fs.clone(),
+        });
         let r = self.map.filters(fs);
         self.sp.evict(r);
     }
@@ -234,7 +241,10 @@ impl Engine {
 
     /// Bring channel `c` of filter `f` on-chip.
     pub fn fill_filter_channel(&mut self, f: u64, c: u64) -> Result<(), ExecError> {
-        self.push_cmd(Command::FillFilterChannel { filter: f, channel: c });
+        self.push_cmd(Command::FillFilterChannel {
+            filter: f,
+            channel: c,
+        });
         let r = self.filter_channel_range(f, c);
         let n = self.charged_fill(r)?;
         self.replay.filter_loads += n;
@@ -243,7 +253,10 @@ impl Engine {
 
     /// Stream channel `c` of filter `f` through without residency.
     pub fn stream_filter_channel(&mut self, f: u64, c: u64) {
-        self.push_cmd(Command::StreamFilterChannel { filter: f, channel: c });
+        self.push_cmd(Command::StreamFilterChannel {
+            filter: f,
+            channel: c,
+        });
         let r = self.filter_channel_range(f, c);
         self.replay.filter_loads += r.end - r.start;
         self.sp.stream(r);
@@ -251,7 +264,10 @@ impl Engine {
 
     /// Drop channel `c` of filter `f`.
     pub fn evict_filter_channel(&mut self, f: u64, c: u64) {
-        self.push_cmd(Command::EvictFilterChannel { filter: f, channel: c });
+        self.push_cmd(Command::EvictFilterChannel {
+            filter: f,
+            channel: c,
+        });
         self.sp.evict(self.filter_channel_range(f, c));
     }
 

@@ -61,13 +61,25 @@ impl fmt::Display for Command {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Command::FillIfmapRows { channel, rows } => {
-                write!(f, "fill   ifmap  c{channel} rows {}..{}", rows.start, rows.end)
+                write!(
+                    f,
+                    "fill   ifmap  c{channel} rows {}..{}",
+                    rows.start, rows.end
+                )
             }
             Command::StreamIfmapRows { channel, rows } => {
-                write!(f, "stream ifmap  c{channel} rows {}..{}", rows.start, rows.end)
+                write!(
+                    f,
+                    "stream ifmap  c{channel} rows {}..{}",
+                    rows.start, rows.end
+                )
             }
             Command::EvictIfmapRows { channel, rows } => {
-                write!(f, "evict  ifmap  c{channel} rows {}..{}", rows.start, rows.end)
+                write!(
+                    f,
+                    "evict  ifmap  c{channel} rows {}..{}",
+                    rows.start, rows.end
+                )
             }
             Command::FillFilters { filters } => {
                 write!(f, "fill   filter f{}..f{}", filters.start, filters.end)
@@ -88,13 +100,25 @@ impl fmt::Display for Command {
                 write!(f, "evict  filter f{filter} ch {channel}")
             }
             Command::AllocOfmapRows { channel, rows } => {
-                write!(f, "alloc  ofmap  c{channel} rows {}..{}", rows.start, rows.end)
+                write!(
+                    f,
+                    "alloc  ofmap  c{channel} rows {}..{}",
+                    rows.start, rows.end
+                )
             }
             Command::StoreOfmapRows { channel, rows } => {
-                write!(f, "store  ofmap  c{channel} rows {}..{}", rows.start, rows.end)
+                write!(
+                    f,
+                    "store  ofmap  c{channel} rows {}..{}",
+                    rows.start, rows.end
+                )
             }
             Command::ReloadPsumRows { channel, rows } => {
-                write!(f, "reload psum   c{channel} rows {}..{}", rows.start, rows.end)
+                write!(
+                    f,
+                    "reload psum   c{channel} rows {}..{}",
+                    rows.start, rows.end
+                )
             }
         }
     }
@@ -112,6 +136,7 @@ impl Program {
     /// Lower one policy decision into its command stream (replaying it in
     /// the process, so the program is validated as it is produced).
     pub fn lower(shape: &LayerShape, est: &PolicyEstimate) -> Result<Program, ExecError> {
+        let _span = smm_obs::span!("exec.lower", "{:?}", est.kind);
         replay_recorded(shape, est)
     }
 
@@ -134,22 +159,30 @@ impl Program {
             }
             let (addr, count, is_read) = match c {
                 Command::FillIfmapRows { channel, rows }
-                | Command::StreamIfmapRows { channel, rows } => {
-                    (channel << 32 | rows.start, (rows.end - rows.start) as u32, true)
-                }
-                Command::FillFilters { filters } | Command::StreamFilters { filters } => {
-                    (1 << 48 | filters.start, (filters.end - filters.start) as u32, true)
-                }
+                | Command::StreamIfmapRows { channel, rows } => (
+                    channel << 32 | rows.start,
+                    (rows.end - rows.start) as u32,
+                    true,
+                ),
+                Command::FillFilters { filters } | Command::StreamFilters { filters } => (
+                    1 << 48 | filters.start,
+                    (filters.end - filters.start) as u32,
+                    true,
+                ),
                 Command::FillFilterChannel { filter, channel }
                 | Command::StreamFilterChannel { filter, channel } => {
                     (1 << 48 | filter << 16 | channel, 1, true)
                 }
-                Command::StoreOfmapRows { channel, rows } => {
-                    (2 << 48 | channel << 32 | rows.start, (rows.end - rows.start) as u32, false)
-                }
-                Command::ReloadPsumRows { channel, rows } => {
-                    (2 << 48 | channel << 32 | rows.start, (rows.end - rows.start) as u32, true)
-                }
+                Command::StoreOfmapRows { channel, rows } => (
+                    2 << 48 | channel << 32 | rows.start,
+                    (rows.end - rows.start) as u32,
+                    false,
+                ),
+                Command::ReloadPsumRows { channel, rows } => (
+                    2 << 48 | channel << 32 | rows.start,
+                    (rows.end - rows.start) as u32,
+                    true,
+                ),
                 _ => unreachable!("touches_dram filtered the rest"),
             };
             w.push(TraceRecord {

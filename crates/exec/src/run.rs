@@ -101,6 +101,8 @@ fn run(
     shape: &LayerShape,
     est: &PolicyEstimate,
 ) -> Result<(Replay, Vec<crate::program::Command>), ExecError> {
+    let _span = smm_obs::span!("exec.replay", "{:?}", est.kind);
+    let dma_before = smm_obs::counter_value(smm_obs::Counter::ReplayDmaCommands);
     let ci = shape.in_channels as u64;
     let nf = shape.num_filters as u64;
     let (oh, _) = shape.output_hw();
@@ -268,6 +270,10 @@ fn run(
         }
     }
 
+    if smm_obs::enabled() {
+        let issued = smm_obs::counter_value(smm_obs::Counter::ReplayDmaCommands) - dma_before;
+        smm_obs::observe(smm_obs::Histogram::DmaCommandsPerReplay, issued);
+    }
     let commands = e.take_commands();
     Ok((e.replay, commands))
 }

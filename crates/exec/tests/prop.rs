@@ -9,13 +9,13 @@ use smm_policy::{estimate, PolicyKind};
 
 fn arb_shape() -> impl Strategy<Value = LayerShape> {
     (
-        2u32..20,  // ifmap_h
-        2u32..20,  // ifmap_w
-        1u32..6,   // in_channels
-        1u32..4,   // filter (square)
-        2u32..10,  // num_filters
-        1u32..3,   // stride
-        0u32..2,   // padding
+        2u32..20, // ifmap_h
+        2u32..20, // ifmap_w
+        1u32..6,  // in_channels
+        1u32..4,  // filter (square)
+        2u32..10, // num_filters
+        1u32..3,  // stride
+        0u32..2,  // padding
         any::<bool>(),
     )
         .prop_map(|(ih, iw, ci, k, nf, s, p, dw)| LayerShape {

@@ -65,7 +65,12 @@ pub enum ShapeError {
     /// The (padded) input is smaller than the filter.
     FilterLargerThanInput,
     /// Depth-wise layers must have `num_filters == in_channels`.
-    DepthwiseChannelMismatch { in_channels: u32, num_filters: u32 },
+    DepthwiseChannelMismatch {
+        /// The layer's input channel count.
+        in_channels: u32,
+        /// The layer's filter count (must equal `in_channels`).
+        num_filters: u32,
+    },
 }
 
 impl fmt::Display for ShapeError {
@@ -252,7 +257,11 @@ pub struct Layer {
 
 impl Layer {
     /// Construct and validate a layer.
-    pub fn new(name: impl Into<String>, kind: LayerKind, shape: LayerShape) -> Result<Self, ShapeError> {
+    pub fn new(
+        name: impl Into<String>,
+        kind: LayerKind,
+        shape: LayerShape,
+    ) -> Result<Self, ShapeError> {
         shape.validate()?;
         if kind.is_depthwise() != shape.depthwise {
             // Keep the redundant flag coherent with the kind.

@@ -25,6 +25,8 @@
 //! assert_eq!(l1.shape.output_hw(), (112, 112));
 //! ```
 
+#![warn(missing_docs)]
+
 mod layer;
 mod network;
 pub mod topology;

@@ -25,13 +25,33 @@ pub enum TopologyError {
     /// The file has no layer rows.
     Empty,
     /// A row has the wrong number of columns.
-    BadColumnCount { line: usize, got: usize },
+    BadColumnCount {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Number of columns the row actually had.
+        got: usize,
+    },
     /// A numeric field failed to parse.
-    BadNumber { line: usize, field: &'static str },
+    BadNumber {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Name of the field that failed to parse.
+        field: &'static str,
+    },
     /// The `Kind` column holds an unknown code.
-    BadKind { line: usize, code: String },
+    BadKind {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// The unrecognized kind code.
+        code: String,
+    },
     /// The resulting layer failed shape validation.
-    BadShape { line: usize, message: String },
+    BadShape {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// The shape validation error.
+        message: String,
+    },
     /// The resulting network failed validation (e.g. duplicate names).
     BadNetwork(String),
 }
@@ -236,8 +256,8 @@ mod tests {
     fn zoo_networks_round_trip() {
         for net in zoo::all_networks() {
             let text = write(&net);
-            let parsed = parse(net.name.clone(), &text)
-                .unwrap_or_else(|e| panic!("{}: {e}", net.name));
+            let parsed =
+                parse(net.name.clone(), &text).unwrap_or_else(|e| panic!("{}: {e}", net.name));
             assert_eq!(parsed, net, "{} did not round-trip", net.name);
         }
     }

@@ -15,8 +15,12 @@ use crate::{Layer, Network};
 pub fn resnet34() -> Network {
     let mut layers = vec![conv("conv1", 224, 3, 7, 64, 2, 3)];
     // (blocks, spatial in, channels in, channels out)
-    let stages: [(u32, u32, u32, u32); 4] =
-        [(3, 56, 64, 64), (4, 56, 64, 128), (6, 28, 128, 256), (3, 14, 256, 512)];
+    let stages: [(u32, u32, u32, u32); 4] = [
+        (3, 56, 64, 64),
+        (4, 56, 64, 128),
+        (6, 28, 128, 256),
+        (3, 14, 256, 512),
+    ];
     for (si, &(blocks, in_hw, in_ch, out_ch)) in stages.iter().enumerate() {
         let s = si + 1;
         let downsample = in_ch != out_ch;
@@ -27,8 +31,24 @@ pub fn resnet34() -> Network {
             } else {
                 (out_hw, out_ch, 1)
             };
-            layers.push(conv(format!("s{s}_b{b}_conv1"), hw, ch, 3, out_ch, stride, 1));
-            layers.push(conv(format!("s{s}_b{b}_conv2"), out_hw, out_ch, 3, out_ch, 1, 1));
+            layers.push(conv(
+                format!("s{s}_b{b}_conv1"),
+                hw,
+                ch,
+                3,
+                out_ch,
+                stride,
+                1,
+            ));
+            layers.push(conv(
+                format!("s{s}_b{b}_conv2"),
+                out_hw,
+                out_ch,
+                3,
+                out_ch,
+                1,
+                1,
+            ));
             if b == 1 && downsample {
                 layers.push(proj(format!("s{s}_proj"), in_hw, in_ch, out_ch, 2));
             }

@@ -151,7 +151,13 @@ pub(crate) fn fc(name: impl Into<String>, in_features: u32, out_features: u32) -
 }
 
 /// Residual projection: strided 1×1 convolution on the shortcut path.
-pub(crate) fn proj(name: impl Into<String>, hw: u32, in_ch: u32, out_ch: u32, stride: u32) -> Layer {
+pub(crate) fn proj(
+    name: impl Into<String>,
+    hw: u32,
+    in_ch: u32,
+    out_ch: u32,
+    stride: u32,
+) -> Layer {
     Layer::new(
         name,
         LayerKind::Projection,
@@ -224,7 +230,10 @@ mod tests {
         // architecture's only 1×1 convolutions are the strided projection
         // shortcuts, which we classify solely as PL instead of double-listing
         // them as PW.
-        assert_eq!(kinds(resnet18()), sorted(vec![Conv, FullyConnected, Projection]));
+        assert_eq!(
+            kinds(resnet18()),
+            sorted(vec![Conv, FullyConnected, Projection])
+        );
     }
 
     /// Every zoo network passes validation and has coherent chained shapes.

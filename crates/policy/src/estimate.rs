@@ -147,8 +147,17 @@ impl PolicyEstimate {
     /// Re-derive the latency for a different traffic volume — used when a
     /// plan-level optimization (inter-layer reuse) elides part of this
     /// layer's off-chip traffic after the policy was chosen.
-    pub fn latency_for_traffic(&self, acc: &AcceleratorConfig, traffic_elems: u64) -> LatencyEstimate {
-        latency_from(acc, self.latency.compute_cycles, traffic_elems, self.prefetch)
+    pub fn latency_for_traffic(
+        &self,
+        acc: &AcceleratorConfig,
+        traffic_elems: u64,
+    ) -> LatencyEstimate {
+        latency_from(
+            acc,
+            self.latency.compute_cycles,
+            traffic_elems,
+            self.prefetch,
+        )
     }
 }
 

@@ -141,12 +141,15 @@ fn pow2_candidates(max: u64) -> Vec<u64> {
 /// exactly its own channels, so the channel block mirrors the filter
 /// block, the ifmap is swept once in total, and nothing spills.
 pub(crate) fn search(shape: &LayerShape, budget: u64) -> Option<FallbackEstimate> {
+    let _span = smm_obs::span!("fallback.search");
     let (oh, _) = shape.output_hw();
     let nf = shape.num_filters as u64;
     let ci = shape.in_channels as u64;
 
     let mut best: Option<FallbackEstimate> = None;
+    let mut iterations = 0u64;
     let mut consider = |est: FallbackEstimate| {
+        iterations += 1;
         if est.resident.total() > budget {
             return;
         }
@@ -182,8 +185,8 @@ pub(crate) fn search(shape: &LayerShape, budget: u64) -> Option<FallbackEstimate
                 resident.ifmap = in_rows * shape.padded_w() as u64 * n;
                 let ov = fh.saturating_sub(s);
                 let n_rt = (oh as u64).div_ceil(r);
-                let rows_swept = (shape.padded_h() as u64 + (n_rt - 1) * ov)
-                    .min(n_rt * ((r - 1) * s + fh));
+                let rows_swept =
+                    (shape.padded_h() as u64 + (n_rt - 1) * ov).min(n_rt * ((r - 1) * s + fh));
                 let accesses = AccessCounts {
                     ifmap_loads: rows_swept * shape.padded_w() as u64 * ci,
                     filter_loads: shape.filter_elems(),
@@ -218,6 +221,11 @@ pub(crate) fn search(shape: &LayerShape, budget: u64) -> Option<FallbackEstimate
                 }
             }
         }
+    }
+    if smm_obs::enabled() {
+        smm_obs::add(smm_obs::Counter::FallbackSearches, 1);
+        smm_obs::add(smm_obs::Counter::FallbackIterations, iterations);
+        smm_obs::observe(smm_obs::Histogram::FallbackIterationsPerSearch, iterations);
     }
     best
 }

@@ -45,6 +45,7 @@ pub fn estimate(
     acc: &AcceleratorConfig,
     prefetch: bool,
 ) -> Option<PolicyEstimate> {
+    smm_obs::add(smm_obs::Counter::EstimatorCalls, 1);
     let fh = shape.filter_h as u64;
     let fw = shape.filter_w as u64;
     let pad_w = shape.padded_w() as u64;

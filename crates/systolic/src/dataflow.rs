@@ -89,9 +89,7 @@ pub fn dataflow_compute_cycles(cfg: &BaselineConfig, shape: &LayerShape, df: Dat
     let g = GemmShape::of(shape);
     let (r, c) = (cfg.acc.pe_rows, cfg.acc.pe_cols);
     match df {
-        Dataflow::OutputStationary => {
-            crate::compute::compute_cycles(&FoldPlan::new(r, c, g))
-        }
+        Dataflow::OutputStationary => crate::compute::compute_cycles(&FoldPlan::new(r, c, g)),
         Dataflow::WeightStationary => {
             // K over rows, N over columns; the M activations stream
             // through each fold: fill R, stream M, drain C.
@@ -113,10 +111,7 @@ fn psum_spills(cfg: &BaselineConfig, k_folds: u64, slice: u64, slices: u64) -> u
     if k_folds <= 1 {
         return 0;
     }
-    let staging = cfg
-        .ofmap_buffer
-        .halved()
-        .elements(cfg.acc.data_width);
+    let staging = cfg.ofmap_buffer.halved().elements(cfg.acc.data_width);
     if slice <= staging {
         return 0;
     }
@@ -183,11 +178,7 @@ pub fn simulate_layer_dataflow(
 }
 
 /// Network totals under a dataflow.
-pub fn simulate_network_dataflow(
-    cfg: &BaselineConfig,
-    net: &Network,
-    df: Dataflow,
-) -> (u64, u64) {
+pub fn simulate_network_dataflow(cfg: &BaselineConfig, net: &Network, df: Dataflow) -> (u64, u64) {
     let mut accesses = 0;
     let mut cycles = 0;
     for l in &net.layers {

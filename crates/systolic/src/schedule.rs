@@ -61,6 +61,8 @@ fn fill_fold_windows(
 
 /// Replay one layer element by element.
 pub fn trace_layer(cfg: &BaselineConfig, shape: &LayerShape) -> TraceSim {
+    let _span = smm_obs::span!("baseline.trace_layer");
+    smm_obs::add(smm_obs::Counter::BaselineLayersTraced, 1);
     let (lp, plan) = plan_layer(cfg, shape);
     let ci = shape.in_channels as u64;
     let nf = shape.num_filters as u64;

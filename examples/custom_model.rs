@@ -35,7 +35,10 @@ fn main() {
     );
 
     let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(128));
-    for (label, ilr) in [("inter-layer reuse OFF", false), ("inter-layer reuse ON", true)] {
+    for (label, ilr) in [
+        ("inter-layer reuse OFF", false),
+        ("inter-layer reuse ON", true),
+    ] {
         let manager = Manager::new(
             acc,
             ManagerConfig::new(Objective::Accesses).with_inter_layer_reuse(ilr),
@@ -68,5 +71,8 @@ fn main() {
     // Round-trip: the network can be re-emitted for other tools.
     let csv = topology::write(&net);
     assert_eq!(topology::parse("kws-net", &csv).unwrap(), net);
-    println!("topology round-trips losslessly ({} bytes of CSV)", csv.len());
+    println!(
+        "topology round-trips losslessly ({} bytes of CSV)",
+        csv.len()
+    );
 }

@@ -12,10 +12,38 @@
 //! - [`systolic`] — the SCALE-Sim-like output-stationary baseline accelerator.
 //! - [`exec`] — executable tile schedules that replay each policy against the
 //!   memory models and validate the estimators element-for-element.
+//! - [`obs`] — planner observability: counters, span timings, profile
+//!   reports, Chrome-trace export.
+//!
+//! # Quickstart
+//!
+//! The README's quickstart, verified as a doctest:
+//!
+//! ```
+//! use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+//! use scratchpad_mm::core::{Manager, ManagerConfig, Objective};
+//! use scratchpad_mm::model::zoo;
+//!
+//! // The paper's accelerator: 16×16 PEs, 512 OPs/cycle, 8-bit data,
+//! // 16 B/cycle DRAM bandwidth, 64 kB unified GLB.
+//! let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+//! let manager = Manager::new(acc, ManagerConfig::new(Objective::Accesses));
+//!
+//! let plan = manager.heterogeneous(&zoo::resnet18()).unwrap();
+//! println!("{:.2} MB off-chip, {} cycles",
+//!          plan.totals.accesses_bytes.mb(), plan.totals.latency_cycles);
+//! for d in &plan.decisions {
+//!     println!("{:<14} -> {}{}", d.layer_name, d.estimate.kind,
+//!              if d.estimate.prefetch { "+p" } else { "" });
+//! }
+//! # assert_eq!(plan.decisions.len(), 21);
+//! # assert!(plan.totals.accesses_bytes.mb() > 0.0);
+//! ```
 pub use smm_arch as arch;
 pub use smm_core as core;
 pub use smm_exec as exec;
 pub use smm_model as model;
+pub use smm_obs as obs;
 pub use smm_policy as policy;
 pub use smm_systolic as systolic;
 pub use smm_trace as trace;

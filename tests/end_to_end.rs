@@ -11,7 +11,11 @@ fn acc(kb: u64) -> AcceleratorConfig {
     AcceleratorConfig::paper_default(ByteSize::from_kb(kb))
 }
 
-fn het(kb: u64, obj: Objective, net: &scratchpad_mm::model::Network) -> scratchpad_mm::core::ExecutionPlan {
+fn het(
+    kb: u64,
+    obj: Objective,
+    net: &scratchpad_mm::model::Network,
+) -> scratchpad_mm::core::ExecutionPlan {
     Manager::new(acc(kb), ManagerConfig::new(obj))
         .heterogeneous(net)
         .expect("plan")
@@ -140,9 +144,9 @@ fn every_model_plans_at_every_paper_size_and_width() {
                 for obj in [Objective::Accesses, Objective::Latency] {
                     let a = acc(kb).with_data_width(width);
                     let m = Manager::new(a, ManagerConfig::new(obj));
-                    let plan = m.heterogeneous(&net).unwrap_or_else(|e| {
-                        panic!("{} @ {kb}kB/{width}: {e}", net.name)
-                    });
+                    let plan = m
+                        .heterogeneous(&net)
+                        .unwrap_or_else(|e| panic!("{} @ {kb}kB/{width}: {e}", net.name));
                     assert_eq!(plan.decisions.len(), net.layers.len());
                     for d in &plan.decisions {
                         assert!(d.estimate.fits(&a), "{}/{}", net.name, d.layer_name);

@@ -77,8 +77,8 @@ fn chosen_plan_decisions_replay_exactly() {
         if !replayable(&layer.shape) {
             continue;
         }
-        let replayed = replay(&layer.shape, &d.estimate)
-            .unwrap_or_else(|e| panic!("{}: {e}", d.layer_name));
+        let replayed =
+            replay(&layer.shape, &d.estimate).unwrap_or_else(|e| panic!("{}: {e}", d.layer_name));
         assert!(
             replayed.matches(&d.estimate),
             "{}: est {:?} vs got {:?}",

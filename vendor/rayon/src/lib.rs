@@ -1,0 +1,50 @@
+//! Offline shim for `rayon`: `par_iter()` exists but runs sequentially.
+//!
+//! The workspace only uses `slice.par_iter().map(...).collect()`, which
+//! is semantically identical to the sequential iterator — the shim
+//! returns `std::slice::Iter`, so every downstream adapter is the std
+//! one. Parallel speedup is lost; results are bit-identical.
+
+/// The traits a `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    /// Sequential stand-in for rayon's `IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type returned by [`par_iter`](Self::par_iter).
+        type Iter;
+        /// "Parallel" iteration over `&self` — sequential in this shim.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_collects_in_order() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn fallible_collect_works() {
+        let v = vec![1, 2, 3];
+        let r: Result<Vec<i32>, ()> = v.par_iter().map(|x| Ok(*x)).collect();
+        assert_eq!(r.unwrap(), v);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde` — trait names only (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its plan and
+//! estimate types but never serializes through serde (its JSON and
+//! binary exports are hand-written), so the traits carry no methods and
+//! the derives expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

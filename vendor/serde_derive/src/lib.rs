@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! Nothing in this workspace serializes through serde, so an empty
+//! expansion is sufficient — the `#[derive(...)]` attribute still
+//! resolves and the `use serde::{Serialize, Deserialize}` imports stay
+//! used (they import the macro names).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
