@@ -1,7 +1,7 @@
 //! Extension experiments beyond the paper's figures: the energy
 //! quantification behind its Section 2.3 argument, and the
 //! schedule-replay validation summary (the reproduction's analogue of
-//! "results … have been validated against [28]").
+//! "results … have been validated against \[28\]").
 
 use crate::acc;
 use rayon::prelude::*;

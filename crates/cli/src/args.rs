@@ -19,6 +19,8 @@ pub struct Options {
     pub inter_layer: bool,
     /// Emit machine-readable CSV instead of the text table.
     pub csv: bool,
+    /// Emit the analyze plan as one deterministic JSON object.
+    pub json: bool,
     /// Batch size for batched-execution estimates.
     pub batch: u64,
     /// Second positional target (the second tenant for `tenants`).
@@ -41,6 +43,7 @@ impl Default for Options {
             prefetch: true,
             inter_layer: false,
             csv: false,
+            json: false,
             batch: 1,
             target2: None,
             profile: false,
@@ -97,6 +100,7 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             "--no-prefetch" => opts.prefetch = false,
             "--inter-layer" => opts.inter_layer = true,
             "--csv" => opts.csv = true,
+            "--json" => opts.json = true,
             "--profile" => opts.profile = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--batch" => {
@@ -120,6 +124,134 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Options for `smm serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP port to bind (0 = ephemeral).
+    pub port: u16,
+    /// Planning worker threads.
+    pub workers: usize,
+    /// Bounded request-queue capacity.
+    pub queue_cap: usize,
+    /// Plan-cache capacity in entries.
+    pub cache_cap: usize,
+    /// Write the bound port number to this file once listening (lets
+    /// scripts using port 0 discover the ephemeral port).
+    pub port_file: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let d = smm_serve::ServerConfig::default();
+        ServeOptions {
+            port: 7878,
+            workers: d.workers,
+            queue_cap: d.queue_cap,
+            cache_cap: d.cache_cap,
+            port_file: None,
+        }
+    }
+}
+
+/// Parse `smm serve` flags.
+pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        let number = |flag: &str, s: String| -> Result<usize, String> {
+            s.parse()
+                .map_err(|_| format!("{flag} expects a non-negative integer, got {s:?}"))
+        };
+        match arg.as_str() {
+            "--port" => {
+                let s = value("--port")?;
+                opts.port = s
+                    .parse()
+                    .map_err(|_| format!("--port expects a port number, got {s:?}"))?;
+            }
+            "--workers" => {
+                opts.workers = number("--workers", value("--workers")?)?.max(1);
+            }
+            "--queue-cap" => {
+                opts.queue_cap = number("--queue-cap", value("--queue-cap")?)?.max(1);
+            }
+            "--cache-cap" => {
+                opts.cache_cap = number("--cache-cap", value("--cache-cap")?)?;
+            }
+            "--port-file" => opts.port_file = Some(value("--port-file")?),
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Options for `smm loadgen`.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// The `smm_serve` load-generator configuration.
+    pub cfg: smm_serve::LoadgenConfig,
+}
+
+/// Parse `smm loadgen` flags.
+pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenOptions, String> {
+    let mut cfg = smm_serve::LoadgenConfig::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "-n" | "--requests" => {
+                let s = value("-n")?;
+                cfg.requests = s
+                    .parse()
+                    .map_err(|_| format!("-n expects a request count, got {s:?}"))?;
+            }
+            "--concurrency" => {
+                let s = value("--concurrency")?;
+                cfg.concurrency = s
+                    .parse::<usize>()
+                    .map_err(|_| format!("--concurrency expects a thread count, got {s:?}"))?
+                    .max(1);
+            }
+            "--models" => {
+                cfg.models = value("--models")?
+                    .split(',')
+                    .map(|m| m.trim().to_string())
+                    .filter(|m| !m.is_empty())
+                    .collect();
+                if cfg.models.is_empty() {
+                    return Err("--models expects a comma-separated model list".into());
+                }
+            }
+            "--glb" => {
+                let s = value("--glb")?;
+                cfg.glb_kb = s
+                    .parse()
+                    .map_err(|_| format!("--glb expects a size in kB, got {s:?}"))?;
+            }
+            "--deadline-ms" => {
+                let s = value("--deadline-ms")?;
+                cfg.deadline_ms = Some(
+                    s.parse()
+                        .map_err(|_| format!("--deadline-ms expects milliseconds, got {s:?}"))?,
+                );
+            }
+            "--shutdown" => cfg.shutdown = true,
+            other => return Err(format!("unknown loadgen flag {other:?}")),
+        }
+    }
+    Ok(LoadgenOptions { cfg })
 }
 
 #[cfg(test)]
@@ -186,5 +318,47 @@ mod tests {
         assert!(parse(&argv("a b c")).is_err());
         assert!(parse(&argv("--glb")).is_err());
         assert!(parse(&argv("--batch 0")).is_err());
+    }
+
+    #[test]
+    fn serve_flags() {
+        let o = parse_serve(&argv(
+            "--port 0 --workers 2 --queue-cap 8 --cache-cap 32 --port-file /tmp/p",
+        ))
+        .unwrap();
+        assert_eq!(o.port, 0);
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.queue_cap, 8);
+        assert_eq!(o.cache_cap, 32);
+        assert_eq!(o.port_file.as_deref(), Some("/tmp/p"));
+        let d = parse_serve(&[]).unwrap();
+        assert_eq!(d.port, 7878);
+        assert!(parse_serve(&argv("--port nope")).is_err());
+        assert!(parse_serve(&argv("--port 99999")).is_err());
+        assert!(parse_serve(&argv("--workers")).is_err());
+        assert!(parse_serve(&argv("--bogus")).is_err());
+        // Worker/queue floors: 0 is clamped to 1, not accepted.
+        assert_eq!(parse_serve(&argv("--workers 0")).unwrap().workers, 1);
+    }
+
+    #[test]
+    fn loadgen_flags() {
+        let o = parse_loadgen(&argv(
+            "--addr 127.0.0.1:9 -n 10 --concurrency 3 --models resnet18,mobilenet \
+             --glb 128 --deadline-ms 50 --shutdown",
+        ))
+        .unwrap();
+        assert_eq!(o.cfg.addr, "127.0.0.1:9");
+        assert_eq!(o.cfg.requests, 10);
+        assert_eq!(o.cfg.concurrency, 3);
+        assert_eq!(o.cfg.models, vec!["resnet18", "mobilenet"]);
+        assert_eq!(o.cfg.glb_kb, 128);
+        assert_eq!(o.cfg.deadline_ms, Some(50));
+        assert!(o.cfg.shutdown);
+        assert!(parse_loadgen(&argv("-n lots")).is_err());
+        assert!(parse_loadgen(&argv("--models ,")).is_err());
+        assert!(parse_loadgen(&argv("--bogus")).is_err());
+        // Defaults cover the full zoo.
+        assert_eq!(parse_loadgen(&[]).unwrap().cfg.models.len(), 6);
     }
 }

@@ -3,7 +3,7 @@
 use crate::args::Options;
 use smm_arch::{AcceleratorConfig, ByteSize, GLB_SIZES_KB};
 use smm_core::energy::{plan_energy, EnergyModel};
-use smm_core::report::{plan_csv, TextTable};
+use smm_core::report::{plan_csv, plan_json, TextTable};
 use smm_core::{batch, interlayer, tenancy, Manager, ManagerConfig};
 use smm_model::{topology, zoo, Network};
 use smm_systolic::{simulate_network, BaselineConfig, BufferSplit};
@@ -104,6 +104,10 @@ fn analyze_body(opts: &Options) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
 
+    if opts.json {
+        println!("{}", plan_json(&plan, m.accelerator()));
+        return Ok(());
+    }
     if opts.csv {
         print!("{}", plan_csv(&plan, m.accelerator()));
         return Ok(());
@@ -390,4 +394,115 @@ pub fn topology(opts: &Options) -> Result<(), String> {
     let net = load_network(opts)?;
     print!("{}", topology::write(&net));
     Ok(())
+}
+
+/// `smm serve` — run the concurrent planning server until a client
+/// sends a `shutdown` op.
+pub fn serve(opts: &crate::args::ServeOptions) -> Result<(), String> {
+    let handle = smm_serve::Server::spawn(smm_serve::ServerConfig {
+        addr: format!("127.0.0.1:{}", opts.port),
+        workers: opts.workers,
+        queue_cap: opts.queue_cap,
+        cache_cap: opts.cache_cap,
+        obs: true,
+    })
+    .map_err(|e| format!("cannot bind port {}: {e}", opts.port))?;
+    let addr = handle.local_addr();
+    println!(
+        "smm serve listening on {addr} ({} workers, queue {}, cache {})",
+        opts.workers, opts.queue_cap, opts.cache_cap
+    );
+    if let Some(path) = &opts.port_file {
+        std::fs::write(path, format!("{}\n", addr.port())).map_err(|e| format!("{path}: {e}"))?;
+    }
+    handle.join();
+    println!("smm serve: shut down cleanly");
+    Ok(())
+}
+
+/// `smm loadgen` — drive a running server and report throughput,
+/// latency percentiles, cache hit rate, and shed counts.
+pub fn loadgen(opts: &crate::args::LoadgenOptions) -> Result<(), String> {
+    let report = smm_serve::loadgen::run(&opts.cfg).map_err(|e| e.to_string())?;
+    println!("{}", report.render());
+    if report.plan_mismatches > 0 {
+        return Err(format!(
+            "{} plans differed between cached and cold responses",
+            report.plan_mismatches
+        ));
+    }
+    if report.errors > 0 {
+        return Err(format!("{} requests failed", report.errors));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts_for(target: &str) -> Options {
+        Options {
+            target: Some(target.to_string()),
+            ..Options::default()
+        }
+    }
+
+    /// Write `content` to a unique temp file and return its path.
+    fn temp_topology(tag: &str, content: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("smm-cli-test-{tag}-{}.csv", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn garbage_topology_files_error_with_the_offending_line() {
+        // (tag, file content, substring the error must carry)
+        let cases = [
+            ("cols", "conv, 1, 2,\n", "line 1"),
+            (
+                "num",
+                "ok, 8, 8, 3, 3, 4, 8, 1,\nbad, x, 8, 3, 3, 4, 8, 1,\n",
+                "line 2",
+            ),
+            ("kind", "bad, 8, 8, 3, 3, 4, 8, 1, 0, ZZ,\n", "line 1"),
+            (
+                "huge",
+                "huge, 4294967295, 4294967295, 3, 3, 4294967295, 8, 1,\n",
+                "line 1",
+            ),
+            ("empty", "# only a comment\n", "no layer rows"),
+            ("binary", "\u{0}\u{1}\u{2}garbage\u{3}\n", "line 1"),
+        ];
+        for (tag, content, needle) in cases {
+            let path = temp_topology(tag, content);
+            let opts = opts_for(path.to_str().unwrap());
+            // Both the plain emit path and the full planning path must
+            // surface the parse error, never panic.
+            for result in [topology(&opts), analyze(&opts)] {
+                let err = result.expect_err(tag);
+                assert!(err.contains(needle), "{tag}: {err:?} missing {needle:?}");
+            }
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn unknown_target_is_a_helpful_error() {
+        let err = topology(&opts_for("not-a-model-or-file")).unwrap_err();
+        assert!(
+            err.contains("neither a zoo model nor a topology file"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn valid_topology_file_round_trips_through_the_cli() {
+        let path = temp_topology("good", "conv1, 32, 32, 3, 3, 8, 16, 1,\n");
+        let opts = opts_for(path.to_str().unwrap());
+        assert!(topology(&opts).is_ok());
+        assert!(analyze(&opts).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
 }

@@ -23,6 +23,8 @@ COMMANDS:
     sweep    <model|topology.csv>     Compare all schemes across buffer sizes
     tenants  <modelA> <modelB>        Partition one GLB between two models
     topology <model>                  Emit a model as a topology CSV
+    serve                             Run the concurrent planning server
+    loadgen                           Drive a running server, report latency/throughput
 
 OPTIONS (analyze / baseline / sweep):
     --glb <KB>            GLB size in kB (default 256)
@@ -33,11 +35,28 @@ OPTIONS (analyze / baseline / sweep):
     --no-prefetch         Disable the double-buffered policy variants
     --inter-layer         Enable the inter-layer reuse pass
     --csv                 Emit the analyze plan as CSV
+    --json                Emit the analyze plan as JSON
     --batch <N>           Also report batched-execution totals
 
 OPTIONS (analyze / sweep / lower):
     --profile             Print the observability report (counters, spans)
     --trace-out <FILE>    Write a Chrome trace-event JSON of the run
+
+OPTIONS (serve):
+    --port <P>            TCP port to bind; 0 picks an ephemeral port (default 7878)
+    --workers <N>         Planning worker threads (default 4)
+    --queue-cap <N>       Bounded queue capacity; overflow is shed (default 64)
+    --cache-cap <N>       Plan-cache entries; 0 disables caching (default 128)
+    --port-file <FILE>    Write the bound port number to FILE once listening
+
+OPTIONS (loadgen):
+    --addr <HOST:PORT>    Server address (default 127.0.0.1:7878)
+    -n <N>                Total requests to send (default 64)
+    --concurrency <N>     Concurrent client connections (default 8)
+    --models <A,B,...>    Models to request round-robin (default: full zoo)
+    --glb <KB>            GLB size in kB for every request (default 64)
+    --deadline-ms <MS>    Per-request deadline
+    --shutdown            Send a shutdown op to the server after the run
 ";
 
 fn main() -> ExitCode {
@@ -67,6 +86,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "sweep" => commands::sweep(&args::parse(rest)?),
         "tenants" => commands::tenants(&args::parse(rest)?),
         "topology" => commands::topology(&args::parse(rest)?),
+        "serve" => commands::serve(&args::parse_serve(rest)?),
+        "loadgen" => commands::loadgen(&args::parse_loadgen(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,494 @@
+//! An LRU cache of execution plans.
+//!
+//! Planning is a pure function of (topology, accelerator configuration,
+//! objective, scheme, prefetch/inter-layer flags): the same inputs
+//! always produce the same [`ExecutionPlan`]. A serving layer that
+//! answers many requests for the handful of popular models therefore
+//! wants to pay Algorithm 1 once per distinct input and answer every
+//! repeat from memory.
+//!
+//! [`PlanKey`] canonicalizes the full planning input into a byte
+//! encoding (plus a precomputed FNV-1a hash for cheap map operations):
+//! two requests that parse to the same network and configuration —
+//! regardless of how the flags were spelled or the topology file was
+//! formatted — produce identical keys, while any change to a layer
+//! dimension, the accelerator, or a flag produces a different one.
+//! Lookups compare the full encoding, so a hash collision can never
+//! return the wrong plan.
+//!
+//! [`PlanCache`] is an LRU map behind a `parking_lot` mutex, safe to
+//! share across worker threads. Hits, misses, and evictions are counted
+//! locally (always) and in the `smm-obs` registry (when collection is
+//! enabled).
+
+use crate::{ExecutionPlan, ManagerConfig, Objective};
+use parking_lot::Mutex;
+use smm_arch::AcceleratorConfig;
+use smm_model::Network;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether a request asks for the heterogeneous or best-homogeneous
+/// scheme — part of the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanScheme {
+    /// Algorithm 1 per layer (`Het`).
+    Heterogeneous,
+    /// Best single policy for the whole network (`Hom`).
+    BestHomogeneous,
+}
+
+/// Canonical cache key for one planning input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanKey {
+    encoding: Vec<u8>,
+    hash: u64,
+}
+
+impl PlanKey {
+    /// Canonicalize a complete planning input.
+    pub fn new(
+        net: &Network,
+        acc: &AcceleratorConfig,
+        cfg: &ManagerConfig,
+        scheme: PlanScheme,
+    ) -> Self {
+        let mut enc = Encoder::default();
+        enc.str_field(&net.name);
+        enc.u64(net.layers.len() as u64);
+        for l in &net.layers {
+            enc.str_field(&l.name);
+            enc.str_field(l.kind.code());
+            let s = &l.shape;
+            for v in [
+                s.ifmap_h,
+                s.ifmap_w,
+                s.in_channels,
+                s.filter_h,
+                s.filter_w,
+                s.num_filters,
+                s.stride,
+                s.padding,
+                s.depthwise as u32,
+            ] {
+                enc.u64(v as u64);
+            }
+        }
+        for v in [
+            acc.pe_rows as u64,
+            acc.pe_cols as u64,
+            acc.ops_per_cycle,
+            acc.data_width.bits(),
+            acc.glb.bytes(),
+            acc.dram_bytes_per_cycle,
+        ] {
+            enc.u64(v);
+        }
+        enc.u64(match cfg.objective {
+            Objective::Accesses => 0,
+            Objective::Latency => 1,
+        });
+        enc.u64(cfg.allow_prefetch as u64);
+        enc.u64(cfg.inter_layer_reuse as u64);
+        enc.u64(match scheme {
+            PlanScheme::Heterogeneous => 0,
+            PlanScheme::BestHomogeneous => 1,
+        });
+        PlanKey {
+            hash: enc.hash,
+            encoding: enc.bytes,
+        }
+    }
+
+    /// The canonical 64-bit hash (FNV-1a over the encoding).
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Hash for PlanKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// FNV-1a accumulator that also keeps the canonical byte encoding so
+/// key equality can be exact.
+#[derive(Debug)]
+struct Encoder {
+    bytes: Vec<u8>,
+    hash: u64,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder {
+            bytes: Vec::with_capacity(256),
+            hash: 0xcbf2_9ce4_8422_2325, // FNV-1a 64-bit offset basis
+        }
+    }
+}
+
+impl Encoder {
+    fn push(&mut self, b: u8) {
+        self.hash = (self.hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        self.bytes.push(b);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.push(b);
+        }
+    }
+
+    /// Length-prefixed string, so `("ab", "c")` and `("a", "bc")` cannot
+    /// collide.
+    fn str_field(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.push(b);
+        }
+    }
+}
+
+/// Pass-through hasher: [`PlanKey`] already carries a strong 64-bit
+/// hash, so the map must not re-hash it through SipHash.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PlanKey hashes via write_u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub len: usize,
+    /// Capacity bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<ExecutionPlan>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanKey, Entry, BuildHasherDefault<IdentityHasher>>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe, least-recently-used plan cache.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PlanCache")
+            .field("len", &s.len)
+            .field("capacity", &s.capacity)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans. Capacity 0 disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::default(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look a plan up, refreshing its LRU position on a hit.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<ExecutionPlan>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                smm_obs::add(smm_obs::Counter::PlanCacheHits, 1);
+                Some(Arc::clone(&e.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                smm_obs::add(smm_obs::Counter::PlanCacheMisses, 1);
+                None
+            }
+        }
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry if the
+    /// cache is full. Re-inserting an existing key refreshes its value
+    /// and LRU position without evicting.
+    pub fn insert(&self, key: PlanKey, plan: Arc<ExecutionPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                smm_obs::add(smm_obs::Counter::PlanCacheEvictions, 1);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Manager, ManagerConfig};
+    use proptest::prelude::*;
+    use smm_arch::ByteSize;
+    use smm_model::{topology, zoo};
+
+    fn acc(kb: u64) -> AcceleratorConfig {
+        AcceleratorConfig::paper_default(ByteSize::from_kb(kb))
+    }
+
+    fn key(net: &Network, kb: u64) -> PlanKey {
+        PlanKey::new(
+            net,
+            &acc(kb),
+            &ManagerConfig::new(Objective::Accesses),
+            PlanScheme::Heterogeneous,
+        )
+    }
+
+    #[test]
+    fn reparsed_topology_keys_equal() {
+        let net = zoo::resnet18();
+        let reparsed = topology::parse(net.name.clone(), &topology::write(&net)).unwrap();
+        assert_eq!(key(&net, 256), key(&reparsed, 256));
+    }
+
+    #[test]
+    fn every_input_component_changes_the_key() {
+        let net = zoo::mobilenet();
+        let base = key(&net, 256);
+        assert_ne!(base, key(&net, 512), "GLB size must be in the key");
+        assert_ne!(base, key(&zoo::mobilenetv2(), 256));
+        let cfg = ManagerConfig::new(Objective::Accesses);
+        let a = acc(256);
+        assert_ne!(
+            base,
+            PlanKey::new(&net, &a, &cfg, PlanScheme::BestHomogeneous)
+        );
+        assert_ne!(
+            base,
+            PlanKey::new(
+                &net,
+                &a,
+                &ManagerConfig::new(Objective::Latency),
+                PlanScheme::Heterogeneous
+            )
+        );
+        assert_ne!(
+            base,
+            PlanKey::new(
+                &net,
+                &a,
+                &cfg.with_prefetch(false),
+                PlanScheme::Heterogeneous
+            )
+        );
+        assert_ne!(
+            base,
+            PlanKey::new(
+                &net,
+                &a,
+                &cfg.with_inter_layer_reuse(true),
+                PlanScheme::Heterogeneous
+            )
+        );
+        assert_ne!(
+            base,
+            PlanKey::new(
+                &net,
+                &a.with_data_width(smm_arch::DataWidth::W16),
+                &cfg,
+                PlanScheme::Heterogeneous
+            )
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        let nets = [zoo::resnet18(), zoo::mobilenet(), zoo::mobilenetv2()];
+        let m = Manager::new(acc(256), ManagerConfig::new(Objective::Accesses));
+        let plans: Vec<Arc<ExecutionPlan>> = nets
+            .iter()
+            .map(|n| Arc::new(m.heterogeneous(n).unwrap()))
+            .collect();
+        let keys: Vec<PlanKey> = nets.iter().map(|n| key(n, 256)).collect();
+
+        cache.insert(keys[0].clone(), plans[0].clone());
+        cache.insert(keys[1].clone(), plans[1].clone());
+        // Touch key 0 so key 1 becomes the LRU entry.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.insert(keys[2].clone(), plans[2].clone());
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.get(&keys[2]).is_some());
+
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len, 2);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let cache = PlanCache::new(1);
+        let net = zoo::resnet18();
+        let m = Manager::new(acc(256), ManagerConfig::new(Objective::Accesses));
+        let plan = Arc::new(m.heterogeneous(&net).unwrap());
+        cache.insert(key(&net, 256), plan.clone());
+        cache.insert(key(&net, 256), plan);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.len, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        let net = zoo::resnet18();
+        let m = Manager::new(acc(256), ManagerConfig::new(Objective::Accesses));
+        cache.insert(key(&net, 256), Arc::new(m.heterogeneous(&net).unwrap()));
+        assert!(cache.get(&key(&net, 256)).is_none());
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    proptest! {
+        /// Round-tripping any topology through the CSV format preserves
+        /// the cache key, and mutating any single layer dimension
+        /// changes it.
+        #[test]
+        fn key_canonicalization_roundtrip_and_mutation(
+            layer_count in 1usize..5,
+            seed in 0u64..1000,
+            bump_field in 0usize..6,
+        ) {
+            // Build a small deterministic network from the seed.
+            let mut layers = Vec::new();
+            for i in 0..layer_count {
+                let r = seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64);
+                let shape = smm_model::LayerShape {
+                    ifmap_h: 4 + (r % 29) as u32,
+                    ifmap_w: 4 + ((r >> 8) % 29) as u32,
+                    in_channels: 1 + ((r >> 16) % 16) as u32,
+                    filter_h: 1 + ((r >> 24) % 3) as u32,
+                    filter_w: 1 + ((r >> 32) % 3) as u32,
+                    num_filters: 1 + ((r >> 40) % 16) as u32,
+                    stride: 1 + ((r >> 48) % 2) as u32,
+                    padding: ((r >> 52) % 2) as u32,
+                    depthwise: false,
+                };
+                prop_assume!(shape.validate().is_ok());
+                layers.push(
+                    smm_model::Layer::new(format!("l{i}"), smm_model::LayerKind::Conv, shape)
+                        .unwrap(),
+                );
+            }
+            let net = Network::new("prop", layers).unwrap();
+
+            // Same topology re-parsed from its CSV form: identical key.
+            let reparsed = topology::parse("prop", &topology::write(&net)).unwrap();
+            prop_assert_eq!(key(&net, 256), key(&reparsed, 256));
+
+            // Any mutation of one layer dimension: different key.
+            let mut mutated = net.clone();
+            let shape = &mut mutated.layers[0].shape;
+            match bump_field {
+                0 => shape.ifmap_h += 1,
+                1 => shape.ifmap_w += 1,
+                2 => shape.in_channels += 1,
+                3 => shape.num_filters += 1,
+                4 => shape.stride += 1,
+                _ => shape.padding += 1,
+            }
+            prop_assert!(key(&net, 256) != key(&mutated, 256));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Cooperative cancellation for long-running planning calls.
+//!
+//! The planner is a tight loop over layers; a serving layer that
+//! enforces per-request deadlines needs a way to abandon a plan midway
+//! without killing the thread. A [`CancelToken`] carries an optional
+//! wall-clock deadline and an optional shared stop flag; the planner
+//! checks [`CancelToken::is_cancelled`] between layers and returns
+//! [`PlanError::Cancelled`](crate::PlanError::Cancelled) when it fires.
+//!
+//! Checks are cheap (one `Instant::now` and/or one atomic load per
+//! layer), so the token can be threaded through every entry point; the
+//! default [`CancelToken::none`] never cancels.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cancellation signal observed cooperatively by the planner.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default for direct API calls).
+    pub fn none() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that cancels once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            deadline: Some(deadline),
+            stop: None,
+        }
+    }
+
+    /// A token that cancels `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A token that cancels when `stop` becomes true (e.g. server
+    /// shutdown), in addition to any deadline already set.
+    pub fn with_stop_flag(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// The wall-clock deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Has the deadline passed or the stop flag been raised?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(stop) = &self.stop {
+            if stop.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is
+    /// set; zero when it has already passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_cancels() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_none());
+        assert!(t.remaining().is_none());
+    }
+
+    #[test]
+    fn past_deadline_cancels() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let far = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn stop_flag_cancels() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let t = CancelToken::none().with_stop_flag(stop.clone());
+        assert!(!t.is_cancelled());
+        stop.store(true, Ordering::Relaxed);
+        assert!(t.is_cancelled());
+    }
+}

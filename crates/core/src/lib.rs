@@ -13,6 +13,10 @@
 //!   store and re-load are both elided.
 //! - [`sweep`] — a Rayon-parallel experiment matrix runner for the
 //!   figure-scale sweeps (models × buffer sizes × schemes).
+//! - [`cache`] — an LRU cache of plans keyed by the canonical hash of
+//!   the full planning input, shared across serving workers.
+//! - [`CancelToken`] — cooperative deadlines/cancellation for the
+//!   planning loops, checked between layers.
 //!
 //! # Example
 //!
@@ -29,6 +33,8 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
+mod cancel;
 pub mod energy;
 pub mod interlayer;
 mod manager;
@@ -38,5 +44,7 @@ pub mod runtime;
 pub mod sweep;
 pub mod tenancy;
 
+pub use cache::{CacheStats, PlanCache, PlanKey, PlanScheme};
+pub use cancel::CancelToken;
 pub use manager::{CandidateReport, Manager, ManagerConfig, Objective, PlanError};
 pub use plan::{ExecutionPlan, LayerDecision, PlanTotals, Scheme};

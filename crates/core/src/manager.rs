@@ -66,6 +66,10 @@ pub enum PlanError {
     /// No policy — not even the fallback tiling — fits the layer in the
     /// GLB.
     LayerDoesNotFit { layer: String, glb_elements: u64 },
+    /// A [`CancelToken`](crate::CancelToken) fired (deadline passed or
+    /// stop flag raised) before the plan completed; `layers_done` layers
+    /// had been planned.
+    Cancelled { layers_done: usize },
 }
 
 impl fmt::Display for PlanError {
@@ -78,6 +82,9 @@ impl fmt::Display for PlanError {
                 f,
                 "layer {layer}: no policy fits a GLB of {glb_elements} elements"
             ),
+            PlanError::Cancelled { layers_done } => {
+                write!(f, "planning cancelled after {layers_done} layers")
+            }
         }
     }
 }
@@ -250,9 +257,23 @@ impl Manager {
     /// The heterogeneous execution plan (`Het`): Algorithm 1 applied per
     /// layer.
     pub fn heterogeneous(&self, net: &Network) -> Result<ExecutionPlan, PlanError> {
+        self.heterogeneous_with(net, &crate::CancelToken::none())
+    }
+
+    /// [`heterogeneous`](Self::heterogeneous) with cooperative
+    /// cancellation: the token is checked before each layer, so a fired
+    /// deadline aborts within one layer's planning time.
+    pub fn heterogeneous_with(
+        &self,
+        net: &Network,
+        cancel: &crate::CancelToken,
+    ) -> Result<ExecutionPlan, PlanError> {
         let _net_span = smm_obs::span!("plan.network", "{} ({})", net.name, "het");
         let mut decisions = Vec::with_capacity(net.layers.len());
         for (i, layer) in net.layers.iter().enumerate() {
+            if cancel.is_cancelled() {
+                return Err(PlanError::Cancelled { layers_done: i });
+            }
             let _layer_span = smm_obs::span!("plan.layer", "{}", layer.name);
             let est = self
                 .select(&layer.shape)
@@ -268,9 +289,22 @@ impl Manager {
 
     /// A homogeneous execution plan: every layer constrained to `kind`.
     pub fn homogeneous(&self, net: &Network, kind: PolicyKind) -> Result<ExecutionPlan, PlanError> {
+        self.homogeneous_with(net, kind, &crate::CancelToken::none())
+    }
+
+    /// [`homogeneous`](Self::homogeneous) with cooperative cancellation.
+    pub fn homogeneous_with(
+        &self,
+        net: &Network,
+        kind: PolicyKind,
+        cancel: &crate::CancelToken,
+    ) -> Result<ExecutionPlan, PlanError> {
         let _net_span = smm_obs::span!("plan.network", "{} (hom {:?})", net.name, kind);
         let mut decisions = Vec::with_capacity(net.layers.len());
         for (i, layer) in net.layers.iter().enumerate() {
+            if cancel.is_cancelled() {
+                return Err(PlanError::Cancelled { layers_done: i });
+            }
             let _layer_span = smm_obs::span!("plan.layer", "{}", layer.name);
             let est =
                 self.select_constrained(kind, &layer.shape)
@@ -286,10 +320,21 @@ impl Manager {
     /// The best homogeneous plan under the objective (`Hom` in the
     /// figures): evaluate all named policies and keep the winner.
     pub fn best_homogeneous(&self, net: &Network) -> Result<ExecutionPlan, PlanError> {
+        self.best_homogeneous_with(net, &crate::CancelToken::none())
+    }
+
+    /// [`best_homogeneous`](Self::best_homogeneous) with cooperative
+    /// cancellation. A fired token aborts the whole evaluation rather
+    /// than returning a partially-compared winner.
+    pub fn best_homogeneous_with(
+        &self,
+        net: &Network,
+        cancel: &crate::CancelToken,
+    ) -> Result<ExecutionPlan, PlanError> {
         let mut best: Option<ExecutionPlan> = None;
         let mut last_err = None;
         for kind in PolicyKind::NAMED {
-            match self.homogeneous(net, kind) {
+            match self.homogeneous_with(net, kind, cancel) {
                 Ok(plan) => {
                     let better = match &best {
                         None => true,
@@ -308,6 +353,7 @@ impl Manager {
                         best = Some(plan);
                     }
                 }
+                Err(e @ PlanError::Cancelled { .. }) => return Err(e),
                 Err(e) => last_err = Some(e),
             }
         }
@@ -426,6 +472,27 @@ mod tests {
         let err = m.heterogeneous(&zoo::resnet18()).unwrap_err();
         assert!(matches!(err, PlanError::LayerDoesNotFit { .. }));
         assert!(err.to_string().contains("elements"));
+    }
+
+    #[test]
+    fn expired_token_cancels_both_schemes() {
+        let m = manager(64, Objective::Accesses);
+        let net = zoo::resnet18();
+        let expired = crate::CancelToken::with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            m.heterogeneous_with(&net, &expired).unwrap_err(),
+            PlanError::Cancelled { layers_done: 0 }
+        );
+        assert!(matches!(
+            m.best_homogeneous_with(&net, &expired).unwrap_err(),
+            PlanError::Cancelled { layers_done: 0 }
+        ));
+        // A token that never fires changes nothing.
+        let open = crate::CancelToken::none();
+        assert_eq!(
+            m.heterogeneous_with(&net, &open).unwrap(),
+            m.heterogeneous(&net).unwrap()
+        );
     }
 
     #[test]

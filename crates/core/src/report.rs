@@ -115,6 +115,101 @@ pub fn plan_csv(plan: &ExecutionPlan, acc: &AcceleratorConfig) -> String {
     out
 }
 
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Export a plan as a single deterministic JSON object — the structured
+/// form of what `smm analyze` prints: per-layer policy assignments with
+/// allocations, traffic, and latency, plus the plan totals and coverage
+/// metrics. Field order and formatting are stable, so equal plans
+/// serialize to byte-identical strings (the plan-cache byte-identity
+/// guarantee of the serving layer rests on this).
+pub fn plan_json(plan: &ExecutionPlan, acc: &AcceleratorConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(256 + 256 * plan.decisions.len());
+    let _ = write!(
+        out,
+        "{{\"network\":\"{}\",\"scheme\":\"{}\",\"glb_bytes\":{},\"data_width_bits\":{},",
+        json_escape(&plan.network),
+        plan.scheme.label(),
+        acc.glb.bytes(),
+        acc.data_width.bits()
+    );
+    out.push_str("\"layers\":[");
+    for (i, d) in plan.decisions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let alloc = d.estimate.allocation();
+        let a = d.effective_accesses();
+        let _ = write!(
+            out,
+            "{{\"layer\":\"{}\",\"policy\":\"{}\",\"prefetch\":{},\"block_n\":{},\
+             \"alloc\":{{\"ifmap\":{},\"filters\":{},\"ofmap\":{}}},\"required_bytes\":{},\
+             \"accesses\":{{\"ifmap_loads\":{},\"filter_loads\":{},\"ofmap_stores\":{},\"psum_spills\":{}}},\
+             \"latency_cycles\":{},\"ifmap_from_glb\":{},\"ofmap_kept_on_chip\":{}}}",
+            json_escape(&d.layer_name),
+            d.estimate.kind.label(),
+            d.estimate.prefetch,
+            d.estimate
+                .block_n
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "null".into()),
+            alloc.ifmap,
+            alloc.filters,
+            alloc.ofmap,
+            d.estimate.required_bytes(acc).bytes(),
+            a.ifmap_loads,
+            a.filter_loads,
+            a.ofmap_stores,
+            a.psum_spill_loads + a.psum_spill_stores,
+            d.effective_latency(acc).cycles,
+            d.ifmap_from_glb,
+            d.ofmap_kept_on_chip,
+        );
+    }
+    let t = &plan.totals;
+    let _ = write!(
+        out,
+        "],\"totals\":{{\"accesses_elems\":{},\"accesses_bytes\":{},\"latency_cycles\":{},\
+         \"compute_cycles\":{},\"transfer_cycles\":{}}},",
+        t.accesses_elems,
+        t.accesses_bytes.bytes(),
+        t.latency_cycles,
+        t.compute_cycles,
+        t.transfer_cycles
+    );
+    let policies: Vec<String> = plan
+        .policies_used()
+        .iter()
+        .map(|(k, p)| format!("\"{}{}\"", k.label(), if *p { "+p" } else { "" }))
+        .collect();
+    let _ = write!(
+        out,
+        "\"prefetch_coverage\":{:.4},\"policies_used\":[{}]}}",
+        plan.prefetch_coverage(),
+        policies.join(",")
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +233,30 @@ mod tests {
         for l in &lines[1..] {
             assert_eq!(l.split(',').count(), cols, "{l}");
         }
+    }
+
+    #[test]
+    fn plan_json_is_valid_and_deterministic() {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+        let m = Manager::new(acc, ManagerConfig::new(Objective::Accesses));
+        let plan = m.heterogeneous(&zoo::resnet18()).unwrap();
+        let a = plan_json(&plan, &acc);
+        let b = plan_json(&m.heterogeneous(&zoo::resnet18()).unwrap(), &acc);
+        assert_eq!(a, b, "equal plans must serialize byte-identically");
+
+        let v = smm_obs::json::parse(&a).expect("plan JSON must parse");
+        let smm_obs::json::Value::Array(layers) = v.get("layers").unwrap() else {
+            panic!("layers must be an array");
+        };
+        assert_eq!(layers.len(), plan.decisions.len());
+        assert!(matches!(
+            v.get("totals").and_then(|t| t.get("latency_cycles")),
+            Some(smm_obs::json::Value::Number(n)) if *n > 0.0
+        ));
+        assert!(matches!(
+            layers[0].get("policy"),
+            Some(smm_obs::json::Value::String(_))
+        ));
     }
 
     #[test]

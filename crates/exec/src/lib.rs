@@ -15,7 +15,7 @@
 //!
 //! This is the proposal-side counterpart of the baseline's trace mode
 //! (`smm_systolic::schedule`), and the reproduction's stand-in for the
-//! paper's "results … have been validated against [28]".
+//! paper's "results … have been validated against \[28\]".
 //!
 //! # Example
 //!

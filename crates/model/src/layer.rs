@@ -71,6 +71,10 @@ pub enum ShapeError {
         /// The layer's filter count (must equal `in_channels`).
         num_filters: u32,
     },
+    /// A derived quantity (padded extent, footprint, or MAC count) would
+    /// overflow its integer representation. The payload names the
+    /// quantity that overflowed.
+    TooLarge(&'static str),
 }
 
 impl fmt::Display for ShapeError {
@@ -87,6 +91,9 @@ impl fmt::Display for ShapeError {
                 f,
                 "depth-wise layer needs num_filters ({num_filters}) == in_channels ({in_channels})"
             ),
+            ShapeError::TooLarge(what) => {
+                write!(f, "layer dimensions too large: {what} overflows")
+            }
         }
     }
 }
@@ -138,7 +145,17 @@ impl LayerShape {
                 return Err(ShapeError::ZeroDimension(name));
             }
         }
-        if self.padded_h() < self.filter_h || self.padded_w() < self.filter_w {
+        // Overflow guards come before any call to the derived-quantity
+        // methods: those assume a validated shape and use unchecked
+        // arithmetic. Compute the padded extents in u64 so even
+        // `u32::MAX`-sized inputs from a hostile topology file cannot
+        // wrap — they must produce `TooLarge`, never a panic.
+        let padded_h = self.ifmap_h as u64 + 2 * self.padding as u64;
+        let padded_w = self.ifmap_w as u64 + 2 * self.padding as u64;
+        if padded_h > u32::MAX as u64 || padded_w > u32::MAX as u64 {
+            return Err(ShapeError::TooLarge("padded ifmap extent"));
+        }
+        if padded_h < self.filter_h as u64 || padded_w < self.filter_w as u64 {
             return Err(ShapeError::FilterLargerThanInput);
         }
         if self.depthwise && self.num_filters != self.in_channels {
@@ -147,6 +164,32 @@ impl LayerShape {
                 num_filters: self.num_filters,
             });
         }
+        let too_large = |what| ShapeError::TooLarge(what);
+        let filter_channels: u64 = if self.depthwise {
+            1
+        } else {
+            self.in_channels as u64
+        };
+        padded_h
+            .checked_mul(padded_w)
+            .and_then(|v| v.checked_mul(self.in_channels as u64))
+            .ok_or(too_large("padded ifmap footprint"))?;
+        let single_filter = (self.filter_h as u64)
+            .checked_mul(self.filter_w as u64)
+            .and_then(|v| v.checked_mul(filter_channels))
+            .ok_or(too_large("filter footprint"))?;
+        single_filter
+            .checked_mul(self.num_filters as u64)
+            .ok_or(too_large("total filter footprint"))?;
+        let oh = (padded_h - self.filter_h as u64) / self.stride as u64 + 1;
+        let ow = (padded_w - self.filter_w as u64) / self.stride as u64 + 1;
+        let ofmap = oh
+            .checked_mul(ow)
+            .and_then(|v| v.checked_mul(self.num_filters as u64))
+            .ok_or(too_large("ofmap footprint"))?;
+        ofmap
+            .checked_mul(single_filter)
+            .ok_or(too_large("MAC count"))?;
         Ok(())
     }
 
@@ -398,6 +441,64 @@ mod tests {
         let mut s = conv224();
         s.filter_h = 231;
         assert_eq!(s.validate(), Err(ShapeError::FilterLargerThanInput));
+    }
+
+    #[test]
+    fn huge_dimensions_error_instead_of_overflowing() {
+        // Padded extent wraps u32: I_H + 2P > u32::MAX.
+        let mut s = conv224();
+        s.ifmap_h = u32::MAX;
+        s.padding = u32::MAX;
+        assert_eq!(
+            s.validate(),
+            Err(ShapeError::TooLarge("padded ifmap extent"))
+        );
+
+        // Footprint wraps u64: I_H·I_W·C_I ≈ 2^96 with no padding.
+        let mut s = conv224();
+        s.ifmap_h = u32::MAX;
+        s.ifmap_w = u32::MAX;
+        s.in_channels = u32::MAX;
+        s.padding = 0;
+        assert_eq!(
+            s.validate(),
+            Err(ShapeError::TooLarge("padded ifmap footprint"))
+        );
+
+        // Total filter footprint wraps u64 while the ifmap still fits:
+        // single filter ≈ 2^33 elements times 2^31 filters.
+        let mut s = conv224();
+        s.ifmap_h = 1 << 31;
+        s.ifmap_w = 2;
+        s.in_channels = 2;
+        s.filter_h = 1 << 31;
+        s.filter_w = 2;
+        s.num_filters = 1 << 31;
+        s.stride = 1;
+        s.padding = 0;
+        assert_eq!(
+            s.validate(),
+            Err(ShapeError::TooLarge("total filter footprint"))
+        );
+
+        // MAC count wraps u64 even though each footprint fits: large
+        // spatial output times a large filter volume.
+        let mut s = conv224();
+        s.ifmap_h = 1 << 20;
+        s.ifmap_w = 1 << 20;
+        s.in_channels = 1 << 10;
+        s.filter_h = 1 << 10;
+        s.filter_w = 1 << 10;
+        s.num_filters = 1 << 10;
+        s.stride = 1;
+        s.padding = 0;
+        assert!(matches!(s.validate(), Err(ShapeError::TooLarge(_))));
+
+        // The error message names the overflowing quantity.
+        let mut s = conv224();
+        s.ifmap_h = u32::MAX;
+        s.padding = u32::MAX;
+        assert!(s.validate().unwrap_err().to_string().contains("too large"));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! This module reads that classic 8-column format and an extended
 //! 10-column variant with explicit `Padding` and `Kind` columns (the
 //! classic format has neither; on read, padding defaults to 0 and the
-//! kind is inferred from the dimensions). [`write`] always emits the
+//! kind is inferred from the dimensions). [`write()`] always emits the
 //! extended format so a written file round-trips losslessly.
 
 use crate::{Layer, LayerKind, LayerShape, Network};
@@ -250,6 +250,21 @@ mod tests {
             parse("t", "x, 8, 8, 9, 9, 4, 8, 1,\n").unwrap_err(),
             TopologyError::BadShape { line: 1, .. }
         ));
+    }
+
+    #[test]
+    fn absurdly_large_dimensions_error_with_line_number() {
+        // Each field individually fits in u32, so parsing succeeds and
+        // the overflow guard in shape validation must catch it — as a
+        // line-numbered error, never a panic.
+        let big = u32::MAX;
+        let text = format!("ok, 8, 8, 3, 3, 4, 8, 1,\nhuge, {big}, {big}, 3, 3, {big}, 8, 1,\n");
+        let err = parse("t", &text).unwrap_err();
+        assert!(matches!(err, TopologyError::BadShape { line: 2, .. }));
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // A field too big for u32 is a parse error, also with a line.
+        let err = parse("t", "x, 99999999999, 8, 3, 3, 4, 8, 1,\n").unwrap_err();
+        assert!(matches!(err, TopologyError::BadNumber { line: 1, .. }));
     }
 
     #[test]

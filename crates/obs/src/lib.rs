@@ -82,11 +82,23 @@ pub enum Counter {
     ReplayDmaCommands,
     /// Layers traced by the element-exact systolic baseline.
     BaselineLayersTraced,
+    /// Plan-cache lookups that found a cached plan.
+    PlanCacheHits,
+    /// Plan-cache lookups that missed.
+    PlanCacheMisses,
+    /// Plans evicted from the cache to make room.
+    PlanCacheEvictions,
+    /// Planning requests accepted by the serving layer.
+    ServeRequests,
+    /// Requests shed because the work queue was full.
+    ServeShed,
+    /// Requests that missed their deadline.
+    ServeDeadlineExceeded,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 17] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -98,6 +110,12 @@ impl Counter {
         Counter::SweepCells,
         Counter::ReplayDmaCommands,
         Counter::BaselineLayersTraced,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::PlanCacheEvictions,
+        Counter::ServeRequests,
+        Counter::ServeShed,
+        Counter::ServeDeadlineExceeded,
     ];
 
     /// Stable dotted name (report rows, Chrome counter events).
@@ -114,6 +132,12 @@ impl Counter {
             Counter::SweepCells => "sweep.cells",
             Counter::ReplayDmaCommands => "replay.dma_commands",
             Counter::BaselineLayersTraced => "baseline.layers_traced",
+            Counter::PlanCacheHits => "plan_cache.hits",
+            Counter::PlanCacheMisses => "plan_cache.misses",
+            Counter::PlanCacheEvictions => "plan_cache.evictions",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeShed => "serve.shed",
+            Counter::ServeDeadlineExceeded => "serve.deadline_exceeded",
         }
     }
 
@@ -287,7 +311,45 @@ pub fn counter_value(counter: Counter) -> u64 {
     }
 }
 
-/// Scoped timing guard; created by [`span`] / [`span!`], records on
+/// A point-in-time copy of every counter. Long-lived processes (the
+/// planning server) scope per-request metrics by capturing a snapshot
+/// before and after the work and reporting the [`delta`](Self::delta) —
+/// the process-global totals keep growing, but the delta only contains
+/// what happened in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: [u64; NUM_COUNTERS],
+}
+
+impl CounterSnapshot {
+    /// Capture the current value of every counter.
+    pub fn capture() -> Self {
+        let mut values = [0u64; NUM_COUNTERS];
+        if let Some(c) = COLLECTOR.get() {
+            for (v, a) in values.iter_mut().zip(&c.counters) {
+                *v = a.load(Ordering::Relaxed);
+            }
+        }
+        CounterSnapshot { values }
+    }
+
+    /// Value of one counter at capture time.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.values[counter.index()]
+    }
+
+    /// Per-counter difference `later - self` (saturating, so a [`reset`]
+    /// between the two snapshots yields zeros rather than wrapping).
+    pub fn delta(&self, later: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = later.values[i].saturating_sub(self.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+}
+
+/// Scoped timing guard; created by [`span()`] / [`span!`], records on
 /// drop. Inactive guards (collection disabled at creation) do nothing.
 pub struct SpanGuard {
     name: &'static str,
@@ -492,5 +554,45 @@ mod tests {
         let _l = test_lock();
         set_enabled(false);
         let _g = span_detailed("test.lazy", || panic!("must not run"));
+    }
+
+    /// Regression test for per-request metric scoping: a second
+    /// "request"'s snapshot delta must not include the first request's
+    /// counters, even though the global totals keep accumulating.
+    #[test]
+    fn snapshot_deltas_scope_requests() {
+        let _l = test_lock();
+        reset();
+        set_enabled(true);
+
+        // Request 1 plans 30 candidates.
+        let before1 = CounterSnapshot::capture();
+        add(Counter::PlannerCandidates, 30);
+        add(Counter::PlanCacheMisses, 1);
+        let after1 = CounterSnapshot::capture();
+
+        // Request 2 plans 12.
+        let before2 = CounterSnapshot::capture();
+        add(Counter::PlannerCandidates, 12);
+        add(Counter::PlanCacheHits, 1);
+        let after2 = CounterSnapshot::capture();
+        set_enabled(false);
+
+        let d1 = before1.delta(&after1);
+        let d2 = before2.delta(&after2);
+        assert_eq!(d1.counter(Counter::PlannerCandidates), 30);
+        assert_eq!(d2.counter(Counter::PlannerCandidates), 12);
+        assert_eq!(d2.counter(Counter::PlanCacheMisses), 0);
+        assert_eq!(d2.counter(Counter::PlanCacheHits), 1);
+        // The global total still holds both requests.
+        assert_eq!(counter_value(Counter::PlannerCandidates), 42);
+        // A reset between snapshots saturates to zero instead of wrapping.
+        let before3 = CounterSnapshot::capture();
+        reset();
+        let after3 = CounterSnapshot::capture();
+        assert_eq!(
+            before3.delta(&after3).counter(Counter::PlannerCandidates),
+            0
+        );
     }
 }

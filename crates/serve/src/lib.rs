@@ -1,0 +1,49 @@
+//! `smm-serve` — a concurrent planning server for the scratchpad
+//! memory manager.
+//!
+//! Turns the offline planner into a daemon: clients send JSON-lines
+//! requests over TCP (`{"model":"resnet18","glb_kb":64}`) and receive
+//! the full execution plan as JSON. Built entirely on `std::net` and
+//! the repo's hand-written JSON — no external serving frameworks.
+//!
+//! The moving parts, each in its own module:
+//!
+//! - [`protocol`] — the wire format: request parsing (strict, never
+//!   panics on garbage) and deterministic response rendering.
+//! - [`queue`] — a bounded MPMC queue; when it is full new requests
+//!   are *shed* with an explicit response instead of queuing without
+//!   bound.
+//! - [`server`] — the accept/handler/worker thread architecture, the
+//!   shared [`smm_core::PlanCache`], per-request deadlines (enforced
+//!   cooperatively inside the planning loops via
+//!   [`smm_core::CancelToken`]), and graceful draining shutdown.
+//! - [`loadgen`] — a closed-loop load generator reporting throughput,
+//!   p50/p95/p99 latency, cache hit rate, and shed counts.
+//!
+//! # Example
+//!
+//! ```
+//! use smm_serve::{Server, ServerConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let handle = Server::spawn(ServerConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+//! writeln!(conn, r#"{{"model":"resnet18"}}"#).unwrap();
+//! let mut response = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut response).unwrap();
+//! assert!(response.contains("\"status\":\"ok\""));
+//! handle.stop();
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use protocol::{Op, Request};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Server, ServerConfig, ServerHandle};

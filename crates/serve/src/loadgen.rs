@@ -1,0 +1,346 @@
+//! A closed-loop load generator for the planning server.
+//!
+//! Spawns `concurrency` client threads, each with one connection,
+//! issuing plan requests round-robin over a model list and recording
+//! per-request latency and response status. The report aggregates
+//! throughput, latency percentiles (p50/p95/p99), the cache hit rate,
+//! shed and deadline counts — and cross-checks that every plan served
+//! for the same input is **byte-identical** (cached plans must match
+//! cold ones exactly).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Total number of plan requests to send.
+    pub requests: usize,
+    /// Number of concurrent client connections.
+    pub concurrency: usize,
+    /// Models to request, round-robin. Must be non-empty.
+    pub models: Vec<String>,
+    /// GLB capacity in KiB for every request.
+    pub glb_kb: u64,
+    /// Optional per-request deadline.
+    pub deadline_ms: Option<u64>,
+    /// Send a `shutdown` op after the run.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".into(),
+            requests: 64,
+            concurrency: 8,
+            models: vec![
+                "efficientnetb0".into(),
+                "googlenet".into(),
+                "mnasnet".into(),
+                "mobilenet".into(),
+                "mobilenetv2".into(),
+                "resnet18".into(),
+            ],
+            glb_kb: 64,
+            deadline_ms: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// Aggregated results of one load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `ok` responses that were cache hits.
+    pub cache_hits: u64,
+    /// `shed` responses.
+    pub shed: u64,
+    /// `deadline` responses.
+    pub deadline: u64,
+    /// `error` responses plus transport failures.
+    pub errors: u64,
+    /// Plans that differed from an earlier plan for the same input —
+    /// must be 0 (cache hits are byte-identical to cold plans).
+    pub plan_mismatches: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl LoadgenReport {
+    /// Requests completed per second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sent as f64 / secs
+        }
+    }
+
+    /// Cache hit rate over `ok` responses (0.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.ok as f64
+        }
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "requests:   {} in {:.3}s ({:.1} req/s)\n\
+             ok:         {} ({} cache hits, {:.1}% hit rate)\n\
+             shed:       {}\n\
+             deadline:   {}\n\
+             errors:     {}\n\
+             mismatches: {}\n\
+             latency:    p50 {}us  p95 {}us  p99 {}us",
+            self.sent,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps(),
+            self.ok,
+            self.cache_hits,
+            self.hit_rate() * 100.0,
+            self.shed,
+            self.deadline,
+            self.errors,
+            self.plan_mismatches,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+        )
+    }
+}
+
+/// Percentile from an unsorted latency sample (nearest-rank).
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() - 1) * pct / 100;
+    sorted[idx]
+}
+
+/// Extract the `"plan":{...}` payload from an `ok` response line. The
+/// protocol places the plan last, so this is a plain suffix slice.
+fn plan_payload(line: &str) -> Option<&str> {
+    let idx = line.find("\"plan\":")?;
+    line.get(idx + "\"plan\":".len()..line.len() - 1)
+}
+
+struct WorkerTally {
+    ok: u64,
+    cache_hits: u64,
+    shed: u64,
+    deadline: u64,
+    errors: u64,
+    mismatches: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn classify(
+    line: &str,
+    model: &str,
+    reference_plans: &Mutex<HashMap<String, String>>,
+    tally: &mut WorkerTally,
+) {
+    let Ok(v) = smm_obs::json::parse(line) else {
+        tally.errors += 1;
+        return;
+    };
+    let status = match v.get("status") {
+        Some(smm_obs::json::Value::String(s)) => s.as_str(),
+        _ => {
+            tally.errors += 1;
+            return;
+        }
+    };
+    match status {
+        "ok" => {
+            tally.ok += 1;
+            if matches!(v.get("cache_hit"), Some(smm_obs::json::Value::Bool(true))) {
+                tally.cache_hits += 1;
+            }
+            // Byte-identity: every plan for the same model must match
+            // the first one seen, cached or not.
+            if let Some(plan) = plan_payload(line) {
+                let mut seen = reference_plans.lock().unwrap();
+                match seen.get(model) {
+                    Some(reference) if reference != plan => tally.mismatches += 1,
+                    Some(_) => {}
+                    None => {
+                        seen.insert(model.to_string(), plan.to_string());
+                    }
+                }
+            } else {
+                tally.mismatches += 1;
+            }
+        }
+        "shed" => tally.shed += 1,
+        "deadline" => tally.deadline += 1,
+        _ => tally.errors += 1,
+    }
+}
+
+/// Run the load generator. Transport-level failures count as `errors`
+/// in the report; only failing to connect at all is an `Err`.
+pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    assert!(!cfg.models.is_empty(), "loadgen needs at least one model");
+    let concurrency = cfg.concurrency.max(1);
+    let reference_plans = Arc::new(Mutex::new(HashMap::new()));
+    let start = Instant::now();
+
+    let mut handles = Vec::with_capacity(concurrency);
+    for t in 0..concurrency {
+        // Request i goes to thread i % concurrency; model i % models.
+        let my_requests: Vec<usize> = (0..cfg.requests).filter(|i| i % concurrency == t).collect();
+        if my_requests.is_empty() {
+            continue;
+        }
+        let cfg = cfg.clone();
+        let reference_plans = Arc::clone(&reference_plans);
+        handles.push(std::thread::spawn(move || {
+            let mut tally = WorkerTally {
+                ok: 0,
+                cache_hits: 0,
+                shed: 0,
+                deadline: 0,
+                errors: 0,
+                mismatches: 0,
+                latencies_us: Vec::with_capacity(my_requests.len()),
+            };
+            let Ok(stream) = TcpStream::connect(&cfg.addr) else {
+                tally.errors += my_requests.len() as u64;
+                return tally;
+            };
+            let Ok(read_half) = stream.try_clone() else {
+                tally.errors += my_requests.len() as u64;
+                return tally;
+            };
+            let mut reader = BufReader::new(read_half);
+            let mut writer = stream;
+            let mut line = String::new();
+            for i in my_requests {
+                let model = &cfg.models[i % cfg.models.len()];
+                let deadline = cfg
+                    .deadline_ms
+                    .map(|ms| format!(",\"deadline_ms\":{ms}"))
+                    .unwrap_or_default();
+                let request = format!(
+                    "{{\"model\":\"{model}\",\"glb_kb\":{}{deadline}}}",
+                    cfg.glb_kb
+                );
+                let sent_at = Instant::now();
+                if writeln!(writer, "{request}")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    tally.errors += 1;
+                    continue;
+                }
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(n) if n > 0 => {
+                        tally
+                            .latencies_us
+                            .push(sent_at.elapsed().as_micros() as u64);
+                        classify(line.trim(), model, &reference_plans, &mut tally);
+                    }
+                    _ => tally.errors += 1,
+                }
+            }
+            tally
+        }));
+    }
+
+    let mut report = LoadgenReport {
+        sent: cfg.requests as u64,
+        ..LoadgenReport::default()
+    };
+    let mut latencies = Vec::with_capacity(cfg.requests);
+    for h in handles {
+        let tally = h.join().expect("loadgen worker panicked");
+        report.ok += tally.ok;
+        report.cache_hits += tally.cache_hits;
+        report.shed += tally.shed;
+        report.deadline += tally.deadline;
+        report.errors += tally.errors;
+        report.plan_mismatches += tally.mismatches;
+        latencies.extend(tally.latencies_us);
+    }
+    report.elapsed = start.elapsed();
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 50);
+    report.p95_us = percentile(&latencies, 95);
+    report.p99_us = percentile(&latencies, 99);
+
+    if cfg.shutdown {
+        if let Ok(mut stream) = TcpStream::connect(&cfg.addr) {
+            let _ = writeln!(stream, "{{\"op\":\"shutdown\"}}");
+            let mut reader = BufReader::new(&stream);
+            let mut ack = String::new();
+            let _ = reader.read_line(&mut ack);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 95), 95);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn plan_payload_slices_the_trailing_object() {
+        let line = r#"{"status":"ok","cache_hit":false,"plan":{"network":"x","layers":[]}}"#;
+        assert_eq!(plan_payload(line), Some(r#"{"network":"x","layers":[]}"#));
+        assert_eq!(plan_payload(r#"{"status":"shed"}"#), None);
+    }
+
+    #[test]
+    fn report_rates_and_render() {
+        let r = LoadgenReport {
+            sent: 10,
+            ok: 8,
+            cache_hits: 4,
+            shed: 1,
+            deadline: 1,
+            elapsed: Duration::from_secs(2),
+            p50_us: 100,
+            p95_us: 200,
+            p99_us: 300,
+            ..LoadgenReport::default()
+        };
+        assert_eq!(r.throughput_rps(), 5.0);
+        assert_eq!(r.hit_rate(), 0.5);
+        let text = r.render();
+        assert!(text.contains("p50 100us"));
+        assert!(text.contains("50.0% hit rate"));
+    }
+}

@@ -1,0 +1,407 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one response per line, both JSON objects.
+//! Requests are parsed with the dependency-free parser from
+//! [`smm_obs::json`]; responses are hand-written strings so equal plans
+//! serialize byte-identically (see [`smm_core::report::plan_json`]).
+//!
+//! # Request
+//!
+//! ```json
+//! {"op":"plan","model":"resnet18","glb_kb":64,"objective":"accesses",
+//!  "scheme":"het","prefetch":true,"reuse":false,"deadline_ms":250,"id":"r1"}
+//! ```
+//!
+//! - `op` — `"plan"` (default), `"ping"`, `"stats"`, or `"shutdown"`.
+//! - `model` — a zoo model name, **or** `topology` — an inline
+//!   SCALE-Sim CSV (with optional `name`). Exactly one must be present
+//!   for `plan` requests.
+//! - `glb_kb` — GLB capacity in KiB (default 64).
+//! - `objective` — `"accesses"` (default) or `"latency"`.
+//! - `scheme` — `"het"` (default) or `"hom"` (best homogeneous).
+//! - `prefetch` / `reuse` — planner flags (defaults `true` / `false`).
+//! - `deadline_ms` — per-request deadline, enforced cooperatively.
+//! - `delay_ms` — testing aid: the worker sleeps this long before
+//!   planning, to make load-shedding deterministic in tests.
+//! - `id` — opaque string echoed back in the response.
+//!
+//! # Response
+//!
+//! Status is one of `ok`, `shed`, `deadline`, or `error`. Successful
+//! plan responses carry `cache_hit`, per-request `metrics` (observability
+//! counter deltas), and the full plan object **last**, so clients can
+//! compare plans byte-for-byte by slicing the line after `"plan":`.
+
+use smm_core::{Objective, PlanScheme};
+use std::fmt::Write as _;
+
+/// Maximum accepted `glb_kb` (1 GiB); guards the `ByteSize` arithmetic.
+pub const MAX_GLB_KB: u64 = 1 << 20;
+
+/// Maximum accepted `delay_ms`; keeps the testing aid from wedging a
+/// worker for minutes.
+pub const MAX_DELAY_MS: u64 = 10_000;
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Produce an execution plan (the default).
+    Plan,
+    /// Liveness probe.
+    Ping,
+    /// Server statistics snapshot.
+    Stats,
+    /// Graceful shutdown: drain in-flight requests, then exit.
+    Shutdown,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echoed back in the response, if present.
+    pub id: Option<String>,
+    /// Requested operation.
+    pub op: Op,
+    /// Zoo model name (mutually exclusive with `topology`).
+    pub model: Option<String>,
+    /// Inline topology CSV (mutually exclusive with `model`).
+    pub topology: Option<String>,
+    /// Network name for inline topologies (default `"inline"`).
+    pub name: Option<String>,
+    /// GLB capacity in KiB.
+    pub glb_kb: u64,
+    /// Optimization objective.
+    pub objective: Objective,
+    /// Heterogeneous or best-homogeneous planning.
+    pub scheme: PlanScheme,
+    /// Allow the double-buffered `+p` policy variants.
+    pub prefetch: bool,
+    /// Enable the inter-layer reuse pass.
+    pub reuse: bool,
+    /// Cooperative deadline for this request.
+    pub deadline_ms: Option<u64>,
+    /// Testing aid: artificial planning delay.
+    pub delay_ms: Option<u64>,
+}
+
+impl Default for Request {
+    fn default() -> Self {
+        Request {
+            id: None,
+            op: Op::Plan,
+            model: None,
+            topology: None,
+            name: None,
+            glb_kb: 64,
+            objective: Objective::Accesses,
+            scheme: PlanScheme::Heterogeneous,
+            prefetch: true,
+            reuse: false,
+            deadline_ms: None,
+            delay_ms: None,
+        }
+    }
+}
+
+fn as_str(v: &smm_obs::json::Value, field: &str) -> Result<String, String> {
+    match v {
+        smm_obs::json::Value::String(s) => Ok(s.clone()),
+        other => Err(format!("field {field:?} must be a string, got {other:?}")),
+    }
+}
+
+fn as_bool(v: &smm_obs::json::Value, field: &str) -> Result<bool, String> {
+    match v {
+        smm_obs::json::Value::Bool(b) => Ok(*b),
+        other => Err(format!("field {field:?} must be a boolean, got {other:?}")),
+    }
+}
+
+fn as_u64(v: &smm_obs::json::Value, field: &str) -> Result<u64, String> {
+    match v {
+        smm_obs::json::Value::Number(n)
+            if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 =>
+        {
+            Ok(*n as u64)
+        }
+        other => Err(format!(
+            "field {field:?} must be a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+/// Parse one request line. Errors are human-readable messages that name
+/// the offending field; they never panic, whatever the input.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = smm_obs::json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let smm_obs::json::Value::Object(members) = &v else {
+        return Err("request must be a JSON object".into());
+    };
+    let mut req = Request::default();
+    for (key, val) in members {
+        match key.as_str() {
+            "op" => {
+                req.op = match as_str(val, "op")?.as_str() {
+                    "plan" => Op::Plan,
+                    "ping" => Op::Ping,
+                    "stats" => Op::Stats,
+                    "shutdown" => Op::Shutdown,
+                    other => return Err(format!("unknown op {other:?}")),
+                }
+            }
+            "id" => req.id = Some(as_str(val, "id")?),
+            "model" => req.model = Some(as_str(val, "model")?),
+            "topology" => req.topology = Some(as_str(val, "topology")?),
+            "name" => req.name = Some(as_str(val, "name")?),
+            "glb_kb" => req.glb_kb = as_u64(val, "glb_kb")?,
+            "objective" => {
+                req.objective = match as_str(val, "objective")?.as_str() {
+                    "accesses" => Objective::Accesses,
+                    "latency" => Objective::Latency,
+                    other => return Err(format!("unknown objective {other:?}")),
+                }
+            }
+            "scheme" => {
+                req.scheme = match as_str(val, "scheme")?.as_str() {
+                    "het" => PlanScheme::Heterogeneous,
+                    "hom" => PlanScheme::BestHomogeneous,
+                    other => return Err(format!("unknown scheme {other:?}")),
+                }
+            }
+            "prefetch" => req.prefetch = as_bool(val, "prefetch")?,
+            "reuse" => req.reuse = as_bool(val, "reuse")?,
+            "deadline_ms" => req.deadline_ms = Some(as_u64(val, "deadline_ms")?),
+            "delay_ms" => req.delay_ms = Some(as_u64(val, "delay_ms")?),
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    if req.op == Op::Plan {
+        match (&req.model, &req.topology) {
+            (None, None) => return Err("plan request needs \"model\" or \"topology\"".into()),
+            (Some(_), Some(_)) => {
+                return Err("\"model\" and \"topology\" are mutually exclusive".into())
+            }
+            _ => {}
+        }
+        if req.glb_kb == 0 || req.glb_kb > MAX_GLB_KB {
+            return Err(format!(
+                "glb_kb must be in 1..={MAX_GLB_KB}, got {}",
+                req.glb_kb
+            ));
+        }
+        if req.delay_ms.is_some_and(|d| d > MAX_DELAY_MS) {
+            return Err(format!("delay_ms must be at most {MAX_DELAY_MS}"));
+        }
+    }
+    Ok(req)
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn id_field(id: &Option<String>) -> String {
+    match id {
+        Some(id) => format!("\"id\":\"{}\",", json_escape(id)),
+        None => String::new(),
+    }
+}
+
+/// Per-request observability metrics, computed from counter-snapshot
+/// deltas around the planning call. Under concurrent load the deltas
+/// are approximate (counters are process-global), but in a quiet server
+/// they attribute work to the request exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestMetrics {
+    /// Wall-clock time the worker spent on the request, microseconds.
+    pub elapsed_us: u64,
+    /// Planner layers planned while serving this request.
+    pub layers_planned: u64,
+    /// Plan-cache hits while serving this request.
+    pub cache_hits: u64,
+    /// Plan-cache misses while serving this request.
+    pub cache_misses: u64,
+}
+
+impl RequestMetrics {
+    fn render(&self) -> String {
+        format!(
+            "\"metrics\":{{\"elapsed_us\":{},\"layers_planned\":{},\
+             \"cache_hits\":{},\"cache_misses\":{}}}",
+            self.elapsed_us, self.layers_planned, self.cache_hits, self.cache_misses
+        )
+    }
+}
+
+/// A successful plan response. `plan` must be the output of
+/// [`smm_core::report::plan_json`]; it is placed **last** so clients can
+/// compare plans byte-for-byte.
+pub fn ok_plan_response(
+    id: &Option<String>,
+    cache_hit: bool,
+    metrics: &RequestMetrics,
+    plan: &str,
+) -> String {
+    format!(
+        "{{{}\"status\":\"ok\",\"cache_hit\":{cache_hit},{},\"plan\":{plan}}}",
+        id_field(id),
+        metrics.render()
+    )
+}
+
+/// The response sent when the request queue is full.
+pub fn shed_response(id: &Option<String>) -> String {
+    format!(
+        "{{{}\"status\":\"shed\",\"message\":\"server overloaded, request shed\"}}",
+        id_field(id)
+    )
+}
+
+/// The response sent when a request's deadline fired.
+pub fn deadline_response(id: &Option<String>, layers_done: usize) -> String {
+    format!(
+        "{{{}\"status\":\"deadline\",\"layers_done\":{layers_done},\
+         \"message\":\"deadline exceeded\"}}",
+        id_field(id)
+    )
+}
+
+/// A failure response with a human-readable message.
+pub fn error_response(id: &Option<String>, message: &str) -> String {
+    format!(
+        "{{{}\"status\":\"error\",\"message\":\"{}\"}}",
+        id_field(id),
+        json_escape(message)
+    )
+}
+
+/// The `ping` response.
+pub fn pong_response(id: &Option<String>) -> String {
+    format!("{{{}\"status\":\"ok\",\"op\":\"ping\"}}", id_field(id))
+}
+
+/// The `shutdown` acknowledgement.
+pub fn shutdown_response(id: &Option<String>) -> String {
+    format!("{{{}\"status\":\"ok\",\"op\":\"shutdown\"}}", id_field(id))
+}
+
+/// The `stats` response: cache statistics plus queue depth.
+pub fn stats_response(id: &Option<String>, cache: &smm_core::CacheStats, queued: usize) -> String {
+    format!(
+        "{{{}\"status\":\"ok\",\"op\":\"stats\",\"cache\":{{\"hits\":{},\"misses\":{},\
+         \"evictions\":{},\"len\":{},\"capacity\":{},\"hit_rate\":{:.4}}},\"queued\":{queued}}}",
+        id_field(id),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.len,
+        cache.capacity,
+        cache.hit_rate()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_plan_request_parses_with_defaults() {
+        let r = parse_request(r#"{"model":"resnet18"}"#).unwrap();
+        assert_eq!(r.op, Op::Plan);
+        assert_eq!(r.model.as_deref(), Some("resnet18"));
+        assert_eq!(r.glb_kb, 64);
+        assert_eq!(r.objective, Objective::Accesses);
+        assert_eq!(r.scheme, PlanScheme::Heterogeneous);
+        assert!(r.prefetch);
+        assert!(!r.reuse);
+    }
+
+    #[test]
+    fn full_request_round_trips_every_field() {
+        let r = parse_request(
+            r#"{"op":"plan","id":"x","model":"mobilenet","glb_kb":128,
+                "objective":"latency","scheme":"hom","prefetch":false,
+                "reuse":true,"deadline_ms":250,"delay_ms":5}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id.as_deref(), Some("x"));
+        assert_eq!(r.glb_kb, 128);
+        assert_eq!(r.objective, Objective::Latency);
+        assert_eq!(r.scheme, PlanScheme::BestHomogeneous);
+        assert!(!r.prefetch);
+        assert!(r.reuse);
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.delay_ms, Some(5));
+    }
+
+    #[test]
+    fn garbage_inputs_error_never_panic() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2,3]",
+            "42",
+            r#"{"op":"fly"}"#,
+            r#"{"model":42}"#,
+            r#"{"model":"m","bogus":1}"#,
+            r#"{"model":"m","glb_kb":-3}"#,
+            r#"{"model":"m","glb_kb":0}"#,
+            r#"{"model":"m","glb_kb":1.5}"#,
+            r#"{"op":"plan"}"#,
+            r#"{"model":"m","topology":"x"}"#,
+            r#"{"model":"m","deadline_ms":"soon"}"#,
+            r#"{"model":"m","delay_ms":999999999}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn ops_without_model_are_valid() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap().op, Op::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap().op, Op::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap().op,
+            Op::Shutdown
+        );
+    }
+
+    #[test]
+    fn responses_are_valid_json_with_plan_last() {
+        let id = Some("req-1".to_string());
+        let m = RequestMetrics {
+            elapsed_us: 10,
+            layers_planned: 21,
+            cache_hits: 0,
+            cache_misses: 1,
+        };
+        let ok = ok_plan_response(&id, false, &m, "{\"network\":\"n\"}");
+        assert!(ok.ends_with(",\"plan\":{\"network\":\"n\"}}"));
+        for line in [
+            ok,
+            shed_response(&id),
+            deadline_response(&None, 3),
+            error_response(&id, "line 2: bad \"thing\""),
+            pong_response(&None),
+            shutdown_response(&id),
+            stats_response(&None, &smm_core::CacheStats::default(), 4),
+        ] {
+            smm_obs::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+}

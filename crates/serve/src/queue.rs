@@ -1,0 +1,150 @@
+//! A bounded MPMC work queue with load shedding.
+//!
+//! Connection handlers `try_push` jobs and never block: when the queue
+//! is full the push fails immediately and the handler answers with a
+//! `shed` response instead. Workers block in [`BoundedQueue::pop`]
+//! until a job arrives or the queue is closed *and* drained — closing
+//! is how graceful shutdown lets in-flight work finish.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot`
+//! shim has no condition variables).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`BoundedQueue::try_push`] was refused. The rejected item is
+/// handed back so the caller can respond to it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the request.
+    Full(T),
+    /// The queue was closed — the server is shutting down.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue without blocking; fails when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item is available. Returns `None`
+    /// once the queue is closed and every queued item has been drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: future pushes fail, poppers drain what remains
+    /// and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Number of queued items right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_in_fifo_order() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(8), Err(PushError::Closed(8))));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        let mut got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, Some(1), Some(2)]);
+    }
+}

@@ -1,0 +1,462 @@
+//! The planning server.
+//!
+//! Thread architecture:
+//!
+//! - an **acceptor** thread polls a non-blocking [`TcpListener`] and
+//!   spawns one handler thread per connection;
+//! - **handler** threads read JSON-lines requests, answer `ping` /
+//!   `stats` / `shutdown` inline, and enqueue `plan` jobs on a bounded
+//!   [`BoundedQueue`] — when the queue is full the request is *shed*
+//!   immediately rather than queued;
+//! - **worker** threads pop jobs, enforce the per-request deadline
+//!   (checked at dequeue, *before* the cache lookup, so an expired
+//!   deadline always answers `deadline` even on a warm cache), consult
+//!   the shared [`PlanCache`], and plan on a miss with a cooperative
+//!   [`CancelToken`] so a deadline firing mid-plan aborts within one
+//!   layer's planning time.
+//!
+//! Shutdown (via [`ServerHandle::stop`] or a client `shutdown` op) is
+//! graceful: the acceptor stops accepting, handlers finish their
+//! current request, queued jobs drain through the workers, and only
+//! then do the threads exit.
+
+use crate::protocol::{self, Op, Request};
+use crate::queue::{BoundedQueue, PushError};
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_core::report::plan_json;
+use smm_core::{CacheStats, CancelToken, Manager, ManagerConfig, PlanCache, PlanError, PlanKey};
+use smm_model::{topology, zoo, Network};
+use smm_obs::{Counter, CounterSnapshot};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long [`ServerHandle::join`] waits for connection handlers to
+/// finish before giving up on them.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Number of planning worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it are shed.
+    pub queue_cap: usize,
+    /// Plan-cache capacity in entries; 0 disables caching.
+    pub cache_cap: usize,
+    /// Enable the process-global observability collector on spawn, so
+    /// cache and serve counters tick.
+    pub obs: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            cache_cap: 128,
+            obs: true,
+        }
+    }
+}
+
+/// One queued planning job: the parsed request plus the reply channel
+/// back to the connection handler.
+struct Job {
+    req: Request,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<String>,
+}
+
+/// Everything the handler and worker threads share.
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: PlanCache,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`stop`](Self::stop) and/or [`join`](Self::join).
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The planning server; see the module docs for the thread model.
+pub struct Server;
+
+impl Server {
+    /// Bind and start accepting. Returns once the listener is live;
+    /// planning happens on background threads.
+    pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        if cfg.obs {
+            smm_obs::set_enabled(true);
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_cap),
+            cache: PlanCache::new(cfg.cache_cap),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("smm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("smm-serve-acceptor".into())
+                .spawn(move || acceptor_loop(listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signal shutdown. Non-blocking; pair with [`join`](Self::join).
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been signalled (by [`stop`](Self::stop) or
+    /// a client `shutdown` op).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Plan-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Block until shutdown is signalled, then drain gracefully: wait
+    /// for connection handlers to finish, let workers drain the queue,
+    /// and join every thread.
+    pub fn join(mut self) {
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(POLL_INTERVAL);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Handlers exit once their current request is answered; queued
+        // jobs keep workers busy until then, so close the queue only
+        // after the handlers are gone (bounded by DRAIN_TIMEOUT).
+        let drain_start = Instant::now();
+        while self.shared.connections.load(Ordering::SeqCst) > 0
+            && drain_start.elapsed() < DRAIN_TIMEOUT
+        {
+            thread::sleep(POLL_INTERVAL);
+        }
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned =
+                    thread::Builder::new()
+                        .name("smm-serve-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &conn_shared);
+                            conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                if spawned.is_err() {
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // A short read timeout lets the handler notice shutdown between
+    // requests without dropping bytes: on timeout the partial line
+    // stays in `buf` and the next read_line call appends to it.
+    let _ = read_half.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let (response, shutdown_requested) = handle_line(line, shared);
+                if writeln!(writer, "{response}")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                if shutdown_requested {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Process one request line; returns the response plus whether the
+/// client asked the whole server to shut down.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err(msg) => return (protocol::error_response(&None, &msg), false),
+    };
+    match req.op {
+        Op::Ping => (protocol::pong_response(&req.id), false),
+        Op::Stats => (
+            protocol::stats_response(&req.id, &shared.cache.stats(), shared.queue.len()),
+            false,
+        ),
+        Op::Shutdown => (protocol::shutdown_response(&req.id), true),
+        Op::Plan => {
+            let (reply, rx) = mpsc::channel();
+            let deadline = req
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let id = req.id.clone();
+            match shared.queue.try_push(Job {
+                req,
+                deadline,
+                reply,
+            }) {
+                Ok(()) => match rx.recv() {
+                    Ok(response) => (response, false),
+                    Err(_) => (
+                        protocol::error_response(&id, "server shut down before responding"),
+                        false,
+                    ),
+                },
+                Err(PushError::Full(_)) => {
+                    smm_obs::add(Counter::ServeShed, 1);
+                    (protocol::shed_response(&id), false)
+                }
+                Err(PushError::Closed(_)) => (
+                    protocol::error_response(&id, "server is shutting down"),
+                    false,
+                ),
+            }
+        }
+    }
+}
+
+/// Resolve the request's network: a zoo model by name or an inline
+/// topology CSV. Errors carry the offending model name or the
+/// offending topology line.
+fn resolve_network(req: &Request) -> Result<Network, String> {
+    if let Some(model) = &req.model {
+        return zoo::by_name(model).ok_or_else(|| format!("unknown model {model:?}"));
+    }
+    let text = req.topology.as_deref().unwrap_or_default();
+    let name = req.name.clone().unwrap_or_else(|| "inline".into());
+    topology::parse(name, text).map_err(|e| format!("bad topology: {e}"))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        smm_obs::add(Counter::ServeRequests, 1);
+        let response = serve_plan(&job, shared);
+        // The handler may have hung up (client gone); nothing to do.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
+    let req = &job.req;
+    // Deadline check at dequeue, before the cache lookup: a request
+    // that waited out its deadline in the queue answers `deadline`
+    // even if the plan is already cached.
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        smm_obs::add(Counter::ServeDeadlineExceeded, 1);
+        return protocol::deadline_response(&req.id, 0);
+    }
+    if let Some(ms) = req.delay_ms {
+        thread::sleep(Duration::from_millis(ms.min(protocol::MAX_DELAY_MS)));
+    }
+
+    let start = Instant::now();
+    let before = CounterSnapshot::capture();
+    let net = match resolve_network(req) {
+        Ok(net) => net,
+        Err(msg) => return protocol::error_response(&req.id, &msg),
+    };
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(req.glb_kb));
+    let cfg = ManagerConfig::new(req.objective)
+        .with_prefetch(req.prefetch)
+        .with_inter_layer_reuse(req.reuse);
+    let key = PlanKey::new(&net, &acc, &cfg, req.scheme);
+
+    if let Some(plan) = shared.cache.get(&key) {
+        let metrics = request_metrics(start, &before);
+        return protocol::ok_plan_response(&req.id, true, &metrics, &plan_json(&plan, &acc));
+    }
+
+    let cancel = match job.deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::none(),
+    };
+    let manager = Manager::new(acc, cfg);
+    let result = match req.scheme {
+        smm_core::PlanScheme::Heterogeneous => manager.heterogeneous_with(&net, &cancel),
+        smm_core::PlanScheme::BestHomogeneous => manager.best_homogeneous_with(&net, &cancel),
+    };
+    match result {
+        Ok(plan) => {
+            let plan = Arc::new(plan);
+            shared.cache.insert(key, Arc::clone(&plan));
+            let metrics = request_metrics(start, &before);
+            protocol::ok_plan_response(&req.id, false, &metrics, &plan_json(&plan, &acc))
+        }
+        Err(PlanError::Cancelled { layers_done }) => {
+            smm_obs::add(Counter::ServeDeadlineExceeded, 1);
+            protocol::deadline_response(&req.id, layers_done)
+        }
+        Err(e) => protocol::error_response(&req.id, &e.to_string()),
+    }
+}
+
+fn request_metrics(start: Instant, before: &CounterSnapshot) -> protocol::RequestMetrics {
+    let delta = before.delta(&CounterSnapshot::capture());
+    protocol::RequestMetrics {
+        elapsed_us: start.elapsed().as_micros() as u64,
+        layers_planned: delta.counter(Counter::PlannerLayersPlanned),
+        cache_hits: delta.counter(Counter::PlanCacheHits),
+        cache_misses: delta.counter(Counter::PlanCacheMisses),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    }
+
+    fn round_trip(addr: SocketAddr, request: &str) -> String {
+        let (mut reader, mut writer) = connect(addr);
+        writeln!(writer, "{request}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim().to_string()
+    }
+
+    fn status_of(line: &str) -> String {
+        let v = smm_obs::json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        match v.get("status") {
+            Some(smm_obs::json::Value::String(s)) => s.clone(),
+            other => panic!("no status in {line}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serves_a_plan_and_shuts_down() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+
+        let line = round_trip(addr, r#"{"model":"resnet18","id":"a"}"#);
+        assert_eq!(status_of(&line), "ok");
+        assert!(line.contains("\"plan\":{"));
+        assert!(line.contains("\"id\":\"a\""));
+
+        assert_eq!(status_of(&round_trip(addr, r#"{"op":"ping"}"#)), "ok");
+        assert_eq!(status_of(&round_trip(addr, r#"{"op":"stats"}"#)), "ok");
+        assert_eq!(status_of(&round_trip(addr, r#"{"op":"shutdown"}"#)), "ok");
+        handle.join();
+    }
+
+    #[test]
+    fn garbage_and_unknown_inputs_yield_errors() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+        for bad in [
+            "this is not json",
+            r#"{"model":"no-such-model"}"#,
+            r#"{"topology":"x, 1, 2,"}"#,
+            r#"{"topology":"x, 4294967295, 4294967295, 3, 3, 4294967295, 8, 1,"}"#,
+        ] {
+            let line = round_trip(addr, bad);
+            assert_eq!(status_of(&line), "error", "{bad} -> {line}");
+        }
+        // The offending topology line number is surfaced to the client.
+        let line = round_trip(addr, r#"{"topology":"a, 8, 8, 3, 3, 4, 8, 1,\nb, 1, 2,"}"#);
+        assert!(line.contains("line 2"), "{line}");
+        handle.stop();
+        handle.join();
+    }
+
+    #[test]
+    fn expired_deadline_beats_a_warm_cache() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+        // Warm the cache.
+        let warm = round_trip(addr, r#"{"model":"mobilenet"}"#);
+        assert_eq!(status_of(&warm), "ok");
+        // A 0ms deadline must answer `deadline`, not serve the cached plan.
+        let line = round_trip(addr, r#"{"model":"mobilenet","deadline_ms":0}"#);
+        assert_eq!(status_of(&line), "deadline");
+        handle.stop();
+        handle.join();
+    }
+}

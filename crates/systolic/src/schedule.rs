@@ -1,6 +1,6 @@
 //! Executable trace-mode schedule.
 //!
-//! Replays the exact residency plan chosen by [`analytic::plan_layer`]
+//! Replays the exact residency plan chosen by `analytic::plan_layer`
 //! against element-granular [`smm_trace`] scratchpads, charging every
 //! miss to DRAM counters. This is the cross-validation harness: the
 //! fold-level formulas in [`analytic`] and the element-by-element replay

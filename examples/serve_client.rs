@@ -1,0 +1,68 @@
+//! Round-trip one plan through the serving layer.
+//!
+//! Spawns the planning server on an ephemeral port, requests a ResNet18
+//! plan over TCP, prints a short summary of the response, and shuts the
+//! server down gracefully.
+//!
+//! Run with: `cargo run --example serve_client`
+
+use scratchpad_mm::obs::json::{parse, Value};
+use scratchpad_mm::serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn main() -> std::io::Result<()> {
+    // Port 0 asks the OS for an ephemeral port; the handle reports it.
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })?;
+    let addr = handle.local_addr();
+    println!("server listening on {addr}");
+
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    // One request per line; the response is one JSON line too.
+    writeln!(
+        writer,
+        r#"{{"model":"resnet18","glb_kb":64,"id":"example"}}"#
+    )?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+
+    let v = parse(line.trim()).expect("server responses are valid JSON");
+    let status = v.get("status");
+    let cache_hit = v.get("cache_hit");
+    println!("status: {status:?}, cache_hit: {cache_hit:?}");
+    if let Some(Value::Array(layers)) = v.get("plan").and_then(|p| p.get("layers")) {
+        println!("planned {} layers:", layers.len());
+        for layer in layers.iter().take(5) {
+            let (Some(Value::String(name)), Some(Value::String(policy))) =
+                (layer.get("layer"), layer.get("policy"))
+            else {
+                continue;
+            };
+            println!("  {name:<10} -> {policy}");
+        }
+        if layers.len() > 5 {
+            println!("  ... and {} more", layers.len() - 5);
+        }
+    }
+
+    // A second identical request is served from the plan cache.
+    writeln!(writer, r#"{{"model":"resnet18","glb_kb":64}}"#)?;
+    line.clear();
+    reader.read_line(&mut line)?;
+    let v = parse(line.trim()).expect("valid JSON");
+    println!("repeat request cache_hit: {:?}", v.get("cache_hit"));
+
+    // Ask the server to shut down and wait for it to drain.
+    writeln!(writer, r#"{{"op":"shutdown"}}"#)?;
+    line.clear();
+    reader.read_line(&mut line)?;
+    handle.join();
+    println!("server shut down cleanly");
+    Ok(())
+}

@@ -14,6 +14,8 @@
 //!   memory models and validate the estimators element-for-element.
 //! - [`obs`] — planner observability: counters, span timings, profile
 //!   reports, Chrome-trace export.
+//! - [`serve`] — the concurrent planning server: JSON-lines over TCP
+//!   with an LRU plan cache, load shedding, and per-request deadlines.
 //!
 //! # Quickstart
 //!
@@ -45,5 +47,6 @@ pub use smm_exec as exec;
 pub use smm_model as model;
 pub use smm_obs as obs;
 pub use smm_policy as policy;
+pub use smm_serve as serve;
 pub use smm_systolic as systolic;
 pub use smm_trace as trace;
