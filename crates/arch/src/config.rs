@@ -287,6 +287,6 @@ mod tests {
     #[test]
     fn error_display_is_informative() {
         let e = ConfigError::BadOpsPerCycle(3);
-        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains('3'));
     }
 }

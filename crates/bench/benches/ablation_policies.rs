@@ -24,7 +24,7 @@ fn bench_estimators(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimate");
     for kind in PolicyKind::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
-            b.iter(|| black_box(estimate(k, &shape, &a, false)))
+            b.iter(|| black_box(estimate(k, &shape, &a, false)));
         });
     }
     group.finish();
@@ -40,10 +40,10 @@ fn bench_interlayer_pass(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("interlayer");
     group.bench_function("off", |b| {
-        b.iter(|| black_box(plain.heterogeneous(&net).expect("plan")))
+        b.iter(|| black_box(plain.heterogeneous(&net).expect("plan")));
     });
     group.bench_function("on", |b| {
-        b.iter(|| black_box(with_ilr.heterogeneous(&net).expect("plan")))
+        b.iter(|| black_box(with_ilr.heterogeneous(&net).expect("plan")));
     });
     group.finish();
 }
@@ -65,7 +65,7 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
                 )
                 .expect("matrix"),
             )
-        })
+        });
     });
     group.bench_function("sequential_6x5", |b| {
         b.iter(|| {
@@ -76,7 +76,7 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
                     black_box(m.heterogeneous(net).expect("plan"));
                 }
             }
-        })
+        });
     });
     group.finish();
 }

@@ -26,7 +26,7 @@ fn bench_plan_generation(c: &mut Criterion) {
                     black_box(m.heterogeneous(net).expect("plan"));
                 }
             }
-        })
+        });
     });
 }
 
@@ -38,7 +38,7 @@ fn bench_baseline_analytic(c: &mut Criterion) {
         BufferSplit::SA_50_50,
     );
     c.bench_function("baseline/analytic_resnet18", |b| {
-        b.iter(|| black_box(simulate_network(&cfg, &net)))
+        b.iter(|| black_box(simulate_network(&cfg, &net)));
     });
 }
 
@@ -55,7 +55,7 @@ fn bench_baseline_trace(c: &mut Criterion) {
     for name in ["s3_b1_conv2", "s4_b1_conv2"] {
         let layer = net.layer(name).expect("zoo layer");
         group.bench_with_input(BenchmarkId::from_parameter(name), layer, |b, l| {
-            b.iter(|| black_box(trace_layer(&cfg, &l.shape)))
+            b.iter(|| black_box(trace_layer(&cfg, &l.shape)));
         });
     }
     group.finish();

@@ -104,10 +104,7 @@ pub fn validate_bounded(max_map_elems: u64, max_filter_elems: u64) -> (usize, us
                     continue; // same schedule as the plain variant
                 }
                 total += 1;
-                if replay(shape, &est)
-                    .map(|r| r.matches(&est))
-                    .unwrap_or(false)
-                {
+                if replay(shape, &est).is_ok_and(|r| r.matches(&est)) {
                     ok += 1;
                 }
             }

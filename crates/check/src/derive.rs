@@ -1,0 +1,486 @@
+//! Independent re-derivation of a policy's working set, off-chip
+//! traffic, and latency from the paper's equations.
+//!
+//! This module deliberately re-implements the estimators of
+//! `smm-policy` instead of calling them: the checker must not share the
+//! planner's code path, or a bug in the estimators would validate its
+//! own output. The inputs are only the layer *shape* and the plan's
+//! recorded *choices* (policy kind, prefetch flag, filter block,
+//! fallback tiling); everything numeric is recomputed here.
+
+use smm_arch::AcceleratorConfig;
+use smm_model::LayerShape;
+use smm_policy::{AccessCounts, FallbackTiling, Footprint, LatencyEstimate, LoopOrder, PolicyKind};
+
+/// A structural reason the recorded choice cannot be re-derived at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeriveError {
+    /// Policies 4/5 need a recorded filter block; none was present.
+    MissingBlock,
+    /// A policy other than 4/5 carried a filter block.
+    SpuriousBlock(u64),
+    /// The recorded filter block is outside `n ∈ [1, F#)`.
+    BlockOutOfRange {
+        /// Recorded block size.
+        n: u64,
+        /// The layer's filter count `F#`.
+        num_filters: u64,
+    },
+    /// Policies 4/5 require at least two filters (`n ∈ [1, F#)` empty).
+    PartialPolicyInapplicable,
+    /// The fallback policy needs a recorded tiling; none was present.
+    MissingTiling,
+    /// A named policy carried a fallback tiling.
+    SpuriousTiling,
+    /// A tiling block is zero or exceeds its dimension.
+    TilingOutOfRange {
+        /// Which block (`row_block` / `filter_block` / `channel_block`).
+        field: &'static str,
+        /// Recorded value.
+        value: u64,
+        /// Inclusive upper bound from the layer shape.
+        max: u64,
+    },
+    /// Depth-wise fallback tilings must couple channels to filters.
+    TilingChannelsUncoupled {
+        /// Recorded filter block.
+        filter_block: u64,
+        /// Recorded channel block.
+        channel_block: u64,
+    },
+}
+
+impl std::fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeriveError::MissingBlock => {
+                write!(
+                    f,
+                    "policy requires a filter block size but none is recorded"
+                )
+            }
+            DeriveError::SpuriousBlock(n) => {
+                write!(f, "policy takes no filter block but records n={n}")
+            }
+            DeriveError::BlockOutOfRange { n, num_filters } => {
+                write!(f, "filter block n={n} outside [1, {num_filters})")
+            }
+            DeriveError::PartialPolicyInapplicable => {
+                write!(f, "partial policies need at least two filters")
+            }
+            DeriveError::MissingTiling => {
+                write!(f, "fallback policy without a recorded tiling")
+            }
+            DeriveError::SpuriousTiling => {
+                write!(f, "named policy carries a fallback tiling")
+            }
+            DeriveError::TilingOutOfRange { field, value, max } => {
+                write!(f, "{field}={value} outside [1, {max}]")
+            }
+            DeriveError::TilingChannelsUncoupled {
+                filter_block,
+                channel_block,
+            } => write!(
+                f,
+                "depth-wise tiling must couple channels to filters \
+                 (filter_block={filter_block}, channel_block={channel_block})"
+            ),
+        }
+    }
+}
+
+/// The re-derived ground truth for one (layer, choice) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Derived {
+    /// Single-copy resident footprint (elements).
+    pub resident: Footprint,
+    /// Off-chip traffic (elements), before plan-level optimizations.
+    pub accesses: AccessCounts,
+    /// Latency under the plan's prefetch flag.
+    pub latency: LatencyEstimate,
+    /// Whether the policy leaves the whole ofmap resident at layer end.
+    pub ofmap_resident_at_end: bool,
+}
+
+/// Minimum-transfer traffic (Section 3): every element moved once.
+fn min_traffic(shape: &LayerShape) -> AccessCounts {
+    AccessCounts {
+        ifmap_loads: shape.padded_ifmap_elems(),
+        filter_loads: shape.filter_elems(),
+        ofmap_stores: shape.ofmap_elems(),
+        psum_spill_stores: 0,
+        psum_spill_loads: 0,
+    }
+}
+
+/// Latency model: MACs over throughput for compute, traffic over DRAM
+/// bandwidth for transfer; prefetch overlaps the two (Section 5.2).
+fn latency(
+    shape: &LayerShape,
+    acc: &AcceleratorConfig,
+    traffic_elems: u64,
+    prefetch: bool,
+) -> LatencyEstimate {
+    let compute_cycles = shape.macs().div_ceil(acc.macs_per_cycle());
+    let transfer_cycles = acc.transfer_cycles(traffic_elems);
+    let cycles = if prefetch {
+        compute_cycles.max(transfer_cycles)
+    } else {
+        compute_cycles + transfer_cycles
+    };
+    LatencyEstimate {
+        compute_cycles,
+        transfer_cycles,
+        cycles,
+    }
+}
+
+/// Validate a fallback tiling against Algorithm 1's bounds: every block
+/// in `[1, dim]` (a block of the full dimension is the degenerate
+/// single-tile case; anything larger was never a search candidate), and
+/// depth-wise tilings couple the channel block to the filter block.
+fn validate_tiling(shape: &LayerShape, t: &FallbackTiling) -> Result<(), DeriveError> {
+    let (oh, _) = shape.output_hw();
+    let bounds = [
+        ("row_block", t.row_block, u64::from(oh)),
+        ("filter_block", t.filter_block, u64::from(shape.num_filters)),
+        (
+            "channel_block",
+            t.channel_block,
+            u64::from(shape.in_channels),
+        ),
+    ];
+    for (field, value, max) in bounds {
+        if value == 0 || value > max {
+            return Err(DeriveError::TilingOutOfRange { field, value, max });
+        }
+    }
+    if shape.depthwise && t.channel_block != t.filter_block {
+        return Err(DeriveError::TilingChannelsUncoupled {
+            filter_block: t.filter_block,
+            channel_block: t.channel_block,
+        });
+    }
+    Ok(())
+}
+
+/// Footprint and traffic of a fallback tiling (Section 5.3's blocked
+/// schedule), mirroring the search's cost model including the
+/// depth-wise coupling of channels to filters.
+fn fallback_cost(shape: &LayerShape, t: &FallbackTiling) -> (Footprint, AccessCounts) {
+    let fh = u64::from(shape.filter_h);
+    let fw = u64::from(shape.filter_w);
+    let s = u64::from(shape.stride);
+    let pad_h = u64::from(shape.padded_h());
+    let pad_w = u64::from(shape.padded_w());
+    let (oh, ow) = shape.output_hw();
+    let (oh, ow) = (u64::from(oh), u64::from(ow));
+    let ci = u64::from(shape.in_channels);
+    let nf = u64::from(shape.num_filters);
+
+    // Input rows covered by one tile of `row_block` output rows, and the
+    // total rows swept per vertical pass (consecutive tiles share
+    // `F_H − S` rows).
+    let in_rows = ((t.row_block - 1) * s + fh).min(pad_h);
+    let n_rt = oh.div_ceil(t.row_block);
+    let ov = fh.saturating_sub(s);
+    let rows_swept = (pad_h + (n_rt - 1) * ov).min(n_rt * ((t.row_block - 1) * s + fh));
+
+    if shape.depthwise {
+        // Each depth-wise filter carries exactly its own channel: the
+        // resident set scales with the filter block, the ifmap is swept
+        // once in total, and nothing spills.
+        let n = t.filter_block;
+        let resident = Footprint {
+            ifmap: in_rows * pad_w * n,
+            filters: shape.single_filter_elems() * n,
+            ofmap: t.row_block * ow * n,
+        };
+        let accesses = AccessCounts {
+            ifmap_loads: rows_swept * pad_w * ci,
+            filter_loads: shape.filter_elems(),
+            ofmap_stores: shape.ofmap_elems(),
+            psum_spill_stores: 0,
+            psum_spill_loads: 0,
+        };
+        return (resident, accesses);
+    }
+
+    let resident = Footprint {
+        ifmap: in_rows * pad_w * t.channel_block,
+        filters: fh * fw * t.channel_block * t.filter_block,
+        ofmap: t.row_block * ow * t.filter_block,
+    };
+    let n_fb = nf.div_ceil(t.filter_block);
+    let n_cb = ci.div_ceil(t.channel_block);
+    let ifmap_loads = n_fb * rows_swept * pad_w * ci;
+    let accesses = match t.order {
+        // Channels accumulate innermost: no spills, but a filter block
+        // with non-resident channels re-streams once per row tile.
+        LoopOrder::RowsOuter => AccessCounts {
+            ifmap_loads,
+            filter_loads: if t.channel_block >= ci {
+                shape.filter_elems()
+            } else {
+                n_rt * shape.filter_elems()
+            },
+            ofmap_stores: shape.ofmap_elems(),
+            psum_spill_stores: 0,
+            psum_spill_loads: 0,
+        },
+        // Filters stream once; partial sums spill between channel passes.
+        LoopOrder::ChannelsOuter => AccessCounts {
+            ifmap_loads,
+            filter_loads: shape.filter_elems(),
+            ofmap_stores: shape.ofmap_elems(),
+            psum_spill_stores: (n_cb - 1) * shape.ofmap_elems(),
+            psum_spill_loads: (n_cb - 1) * shape.ofmap_elems(),
+        },
+    };
+    (resident, accesses)
+}
+
+/// Re-derive the ground truth for one layer from the plan's choices.
+///
+/// `block_n` and `tiling` are the values the plan recorded; their mere
+/// presence is checked against the policy kind (policies 4/5 must carry
+/// a block, only the fallback carries a tiling).
+pub fn rederive(
+    shape: &LayerShape,
+    acc: &AcceleratorConfig,
+    kind: PolicyKind,
+    prefetch: bool,
+    block_n: Option<u64>,
+    tiling: Option<&FallbackTiling>,
+) -> Result<Derived, DeriveError> {
+    let fh = u64::from(shape.filter_h);
+    let fw = u64::from(shape.filter_w);
+    let pad_w = u64::from(shape.padded_w());
+    let ci = u64::from(shape.in_channels);
+    let nf = u64::from(shape.num_filters);
+    let fc = shape.filter_channels();
+    let (oh, ow) = shape.output_hw();
+    let (oh, ow) = (u64::from(oh), u64::from(ow));
+    let co = u64::from(shape.out_channels());
+
+    let takes_block = matches!(
+        kind,
+        PolicyKind::P4PartialIfmap | PolicyKind::P5PartialPerChannel
+    );
+    if !takes_block {
+        if let Some(n) = block_n {
+            return Err(DeriveError::SpuriousBlock(n));
+        }
+    }
+    if kind != PolicyKind::Fallback && tiling.is_some() {
+        return Err(DeriveError::SpuriousTiling);
+    }
+
+    let (resident, accesses, ofmap_resident) = match kind {
+        // Intra-layer reuse (Eq. 1): everything resident, minimum traffic.
+        PolicyKind::IntraLayer => (
+            Footprint {
+                ifmap: shape.padded_ifmap_elems(),
+                filters: shape.filter_elems(),
+                ofmap: shape.ofmap_elems(),
+            },
+            min_traffic(shape),
+            true,
+        ),
+        // Policy 1 (§3.2): F_H-row sliding window over all channels, all
+        // filters resident, one row-set of the ofmap.
+        PolicyKind::P1IfmapReuse => (
+            Footprint {
+                ifmap: fh * pad_w * ci,
+                filters: shape.filter_elems(),
+                ofmap: ow * co,
+            },
+            min_traffic(shape),
+            false,
+        ),
+        // Policy 2: whole ifmap, one filter, one output channel.
+        PolicyKind::P2FilterReuse => (
+            Footprint {
+                ifmap: shape.padded_ifmap_elems(),
+                filters: shape.single_filter_elems(),
+                ofmap: oh * ow,
+            },
+            min_traffic(shape),
+            false,
+        ),
+        // Policy 3: one channel of every filter; ofmap accumulates.
+        PolicyKind::P3PerChannel => (
+            Footprint {
+                ifmap: fh * pad_w,
+                filters: fh * fw * nf,
+                ofmap: shape.ofmap_elems(),
+            },
+            min_traffic(shape),
+            true,
+        ),
+        // Policies 4/5: a filter block of `n`, re-loading the ifmap once
+        // per block (depth-wise layers re-load nothing, §5.1).
+        PolicyKind::P4PartialIfmap | PolicyKind::P5PartialPerChannel => {
+            if nf < 2 {
+                return Err(DeriveError::PartialPolicyInapplicable);
+            }
+            let n = block_n.ok_or(DeriveError::MissingBlock)?;
+            if n == 0 || n >= nf {
+                return Err(DeriveError::BlockOutOfRange { n, num_filters: nf });
+            }
+            let x = if shape.depthwise { 1 } else { nf.div_ceil(n) };
+            let mut accesses = min_traffic(shape);
+            accesses.ifmap_loads *= x;
+            let resident = if kind == PolicyKind::P4PartialIfmap {
+                Footprint {
+                    ifmap: fh * pad_w * ci,
+                    filters: fh * fw * fc * n,
+                    ofmap: ow * n,
+                }
+            } else {
+                Footprint {
+                    ifmap: fh * pad_w,
+                    filters: fh * fw * n,
+                    ofmap: oh * ow * n,
+                }
+            };
+            (resident, accesses, false)
+        }
+        // Fallback: cost of the recorded tiling, after bounds checks.
+        PolicyKind::Fallback => {
+            let t = tiling.ok_or(DeriveError::MissingTiling)?;
+            validate_tiling(shape, t)?;
+            let (resident, accesses) = fallback_cost(shape, t);
+            (resident, accesses, false)
+        }
+    };
+
+    let latency = latency(shape, acc, accesses.total(), prefetch);
+    Ok(Derived {
+        resident,
+        accesses,
+        latency,
+        ofmap_resident_at_end: ofmap_resident,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_arch::ByteSize;
+    use smm_policy::estimate;
+
+    fn acc() -> AcceleratorConfig {
+        AcceleratorConfig::paper_default(ByteSize::from_kb(64))
+    }
+
+    fn conv() -> LayerShape {
+        LayerShape {
+            ifmap_h: 28,
+            ifmap_w: 28,
+            in_channels: 128,
+            filter_h: 3,
+            filter_w: 3,
+            num_filters: 128,
+            stride: 1,
+            padding: 1,
+            depthwise: false,
+        }
+    }
+
+    fn dw() -> LayerShape {
+        LayerShape {
+            ifmap_h: 56,
+            ifmap_w: 56,
+            in_channels: 128,
+            filter_h: 3,
+            filter_w: 3,
+            num_filters: 128,
+            stride: 1,
+            padding: 1,
+            depthwise: true,
+        }
+    }
+
+    /// The re-derivation must agree with the planner's estimators on
+    /// every policy the planner can emit — otherwise the checker would
+    /// flag healthy plans.
+    #[test]
+    fn rederivation_matches_estimators() {
+        let a = acc();
+        for shape in [conv(), dw()] {
+            for kind in PolicyKind::ALL {
+                for prefetch in [false, true] {
+                    let Some(e) = estimate(kind, &shape, &a, prefetch) else {
+                        continue;
+                    };
+                    let d = rederive(&shape, &a, kind, prefetch, e.block_n, e.fallback.as_ref())
+                        .unwrap_or_else(|err| panic!("{kind} pf={prefetch}: {err}"));
+                    assert_eq!(d.resident, e.resident, "{kind} pf={prefetch}");
+                    assert_eq!(d.accesses, e.accesses, "{kind} pf={prefetch}");
+                    assert_eq!(d.latency, e.latency, "{kind} pf={prefetch}");
+                    assert_eq!(
+                        d.ofmap_resident_at_end, e.ofmap_resident_at_end,
+                        "{kind} pf={prefetch}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structural_errors_detected() {
+        let a = acc();
+        let s = conv();
+        assert_eq!(
+            rederive(&s, &a, PolicyKind::P4PartialIfmap, false, None, None),
+            Err(DeriveError::MissingBlock)
+        );
+        assert_eq!(
+            rederive(&s, &a, PolicyKind::IntraLayer, false, Some(4), None),
+            Err(DeriveError::SpuriousBlock(4))
+        );
+        assert!(matches!(
+            rederive(
+                &s,
+                &a,
+                PolicyKind::P5PartialPerChannel,
+                false,
+                Some(128),
+                None
+            ),
+            Err(DeriveError::BlockOutOfRange { .. })
+        ));
+        assert_eq!(
+            rederive(&s, &a, PolicyKind::Fallback, false, None, None),
+            Err(DeriveError::MissingTiling)
+        );
+        let t = FallbackTiling {
+            row_block: 0,
+            filter_block: 1,
+            channel_block: 1,
+            order: LoopOrder::RowsOuter,
+        };
+        assert!(matches!(
+            rederive(&s, &a, PolicyKind::Fallback, false, None, Some(&t)),
+            Err(DeriveError::TilingOutOfRange {
+                field: "row_block",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn depthwise_tiling_must_couple_channels() {
+        let t = FallbackTiling {
+            row_block: 4,
+            filter_block: 8,
+            channel_block: 2,
+            order: LoopOrder::RowsOuter,
+        };
+        assert!(matches!(
+            rederive(&dw(), &acc(), PolicyKind::Fallback, false, None, Some(&t)),
+            Err(DeriveError::TilingChannelsUncoupled { .. })
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! `smm-check`: a static verifier and invariant linter for execution
+//! plans.
+//!
+//! The planner (Algorithm 1 plus the inter-layer pass) *produces* plans;
+//! nothing downstream re-checks them. A silently-infeasible plan — one
+//! whose working set exceeds the GLB, whose recorded traffic disagrees
+//! with its tiling, or whose inter-layer flags point at a tensor that was
+//! never resident — would be cached by the serving layer and handed to
+//! every client. This crate is the independent oracle: it takes any
+//! [`ExecutionPlan`] plus the accelerator spec, **re-derives** each
+//! layer's footprint, traffic, and latency from the paper's equations
+//! (never trusting the numbers recorded in the plan), rebuilds the GLB
+//! occupancy timeline, and emits structured diagnostics with stable
+//! `SMM###` codes.
+//!
+//! The checks, by code (see `docs/CHECKING.md` for the full catalogue):
+//!
+//! | code   | invariant |
+//! |--------|-----------|
+//! | SMM001 | total allocation ≤ GLB capacity (Eq. 1, with Eq. 2's ×2 under prefetch) |
+//! | SMM002 | recorded resident footprint matches the policy's re-derived working set |
+//! | SMM003 | policies 4/5 carry a block size `n ∈ [1, F#)`; no other policy does |
+//! | SMM004 | fallback tilings are within Algorithm 1 bounds and cover the layer |
+//! | SMM005 | recorded off-chip traffic matches the re-derived estimate |
+//! | SMM006 | recorded latency matches `latency(compute, traffic, prefetch)` |
+//! | SMM007 | inter-layer flags pair up and the reused tensor was actually resident |
+//! | SMM008 | retained ofmap + consumer allocation fit the GLB together (§5.4) |
+//! | SMM009 | plan totals equal the sum of per-layer effective estimates |
+//! | SMM010 | plan structure mirrors the network (layer count/order/scheme) |
+
+mod derive;
+mod render;
+mod verify;
+
+pub use derive::{rederive, DeriveError, Derived};
+pub use render::{render_text, report_json};
+
+use smm_arch::AcceleratorConfig;
+use smm_core::ExecutionPlan;
+use smm_model::Network;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not infeasible (e.g. a mislabelled scheme).
+    Warning,
+    /// The plan violates a correctness invariant.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable diagnostic codes. Codes are append-only: once published a code
+/// never changes meaning, so tooling can match on the string form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Total GLB allocation exceeds capacity (Eq. 1 / Eq. 2).
+    GlbCapacityExceeded,
+    /// Recorded resident footprint disagrees with the re-derivation.
+    ResidentMismatch,
+    /// Filter-block size missing, spurious, or out of `[1, F#)`.
+    BlockOutOfBounds,
+    /// Fallback tiling missing, spurious, or outside Algorithm 1 bounds.
+    FallbackTilingInvalid,
+    /// Recorded off-chip traffic disagrees with the re-derivation.
+    TrafficMismatch,
+    /// Recorded latency disagrees with the re-derived cycle model.
+    LatencyMismatch,
+    /// Inter-layer reuse flags unpaired or reused tensor not resident.
+    HandoffBroken,
+    /// Retained ofmap plus consumer allocation exceed the GLB (§5.4).
+    HandoffOverflow,
+    /// Plan totals disagree with the sum of per-layer estimates.
+    TotalsMismatch,
+    /// Plan structure does not mirror the network.
+    MalformedPlan,
+}
+
+impl Code {
+    /// All codes, in numeric order.
+    pub const ALL: [Code; 10] = [
+        Code::GlbCapacityExceeded,
+        Code::ResidentMismatch,
+        Code::BlockOutOfBounds,
+        Code::FallbackTilingInvalid,
+        Code::TrafficMismatch,
+        Code::LatencyMismatch,
+        Code::HandoffBroken,
+        Code::HandoffOverflow,
+        Code::TotalsMismatch,
+        Code::MalformedPlan,
+    ];
+
+    /// The stable `SMM###` string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::GlbCapacityExceeded => "SMM001",
+            Code::ResidentMismatch => "SMM002",
+            Code::BlockOutOfBounds => "SMM003",
+            Code::FallbackTilingInvalid => "SMM004",
+            Code::TrafficMismatch => "SMM005",
+            Code::LatencyMismatch => "SMM006",
+            Code::HandoffBroken => "SMM007",
+            Code::HandoffOverflow => "SMM008",
+            Code::TotalsMismatch => "SMM009",
+            Code::MalformedPlan => "SMM010",
+        }
+    }
+
+    /// One-line description of the invariant the code enforces.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::GlbCapacityExceeded => "GLB capacity exceeded",
+            Code::ResidentMismatch => "resident footprint mismatch",
+            Code::BlockOutOfBounds => "filter block out of bounds",
+            Code::FallbackTilingInvalid => "fallback tiling invalid",
+            Code::TrafficMismatch => "off-chip traffic mismatch",
+            Code::LatencyMismatch => "latency mismatch",
+            Code::HandoffBroken => "inter-layer handoff broken",
+            Code::HandoffOverflow => "inter-layer occupancy overflow",
+            Code::TotalsMismatch => "plan totals mismatch",
+            Code::MalformedPlan => "malformed plan structure",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: what went wrong, how badly, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity class.
+    pub severity: Severity,
+    /// Layer index in execution order, when the finding is layer-scoped.
+    pub layer: Option<usize>,
+    /// Layer name, when layer-scoped.
+    pub layer_name: Option<String>,
+    /// Human-readable explanation with the numbers that disagree.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn plan_level(code: Code, severity: Severity, message: String) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            layer: None,
+            layer_name: None,
+            message,
+        }
+    }
+
+    fn layer_level(code: Code, layer: usize, name: &str, message: String) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            layer: Some(layer),
+            layer_name: Some(name.to_string()),
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.code, self.severity.label())?;
+        if let (Some(i), Some(name)) = (self.layer, self.layer_name.as_deref()) {
+            write!(f, " layer {i} ({name})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// One step of the re-derived GLB occupancy timeline (elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyStep {
+    /// Layer index in execution order.
+    pub layer: usize,
+    /// The layer's own allocation, including Eq. 2's prefetch doubling.
+    pub allocation: u64,
+    /// A producer ofmap retained across the transition into this layer
+    /// (inter-layer reuse), coexisting with the allocation.
+    pub carried_in: u64,
+    /// Total occupancy at this step.
+    pub total: u64,
+}
+
+/// Tolerances for the consistency checks. The defaults are exact —
+/// the planner and the checker implement the same integer equations, so
+/// any drift is a bug. A non-zero tolerance (fraction, e.g. `0.01` for
+/// 1 %) admits externally-produced plans whose estimators round
+/// differently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckConfig {
+    /// Allowed relative error on traffic, latency, and totals.
+    pub tolerance: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig { tolerance: 0.0 }
+    }
+}
+
+impl CheckConfig {
+    /// Is `got` within the configured tolerance of `want`?
+    pub(crate) fn close(self, got: u64, want: u64) -> bool {
+        if got == want {
+            return true;
+        }
+        let (got, want) = (got as f64, want as f64);
+        (got - want).abs() <= self.tolerance * want.abs().max(1.0)
+    }
+}
+
+/// The full verification result for one plan.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Network the plan targets.
+    pub network: String,
+    /// GLB capacity in elements the plan was checked against.
+    pub capacity_elems: u64,
+    /// Re-derived occupancy timeline, one step per layer.
+    pub timeline: Vec<OccupancyStep>,
+    /// All findings, in layer order (plan-level findings last).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// True when no diagnostics (of any severity) were emitted.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Does any finding carry `code`?
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Peak occupancy over the timeline (elements).
+    pub fn peak_occupancy(&self) -> u64 {
+        self.timeline.iter().map(|s| s.total).max().unwrap_or(0)
+    }
+}
+
+/// Verify `plan` against `net` and `acc` with exact tolerances.
+///
+/// Every number the report compares against is re-derived from the
+/// layer shapes and the plan's *choices* (policy, prefetch flag, block
+/// size, tiling) — the plan's recorded footprints, traffic, and latency
+/// are treated as claims to be checked, not ground truth.
+pub fn check_plan(plan: &ExecutionPlan, net: &Network, acc: &AcceleratorConfig) -> CheckReport {
+    check_plan_with(plan, net, acc, CheckConfig::default())
+}
+
+/// [`check_plan`] with explicit tolerances.
+pub fn check_plan_with(
+    plan: &ExecutionPlan,
+    net: &Network,
+    acc: &AcceleratorConfig,
+    cfg: CheckConfig,
+) -> CheckReport {
+    let _span = smm_obs::span!("check.plan", "{}", plan.network);
+    let report = verify::run(plan, net, acc, cfg);
+    if smm_obs::enabled() {
+        smm_obs::add(smm_obs::Counter::CheckRuns, 1);
+        smm_obs::add(
+            smm_obs::Counter::CheckDiagnostics,
+            report.diagnostics.len() as u64,
+        );
+    }
+    report
+}

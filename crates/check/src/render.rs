@@ -1,0 +1,136 @@
+//! Text and JSON rendering of a [`CheckReport`].
+//!
+//! The JSON form embeds the plan via [`smm_core::report::plan_json`] —
+//! the same serializer `smm analyze --json` uses — so the plan fields of
+//! `smm check --json` can never drift from the analyze output.
+
+use crate::CheckReport;
+use smm_arch::AcceleratorConfig;
+use smm_core::report::{json_escape, plan_json};
+use smm_core::ExecutionPlan;
+use std::fmt::Write as _;
+
+/// Render a report for the terminal: verdict, capacity summary, and one
+/// line per finding.
+pub fn render_text(report: &CheckReport, plan: &ExecutionPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "check {}: {} layers, scheme {}, GLB {} elements",
+        report.network,
+        plan.decisions.len(),
+        plan.scheme.label(),
+        report.capacity_elems
+    );
+    let peak = report.peak_occupancy();
+    let pct = if report.capacity_elems == 0 {
+        0.0
+    } else {
+        peak as f64 / report.capacity_elems as f64 * 100.0
+    };
+    let _ = writeln!(out, "peak occupancy {peak} elements ({pct:.1}% of GLB)");
+    if report.is_clean() {
+        out.push_str("OK: all invariants hold (0 diagnostics)\n");
+        return out;
+    }
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{d}");
+    }
+    let errors = report.error_count();
+    let warnings = report.diagnostics.len() - errors;
+    let _ = writeln!(out, "FAIL: {errors} error(s), {warnings} warning(s)");
+    out
+}
+
+/// Render a report as a single deterministic JSON object. The `plan`
+/// field is exactly the object `smm analyze --json` prints.
+pub fn report_json(report: &CheckReport, plan: &ExecutionPlan, acc: &AcceleratorConfig) -> String {
+    let mut out = String::with_capacity(512 + 128 * report.diagnostics.len());
+    let _ = write!(
+        out,
+        "{{\"network\":\"{}\",\"capacity_elems\":{},\"peak_occupancy_elems\":{},\
+         \"clean\":{},\"errors\":{},\"warnings\":{},",
+        json_escape(&report.network),
+        report.capacity_elems,
+        report.peak_occupancy(),
+        report.is_clean(),
+        report.error_count(),
+        report.diagnostics.len() - report.error_count(),
+    );
+    out.push_str("\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"layer\":{},\"layer_name\":{},\"message\":\"{}\"}}",
+            d.code,
+            d.severity.label(),
+            d.layer.map_or_else(|| "null".into(), |l| l.to_string()),
+            d.layer_name
+                .as_deref()
+                .map_or_else(|| "null".into(), |s| format!("\"{}\"", json_escape(s))),
+            json_escape(&d.message),
+        );
+    }
+    out.push_str("],\"timeline\":[");
+    for (i, s) in report.timeline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"layer\":{},\"allocation\":{},\"carried_in\":{},\"total\":{}}}",
+            s.layer, s.allocation, s.carried_in, s.total
+        );
+    }
+    let _ = write!(out, "],\"plan\":{}}}", plan_json(plan, acc));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::check_plan;
+    use smm_arch::{AcceleratorConfig, ByteSize};
+    use smm_core::{Manager, ManagerConfig, Objective};
+    use smm_model::zoo;
+
+    #[test]
+    fn json_report_parses_and_embeds_plan() {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(128));
+        let net = zoo::resnet18();
+        let plan = Manager::new(acc, ManagerConfig::new(Objective::Accesses))
+            .heterogeneous(&net)
+            .unwrap();
+        let report = check_plan(&plan, &net, &acc);
+        let json = super::report_json(&report, &plan, &acc);
+        let v = smm_obs::json::parse(&json).expect("report JSON must parse");
+        assert!(matches!(
+            v.get("clean"),
+            Some(smm_obs::json::Value::Bool(true))
+        ));
+        // The embedded plan is byte-identical to the analyze serializer.
+        let embedded = v.get("plan").unwrap();
+        let smm_obs::json::Value::Array(layers) = embedded.get("layers").unwrap() else {
+            panic!("plan.layers must be an array");
+        };
+        assert_eq!(layers.len(), plan.decisions.len());
+        let smm_obs::json::Value::Array(timeline) = v.get("timeline").unwrap() else {
+            panic!("timeline must be an array");
+        };
+        assert_eq!(timeline.len(), plan.decisions.len());
+    }
+
+    #[test]
+    fn text_report_is_ok_for_clean_plan() {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(128));
+        let net = zoo::mobilenet();
+        let plan = Manager::new(acc, ManagerConfig::new(Objective::Latency))
+            .heterogeneous(&net)
+            .unwrap();
+        let report = check_plan(&plan, &net, &acc);
+        let text = super::render_text(&report, &plan);
+        assert!(text.contains("OK: all invariants hold"), "{text}");
+    }
+}

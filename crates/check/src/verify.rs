@@ -1,0 +1,352 @@
+//! The invariant battery: structure, per-layer re-derivation, capacity,
+//! inter-layer handoffs, occupancy timeline, and totals.
+
+use crate::derive::{rederive, DeriveError};
+use crate::{CheckConfig, CheckReport, Code, Diagnostic, OccupancyStep, Severity};
+use smm_arch::AcceleratorConfig;
+use smm_core::interlayer::shapes_chain;
+use smm_core::{ExecutionPlan, Scheme};
+use smm_model::Network;
+use smm_policy::PolicyKind;
+
+pub(crate) fn run(
+    plan: &ExecutionPlan,
+    net: &Network,
+    acc: &AcceleratorConfig,
+    cfg: CheckConfig,
+) -> CheckReport {
+    let capacity = acc.glb_elements();
+    let mut diags = Vec::new();
+
+    // --- SMM010: the plan must mirror the network it claims to plan. ---
+    if plan.network != net.name {
+        diags.push(Diagnostic::plan_level(
+            Code::MalformedPlan,
+            Severity::Error,
+            format!(
+                "plan targets network \"{}\" but was checked against \"{}\"",
+                plan.network, net.name
+            ),
+        ));
+    }
+    if plan.decisions.len() != net.layers.len() {
+        diags.push(Diagnostic::plan_level(
+            Code::MalformedPlan,
+            Severity::Error,
+            format!(
+                "plan has {} decisions for a {}-layer network",
+                plan.decisions.len(),
+                net.layers.len()
+            ),
+        ));
+    }
+    let n = plan.decisions.len().min(net.layers.len());
+    for (i, (d, layer)) in plan.decisions.iter().zip(&net.layers).enumerate() {
+        if d.layer_index != i || d.layer_name != layer.name {
+            diags.push(Diagnostic::layer_level(
+                Code::MalformedPlan,
+                i,
+                &layer.name,
+                format!(
+                    "decision {} records layer {} (\"{}\") out of execution order",
+                    i, d.layer_index, d.layer_name
+                ),
+            ));
+        }
+    }
+    if let Scheme::Homogeneous(kind) = plan.scheme {
+        for (i, d) in plan.decisions.iter().take(n).enumerate() {
+            // Algorithm 1's homogeneous mode may still fall back to tiling
+            // when the named policy does not fit; anything else is foreign.
+            if d.estimate.kind != kind && d.estimate.kind != PolicyKind::Fallback {
+                diags.push(Diagnostic {
+                    code: Code::MalformedPlan,
+                    severity: Severity::Warning,
+                    layer: Some(i),
+                    layer_name: Some(d.layer_name.clone()),
+                    message: format!(
+                        "homogeneous {} plan assigns {}",
+                        kind.label(),
+                        d.estimate.kind.label()
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Per-layer re-derivation: SMM001..SMM006. ---
+    for (i, (d, layer)) in plan.decisions.iter().zip(&net.layers).enumerate() {
+        let est = &d.estimate;
+        let shape = &layer.shape;
+        let name = &layer.name;
+
+        let derived = match rederive(
+            shape,
+            acc,
+            est.kind,
+            est.prefetch,
+            est.block_n,
+            est.fallback.as_ref(),
+        ) {
+            Ok(derived) => derived,
+            Err(err) => {
+                let code = match err {
+                    DeriveError::MissingTiling
+                    | DeriveError::SpuriousTiling
+                    | DeriveError::TilingOutOfRange { .. }
+                    | DeriveError::TilingChannelsUncoupled { .. } => Code::FallbackTilingInvalid,
+                    _ => Code::BlockOutOfBounds,
+                };
+                diags.push(Diagnostic::layer_level(
+                    code,
+                    i,
+                    name,
+                    format!("{} ({})", err, est.kind.label()),
+                ));
+                continue;
+            }
+        };
+
+        // SMM002: the recorded working set is what the policy implies.
+        if est.resident != derived.resident
+            || est.ofmap_resident_at_end != derived.ofmap_resident_at_end
+        {
+            diags.push(Diagnostic::layer_level(
+                Code::ResidentMismatch,
+                i,
+                name,
+                format!(
+                    "{} records resident (ifmap {}, filters {}, ofmap {}, at-end {}) \
+                     but re-derivation gives (ifmap {}, filters {}, ofmap {}, at-end {})",
+                    est.kind.label(),
+                    est.resident.ifmap,
+                    est.resident.filters,
+                    est.resident.ofmap,
+                    est.ofmap_resident_at_end,
+                    derived.resident.ifmap,
+                    derived.resident.filters,
+                    derived.resident.ofmap,
+                    derived.ofmap_resident_at_end,
+                ),
+            ));
+        }
+
+        // SMM001: Eq. 1 requires the allocation to fit the GLB; Eq. 2
+        // doubles every tile under prefetch. Checked against both the
+        // recorded and the re-derived footprint, so an under-reported
+        // working set cannot hide an overflow.
+        let factor = est.buffer_factor();
+        let recorded_alloc = est.required_elems();
+        let derived_alloc = derived.resident.total() * factor;
+        if recorded_alloc > capacity || derived_alloc > capacity {
+            let actual = recorded_alloc.max(derived_alloc);
+            diags.push(Diagnostic::layer_level(
+                Code::GlbCapacityExceeded,
+                i,
+                name,
+                format!(
+                    "allocation {} elements exceeds GLB capacity {}{}",
+                    actual,
+                    capacity,
+                    if est.prefetch {
+                        " (includes the ×2 prefetch double-buffer of Eq. 2)"
+                    } else {
+                        ""
+                    },
+                ),
+            ));
+        }
+
+        // SMM005: recorded traffic is what the choice implies, and never
+        // below the one-load-per-element lower bound.
+        let (ra, da) = (&est.accesses, &derived.accesses);
+        let traffic_ok = cfg.close(ra.ifmap_loads, da.ifmap_loads)
+            && cfg.close(ra.filter_loads, da.filter_loads)
+            && cfg.close(ra.ofmap_stores, da.ofmap_stores)
+            && cfg.close(ra.psum_spill_stores, da.psum_spill_stores)
+            && cfg.close(ra.psum_spill_loads, da.psum_spill_loads);
+        if !traffic_ok {
+            diags.push(Diagnostic::layer_level(
+                Code::TrafficMismatch,
+                i,
+                name,
+                format!(
+                    "{} records traffic (ifmap {}, filters {}, ofmap {}, spills {}) \
+                     but re-derivation gives (ifmap {}, filters {}, ofmap {}, spills {})",
+                    est.kind.label(),
+                    ra.ifmap_loads,
+                    ra.filter_loads,
+                    ra.ofmap_stores,
+                    ra.psum_spill_stores + ra.psum_spill_loads,
+                    da.ifmap_loads,
+                    da.filter_loads,
+                    da.ofmap_stores,
+                    da.psum_spill_stores + da.psum_spill_loads,
+                ),
+            ));
+        }
+
+        // SMM006: recorded latency is the cycle model applied to the
+        // recorded prefetch flag and re-derived traffic.
+        let (rl, dl) = (&est.latency, &derived.latency);
+        let latency_ok = cfg.close(rl.compute_cycles, dl.compute_cycles)
+            && cfg.close(rl.transfer_cycles, dl.transfer_cycles)
+            && cfg.close(rl.cycles, dl.cycles);
+        if !latency_ok {
+            diags.push(Diagnostic::layer_level(
+                Code::LatencyMismatch,
+                i,
+                name,
+                format!(
+                    "records latency (compute {}, transfer {}, total {}) but the cycle \
+                     model with prefetch={} gives (compute {}, transfer {}, total {})",
+                    rl.compute_cycles,
+                    rl.transfer_cycles,
+                    rl.cycles,
+                    est.prefetch,
+                    dl.compute_cycles,
+                    dl.transfer_cycles,
+                    dl.cycles,
+                ),
+            ));
+        }
+    }
+
+    // --- SMM007: inter-layer flags pair up and the tensor was resident. ---
+    for i in 0..n {
+        let d = &plan.decisions[i];
+        if d.ifmap_from_glb {
+            if i == 0 {
+                diags.push(Diagnostic::layer_level(
+                    Code::HandoffBroken,
+                    i,
+                    &d.layer_name,
+                    "first layer claims its ifmap is already in the GLB".to_string(),
+                ));
+            } else {
+                let producer = &plan.decisions[i - 1];
+                if !producer.ofmap_kept_on_chip {
+                    diags.push(Diagnostic::layer_level(
+                        Code::HandoffBroken,
+                        i,
+                        &d.layer_name,
+                        format!(
+                            "consumes its ifmap from the GLB but layer {} (\"{}\") \
+                             did not keep its ofmap on-chip",
+                            i - 1,
+                            producer.layer_name
+                        ),
+                    ));
+                }
+                if !shapes_chain(&net.layers[i - 1], &net.layers[i]) {
+                    diags.push(Diagnostic::layer_level(
+                        Code::HandoffBroken,
+                        i,
+                        &d.layer_name,
+                        format!(
+                            "consumes its ifmap from the GLB but layer {} (\"{}\") \
+                             does not produce this layer's input shape",
+                            i - 1,
+                            net.layers[i - 1].name
+                        ),
+                    ));
+                }
+            }
+        }
+        if d.ofmap_kept_on_chip {
+            if !d.estimate.ofmap_resident_at_end {
+                diags.push(Diagnostic::layer_level(
+                    Code::HandoffBroken,
+                    i,
+                    &d.layer_name,
+                    format!(
+                        "keeps its ofmap on-chip but policy {} does not leave \
+                         the whole ofmap resident at layer end",
+                        d.estimate.kind.label()
+                    ),
+                ));
+            }
+            if i + 1 >= n || !plan.decisions[i + 1].ifmap_from_glb {
+                diags.push(Diagnostic::layer_level(
+                    Code::HandoffBroken,
+                    i,
+                    &d.layer_name,
+                    "keeps its ofmap on-chip but no next layer consumes it".to_string(),
+                ));
+            }
+        }
+    }
+
+    // --- Occupancy timeline + SMM008. ---
+    // During layer i the GLB holds the layer's own allocation plus, when
+    // the ifmap is staged from a retained producer ofmap, that retained
+    // copy (Section 5.4's coexistence condition).
+    let mut timeline = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = &plan.decisions[i];
+        let allocation = d.estimate.required_elems();
+        let carried_in = if d.ifmap_from_glb && i > 0 {
+            net.layers[i - 1].shape.ofmap_elems()
+        } else {
+            0
+        };
+        let total = allocation + carried_in;
+        if total > capacity && allocation <= capacity {
+            diags.push(Diagnostic::layer_level(
+                Code::HandoffOverflow,
+                i,
+                &d.layer_name,
+                format!(
+                    "retained ofmap of layer {} ({} elements) plus this layer's \
+                     allocation ({} elements) exceed GLB capacity {}",
+                    i - 1,
+                    carried_in,
+                    allocation,
+                    capacity
+                ),
+            ));
+        }
+        timeline.push(OccupancyStep {
+            layer: i,
+            allocation,
+            carried_in,
+            total,
+        });
+    }
+
+    // --- SMM009: totals are the sum of per-layer effective estimates. ---
+    let mut elems = 0u64;
+    let mut latency = 0u64;
+    let mut compute = 0u64;
+    let mut transfer = 0u64;
+    for d in &plan.decisions {
+        elems += d.effective_accesses().total();
+        let l = d.effective_latency(acc);
+        latency += l.cycles;
+        compute += l.compute_cycles;
+        transfer += l.transfer_cycles;
+    }
+    let t = &plan.totals;
+    let pairs = [
+        ("accesses_elems", t.accesses_elems, elems),
+        ("latency_cycles", t.latency_cycles, latency),
+        ("compute_cycles", t.compute_cycles, compute),
+        ("transfer_cycles", t.transfer_cycles, transfer),
+    ];
+    for (field, recorded, rederived) in pairs {
+        if !cfg.close(recorded, rederived) {
+            diags.push(Diagnostic::plan_level(
+                Code::TotalsMismatch,
+                Severity::Error,
+                format!("totals.{field} records {recorded} but the decisions sum to {rederived}"),
+            ));
+        }
+    }
+
+    CheckReport {
+        network: plan.network.clone(),
+        capacity_elems: capacity,
+        timeline,
+        diagnostics: diags,
+    }
+}

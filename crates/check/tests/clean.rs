@@ -1,0 +1,156 @@
+//! No-false-positives guarantee: every plan the planner emits — across
+//! the six Table-2 models, both objectives, prefetch on/off, inter-layer
+//! reuse on/off, all paper GLB sizes, and both schemes — passes the
+//! checker with **zero** diagnostics, plus a proptest over arbitrary
+//! valid topologies.
+
+use proptest::prelude::*;
+use smm_arch::{AcceleratorConfig, ByteSize, GLB_SIZES_KB};
+use smm_check::check_plan;
+use smm_core::{Manager, ManagerConfig, Objective};
+use smm_model::{zoo, Layer, LayerKind, LayerShape, Network};
+
+fn manager(kb: u64, objective: Objective, prefetch: bool, reuse: bool) -> Manager {
+    Manager::new(
+        AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+        ManagerConfig::new(objective)
+            .with_prefetch(prefetch)
+            .with_inter_layer_reuse(reuse),
+    )
+}
+
+/// The acceptance matrix of the issue: all six bundled models × both
+/// objectives × prefetch on/off, heterogeneous plans at every paper GLB
+/// size with the inter-layer pass enabled.
+#[test]
+fn every_zoo_plan_is_clean() {
+    for net in zoo::all_networks() {
+        for objective in [Objective::Accesses, Objective::Latency] {
+            for prefetch in [false, true] {
+                for &kb in &GLB_SIZES_KB {
+                    let m = manager(kb, objective, prefetch, true);
+                    let plan = m.heterogeneous(&net).unwrap_or_else(|e| {
+                        panic!("{} @ {kb}kB: {e:?}", net.name);
+                    });
+                    let report = check_plan(&plan, &net, m.accelerator());
+                    assert!(
+                        report.is_clean(),
+                        "{} @ {kb}kB {objective:?} prefetch={prefetch}: {:#?}",
+                        net.name,
+                        report.diagnostics
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Homogeneous and best-homogeneous plans are equally clean (they take
+/// the fallback path far more often).
+#[test]
+fn homogeneous_zoo_plans_are_clean() {
+    for net in zoo::all_networks() {
+        for &kb in &[64u64, 256, 1024] {
+            let m = manager(kb, Objective::Accesses, true, false);
+            if let Ok(plan) = m.best_homogeneous(&net) {
+                let report = check_plan(&plan, &net, m.accelerator());
+                assert!(
+                    report.is_clean(),
+                    "{} hom @ {kb}kB: {:#?}",
+                    net.name,
+                    report.diagnostics
+                );
+            }
+        }
+    }
+}
+
+/// The extended networks (AlexNet, VGG16, …) stress much larger layers.
+#[test]
+fn extended_network_plans_are_clean() {
+    for net in zoo::extended_networks() {
+        for &kb in &[64u64, 512] {
+            let m = manager(kb, Objective::Latency, true, true);
+            let plan = m.heterogeneous(&net).unwrap();
+            let report = check_plan(&plan, &net, m.accelerator());
+            assert!(
+                report.is_clean(),
+                "{} @ {kb}kB: {:#?}",
+                net.name,
+                report.diagnostics
+            );
+        }
+    }
+}
+
+/// Strategy for one valid conv/depthwise layer shape.
+fn arb_shape() -> impl Strategy<Value = LayerShape> {
+    (
+        4u32..48, // ifmap_h == ifmap_w
+        1u32..48, // in_channels
+        1u32..4,  // filter_h == filter_w
+        1u32..96, // num_filters
+        1u32..3,  // stride
+        any::<bool>(),
+    )
+        .prop_map(|(ih, ci, f, nf, s, dw)| {
+            let depthwise = dw && nf == ci;
+            LayerShape {
+                ifmap_h: ih,
+                ifmap_w: ih,
+                in_channels: ci,
+                filter_h: f,
+                filter_w: f,
+                num_filters: if depthwise { ci } else { nf },
+                stride: s,
+                padding: f / 2,
+                depthwise,
+            }
+        })
+        .prop_filter("valid shape", |s| s.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary valid topologies (random layer stacks, so both
+    /// chained and non-chained transitions occur), every planner-emitted
+    /// plan passes with zero diagnostics.
+    #[test]
+    fn arbitrary_topologies_plan_clean(
+        shapes in proptest::collection::vec(arb_shape(), 1..8),
+        kb in proptest::sample::select(&[32u64, 64, 128, 512]),
+        latency_objective in any::<bool>(),
+        prefetch in any::<bool>(),
+        reuse in any::<bool>(),
+    ) {
+        let layers: Vec<Layer> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let kind = if s.depthwise {
+                    LayerKind::DepthwiseConv
+                } else {
+                    LayerKind::Conv
+                };
+                Layer::new(format!("l{i}"), kind, *s).unwrap()
+            })
+            .collect();
+        let net = Network::new("prop", layers).unwrap();
+        let objective = if latency_objective {
+            Objective::Latency
+        } else {
+            Objective::Accesses
+        };
+        let m = manager(kb, objective, prefetch, reuse);
+        // Tiny GLBs can make a layer outright unplannable; that is a
+        // planner error, not a checker concern.
+        let Ok(plan) = m.heterogeneous(&net) else { return Ok(()); };
+        let report = check_plan(&plan, &net, m.accelerator());
+        prop_assert!(
+            report.is_clean(),
+            "GLB {kb}kB {objective:?} prefetch={prefetch} reuse={reuse}: {:#?}",
+            report.diagnostics
+        );
+    }
+}

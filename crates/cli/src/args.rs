@@ -59,7 +59,7 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
             it.next()
-                .map(|s| s.to_string())
+                .cloned()
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match arg.as_str() {
@@ -140,6 +140,9 @@ pub struct ServeOptions {
     /// Write the bound port number to this file once listening (lets
     /// scripts using port 0 discover the ephemeral port).
     pub port_file: Option<String>,
+    /// Verify every freshly-planned result with `smm-check` before
+    /// caching or responding.
+    pub verify: bool,
 }
 
 impl Default for ServeOptions {
@@ -151,6 +154,7 @@ impl Default for ServeOptions {
             queue_cap: d.queue_cap,
             cache_cap: d.cache_cap,
             port_file: None,
+            verify: d.verify_plans,
         }
     }
 }
@@ -162,7 +166,7 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, String> {
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
             it.next()
-                .map(|s| s.to_string())
+                .cloned()
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         let number = |flag: &str, s: String| -> Result<usize, String> {
@@ -186,6 +190,7 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, String> {
                 opts.cache_cap = number("--cache-cap", value("--cache-cap")?)?;
             }
             "--port-file" => opts.port_file = Some(value("--port-file")?),
+            "--verify" => opts.verify = true,
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
@@ -206,7 +211,7 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenOptions, String> {
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
             it.next()
-                .map(|s| s.to_string())
+                .cloned()
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match arg.as_str() {
@@ -323,7 +328,7 @@ mod tests {
     #[test]
     fn serve_flags() {
         let o = parse_serve(&argv(
-            "--port 0 --workers 2 --queue-cap 8 --cache-cap 32 --port-file /tmp/p",
+            "--port 0 --workers 2 --queue-cap 8 --cache-cap 32 --port-file /tmp/p --verify",
         ))
         .unwrap();
         assert_eq!(o.port, 0);
@@ -331,8 +336,10 @@ mod tests {
         assert_eq!(o.queue_cap, 8);
         assert_eq!(o.cache_cap, 32);
         assert_eq!(o.port_file.as_deref(), Some("/tmp/p"));
+        assert!(o.verify);
         let d = parse_serve(&[]).unwrap();
         assert_eq!(d.port, 7878);
+        assert!(!d.verify);
         assert!(parse_serve(&argv("--port nope")).is_err());
         assert!(parse_serve(&argv("--port 99999")).is_err());
         assert!(parse_serve(&argv("--workers")).is_err());

@@ -181,13 +181,109 @@ fn analyze_body(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `smm check <model|topology.csv|all>` — plan, then statically verify
+/// the plan against the paper's GLB invariants with `smm-check`.
+pub fn check(opts: &Options) -> Result<(), String> {
+    with_observability(opts, || check_body(opts))
+}
+
+fn check_body(opts: &Options) -> Result<(), String> {
+    if opts.target.as_deref() == Some("all") {
+        return check_all(opts);
+    }
+    let net = load_network(opts)?;
+    let m = manager(opts);
+    let plan = if opts.heterogeneous {
+        m.heterogeneous(&net)
+    } else {
+        m.best_homogeneous(&net)
+    }
+    .map_err(|e| e.to_string())?;
+    let report = smm_check::check_plan(&plan, &net, m.accelerator());
+    if opts.json {
+        println!(
+            "{}",
+            smm_check::report_json(&report, &plan, m.accelerator())
+        );
+    } else {
+        print!("{}", smm_check::render_text(&report, &plan));
+    }
+    if report.error_count() > 0 {
+        return Err(format!(
+            "plan verification failed: {} error(s)",
+            report.error_count()
+        ));
+    }
+    Ok(())
+}
+
+/// The acceptance matrix: every zoo model under both objectives, at the
+/// requested GLB size and scheme. One line (or JSON entry) per run.
+fn check_all(opts: &Options) -> Result<(), String> {
+    use smm_core::Objective;
+    let mut failures = 0usize;
+    let mut entries = Vec::new();
+    for net in zoo::all_networks() {
+        for objective in [Objective::Accesses, Objective::Latency] {
+            let o = Options {
+                objective,
+                ..opts.clone()
+            };
+            let m = manager(&o);
+            let plan = if o.heterogeneous {
+                m.heterogeneous(&net)
+            } else {
+                m.best_homogeneous(&net)
+            }
+            .map_err(|e| format!("{} ({objective:?}): {e}", net.name))?;
+            let report = smm_check::check_plan(&plan, &net, m.accelerator());
+            let errors = report.error_count();
+            failures += usize::from(errors > 0);
+            if opts.json {
+                entries.push(format!(
+                    "{{\"network\":\"{}\",\"objective\":\"{objective:?}\",\"clean\":{},\
+                     \"errors\":{errors},\"warnings\":{},\"peak_occupancy_elems\":{},\
+                     \"capacity_elems\":{}}}",
+                    smm_core::report::json_escape(&net.name),
+                    report.is_clean(),
+                    report.diagnostics.len() - errors,
+                    report.peak_occupancy(),
+                    report.capacity_elems,
+                ));
+            } else {
+                let verdict = if report.is_clean() { "ok  " } else { "FAIL" };
+                println!(
+                    "{verdict} {:<16} {objective:?}: peak {}/{} elements, {} diagnostics",
+                    net.name,
+                    report.peak_occupancy(),
+                    report.capacity_elems,
+                    report.diagnostics.len(),
+                );
+                for d in &report.diagnostics {
+                    println!("     {d}");
+                }
+            }
+        }
+    }
+    if opts.json {
+        println!("[{}]", entries.join(","));
+    }
+    if failures > 0 {
+        return Err(format!("{failures} plan(s) failed verification"));
+    }
+    if !opts.json {
+        println!("all plans clean @ {}kB GLB", opts.glb_kb);
+    }
+    Ok(())
+}
+
 /// `smm tenants <modelA> <modelB>` — partition one GLB between two
 /// co-resident models.
 pub fn tenants(opts: &Options) -> Result<(), String> {
     let net_a = load_network(opts)?;
     let net_b = {
         let mut o = opts.clone();
-        o.target = opts.target2.clone();
+        o.target.clone_from(&opts.target2);
         o.target2 = None;
         load_network(&o)?
     };
@@ -272,6 +368,7 @@ pub fn lower(opts: &Options) -> Result<(), String> {
 }
 
 fn lower_body(opts: &Options) -> Result<(), String> {
+    const HEAD: usize = 40;
     let net = load_network(opts)?;
     let Some(layer_name) = &opts.target2 else {
         return Err("lower needs a layer name".into());
@@ -299,7 +396,6 @@ fn lower_body(opts: &Options) -> Result<(), String> {
     );
     let listing = program.listing();
     let lines: Vec<&str> = listing.lines().collect();
-    const HEAD: usize = 40;
     for l in lines.iter().take(HEAD) {
         println!("{l}");
     }
@@ -405,6 +501,7 @@ pub fn serve(opts: &crate::args::ServeOptions) -> Result<(), String> {
         queue_cap: opts.queue_cap,
         cache_cap: opts.cache_cap,
         obs: true,
+        verify_plans: opts.verify,
     })
     .map_err(|e| format!("cannot bind port {}: {e}", opts.port))?;
     let addr = handle.local_addr();

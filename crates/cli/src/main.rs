@@ -17,6 +17,7 @@ USAGE:
 COMMANDS:
     list-models                       List the built-in model zoo (Table 2)
     analyze  <model|topology.csv>     Produce a per-layer execution plan
+    check    <model|topology.csv|all> Statically verify a plan's GLB invariants
     explain  <model> <layer>          Show Algorithm 1's candidates for one layer
     lower    <model> <layer>          Emit the chosen policy's DMA command stream
     baseline <model|topology.csv>     Run the SCALE-Sim-like baseline
@@ -26,7 +27,7 @@ COMMANDS:
     serve                             Run the concurrent planning server
     loadgen                           Drive a running server, report latency/throughput
 
-OPTIONS (analyze / baseline / sweep):
+OPTIONS (analyze / check / baseline / sweep):
     --glb <KB>            GLB size in kB (default 256)
     --width <BITS>        Data width: 8, 16 or 32 (default 8)
     --objective <OBJ>     accesses | latency (default accesses)
@@ -35,7 +36,7 @@ OPTIONS (analyze / baseline / sweep):
     --no-prefetch         Disable the double-buffered policy variants
     --inter-layer         Enable the inter-layer reuse pass
     --csv                 Emit the analyze plan as CSV
-    --json                Emit the analyze plan as JSON
+    --json                Emit the analyze plan (or check report) as JSON
     --batch <N>           Also report batched-execution totals
 
 OPTIONS (analyze / sweep / lower):
@@ -48,6 +49,7 @@ OPTIONS (serve):
     --queue-cap <N>       Bounded queue capacity; overflow is shed (default 64)
     --cache-cap <N>       Plan-cache entries; 0 disables caching (default 128)
     --port-file <FILE>    Write the bound port number to FILE once listening
+    --verify              Verify each fresh plan with smm-check before caching
 
 OPTIONS (loadgen):
     --addr <HOST:PORT>    Server address (default 127.0.0.1:7878)
@@ -80,6 +82,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "list-models" => commands::list_models(),
         "analyze" => commands::analyze(&args::parse(rest)?),
+        "check" => commands::check(&args::parse(rest)?),
         "explain" => commands::explain(&args::parse(rest)?),
         "lower" => commands::lower(&args::parse(rest)?),
         "baseline" => commands::baseline(&args::parse(rest)?),

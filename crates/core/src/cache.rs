@@ -213,6 +213,9 @@ struct Inner {
 pub struct PlanCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    // Statistics use Relaxed ordering throughout: they are monotone
+    // counters read only for reporting, never used to publish data or
+    // establish happens-before; the map itself is protected by `inner`.
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -252,18 +255,15 @@ impl PlanCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some(e) => {
-                e.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                smm_obs::add(smm_obs::Counter::PlanCacheHits, 1);
-                Some(Arc::clone(&e.plan))
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                smm_obs::add(smm_obs::Counter::PlanCacheMisses, 1);
-                None
-            }
+        if let Some(e) = inner.map.get_mut(key) {
+            e.last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            smm_obs::add(smm_obs::Counter::PlanCacheHits, 1);
+            Some(Arc::clone(&e.plan))
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            smm_obs::add(smm_obs::Counter::PlanCacheMisses, 1);
+            None
         }
     }
 

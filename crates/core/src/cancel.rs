@@ -62,6 +62,9 @@ impl CancelToken {
             }
         }
         if let Some(stop) = &self.stop {
+            // Relaxed: the flag is a latched one-way signal and carries
+            // no data; the planner only needs to observe it eventually
+            // (it re-checks every layer).
             if stop.load(Ordering::Relaxed) {
                 return true;
             }
@@ -94,7 +97,7 @@ mod tests {
         let t = CancelToken::with_timeout(Duration::ZERO);
         assert!(t.is_cancelled());
         assert_eq!(t.remaining(), Some(Duration::ZERO));
-        let far = CancelToken::with_timeout(Duration::from_secs(3600));
+        let far = CancelToken::with_timeout(Duration::from_hours(1));
         assert!(!far.is_cancelled());
         assert!(far.remaining().unwrap() > Duration::from_secs(3500));
     }

@@ -25,7 +25,10 @@ pub struct TextTable {
 impl TextTable {
     pub fn new(header: &[&str]) -> Self {
         TextTable {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -116,7 +119,11 @@ pub fn plan_csv(plan: &ExecutionPlan, acc: &AcceleratorConfig) -> String {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+///
+/// This is the one escaping routine shared by every hand-written JSON
+/// emitter in the workspace (`plan_json`, the serving protocol, and the
+/// checker's reports), so the emitters cannot drift apart.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -169,9 +176,7 @@ pub fn plan_json(plan: &ExecutionPlan, acc: &AcceleratorConfig) -> String {
             d.estimate.kind.label(),
             d.estimate.prefetch,
             d.estimate
-                .block_n
-                .map(|n| n.to_string())
-                .unwrap_or_else(|| "null".into()),
+                .block_n.map_or_else(|| "null".into(), |n| n.to_string()),
             alloc.ifmap,
             alloc.filters,
             alloc.ofmap,

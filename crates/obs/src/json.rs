@@ -74,7 +74,7 @@ struct Parser<'a> {
     pos: usize,
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn err(&self, message: &'static str) -> ParseError {
         ParseError {
             offset: self.pos,
@@ -147,7 +147,7 @@ impl<'a> Parser<'a> {
             members.push((key, value));
             self.skip_ws();
             match self.bump() {
-                Some(b',') => continue,
+                Some(b',') => {}
                 Some(b'}') => return Ok(Value::Object(members)),
                 _ => return Err(self.err("expected ',' or '}'")),
             }
@@ -167,7 +167,7 @@ impl<'a> Parser<'a> {
             items.push(self.value()?);
             self.skip_ws();
             match self.bump() {
-                Some(b',') => continue,
+                Some(b',') => {}
                 Some(b']') => return Ok(Value::Array(items)),
                 _ => return Err(self.err("expected ',' or ']'")),
             }

@@ -94,11 +94,17 @@ pub enum Counter {
     ServeShed,
     /// Requests that missed their deadline.
     ServeDeadlineExceeded,
+    /// Plans verified by `smm-check`.
+    CheckRuns,
+    /// Diagnostics emitted across all `smm-check` runs.
+    CheckDiagnostics,
+    /// Plans the serving layer rejected because verification failed.
+    ServeVerifyFailed,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -116,6 +122,9 @@ impl Counter {
         Counter::ServeRequests,
         Counter::ServeShed,
         Counter::ServeDeadlineExceeded,
+        Counter::CheckRuns,
+        Counter::CheckDiagnostics,
+        Counter::ServeVerifyFailed,
     ];
 
     /// Stable dotted name (report rows, Chrome counter events).
@@ -138,11 +147,14 @@ impl Counter {
             Counter::ServeRequests => "serve.requests",
             Counter::ServeShed => "serve.shed",
             Counter::ServeDeadlineExceeded => "serve.deadline_exceeded",
+            Counter::CheckRuns => "check.runs",
+            Counter::CheckDiagnostics => "check.diagnostics",
+            Counter::ServeVerifyFailed => "serve.verify_failed",
         }
     }
 
-    fn index(&self) -> usize {
-        *self as usize
+    fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -174,8 +186,8 @@ impl Histogram {
         }
     }
 
-    fn index(&self) -> usize {
-        *self as usize
+    fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -262,7 +274,12 @@ pub fn set_enabled(on: bool) {
     if on {
         collector(); // materialize before the first hot-path hit
     }
-    ENABLED.store(on, Ordering::SeqCst);
+    // Release (not SeqCst: nothing orders this flag against other
+    // atomics) so a thread that observes `on == true` also observes the
+    // materialized collector; the counters themselves are atomics, so
+    // the Relaxed fast-path load in `enabled` costs nothing and at
+    // worst misses a few events around the toggle instant.
+    ENABLED.store(on, Ordering::Release);
 }
 
 /// Clear all counters, histograms, span aggregates and trace events,

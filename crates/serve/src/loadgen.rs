@@ -165,12 +165,11 @@ fn classify(
         tally.errors += 1;
         return;
     };
-    let status = match v.get("status") {
-        Some(smm_obs::json::Value::String(s)) => s.as_str(),
-        _ => {
-            tally.errors += 1;
-            return;
-        }
+    let status = if let Some(smm_obs::json::Value::String(s)) = v.get("status") {
+        s.as_str()
+    } else {
+        tally.errors += 1;
+        return;
     };
     match status {
         "ok" => {
@@ -249,7 +248,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                 );
                 let sent_at = Instant::now();
                 if writeln!(writer, "{request}")
-                    .and_then(|_| writer.flush())
+                    .and_then(|()| writer.flush())
                     .is_err()
                 {
                     tally.errors += 1;

@@ -33,7 +33,6 @@
 //! compare plans byte-for-byte by slicing the line after `"plan":`.
 
 use smm_core::{Objective, PlanScheme};
-use std::fmt::Write as _;
 
 /// Maximum accepted `glb_kb` (1 GiB); guards the `ByteSize` arithmetic.
 pub const MAX_GLB_KB: u64 = 1 << 20;
@@ -197,25 +196,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+///
+/// Re-exported from `smm_core::report` so the serving protocol, the
+/// plan serializer, and the checker's reports share one escaping
+/// routine (a divergence here would break the byte-identical-plan
+/// cache guarantee).
+pub use smm_core::report::json_escape;
 
-fn id_field(id: &Option<String>) -> String {
+fn id_field(id: Option<&str>) -> String {
     match id {
         Some(id) => format!("\"id\":\"{}\",", json_escape(id)),
         None => String::new(),
@@ -259,7 +247,7 @@ pub fn ok_plan_response(
 ) -> String {
     format!(
         "{{{}\"status\":\"ok\",\"cache_hit\":{cache_hit},{},\"plan\":{plan}}}",
-        id_field(id),
+        id_field(id.as_deref()),
         metrics.render()
     )
 }
@@ -268,7 +256,7 @@ pub fn ok_plan_response(
 pub fn shed_response(id: &Option<String>) -> String {
     format!(
         "{{{}\"status\":\"shed\",\"message\":\"server overloaded, request shed\"}}",
-        id_field(id)
+        id_field(id.as_deref())
     )
 }
 
@@ -277,7 +265,7 @@ pub fn deadline_response(id: &Option<String>, layers_done: usize) -> String {
     format!(
         "{{{}\"status\":\"deadline\",\"layers_done\":{layers_done},\
          \"message\":\"deadline exceeded\"}}",
-        id_field(id)
+        id_field(id.as_deref())
     )
 }
 
@@ -285,19 +273,25 @@ pub fn deadline_response(id: &Option<String>, layers_done: usize) -> String {
 pub fn error_response(id: &Option<String>, message: &str) -> String {
     format!(
         "{{{}\"status\":\"error\",\"message\":\"{}\"}}",
-        id_field(id),
+        id_field(id.as_deref()),
         json_escape(message)
     )
 }
 
 /// The `ping` response.
 pub fn pong_response(id: &Option<String>) -> String {
-    format!("{{{}\"status\":\"ok\",\"op\":\"ping\"}}", id_field(id))
+    format!(
+        "{{{}\"status\":\"ok\",\"op\":\"ping\"}}",
+        id_field(id.as_deref())
+    )
 }
 
 /// The `shutdown` acknowledgement.
 pub fn shutdown_response(id: &Option<String>) -> String {
-    format!("{{{}\"status\":\"ok\",\"op\":\"shutdown\"}}", id_field(id))
+    format!(
+        "{{{}\"status\":\"ok\",\"op\":\"shutdown\"}}",
+        id_field(id.as_deref())
+    )
 }
 
 /// The `stats` response: cache statistics plus queue depth.
@@ -305,7 +299,7 @@ pub fn stats_response(id: &Option<String>, cache: &smm_core::CacheStats, queued:
     format!(
         "{{{}\"status\":\"ok\",\"op\":\"stats\",\"cache\":{{\"hits\":{},\"misses\":{},\
          \"evictions\":{},\"len\":{},\"capacity\":{},\"hit_rate\":{:.4}}},\"queued\":{queued}}}",
-        id_field(id),
+        id_field(id.as_deref()),
         cache.hits,
         cache.misses,
         cache.evictions,

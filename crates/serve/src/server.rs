@@ -19,6 +19,32 @@
 //! graceful: the acceptor stops accepting, handlers finish their
 //! current request, queued jobs drain through the workers, and only
 //! then do the threads exit.
+//!
+//! # Memory-ordering audit
+//!
+//! Every atomic in this crate (and the primitives it leans on in
+//! `smm-core` and `smm-obs`) was audited; the chosen orderings and the
+//! reasoning are recorded at each use site. Summary:
+//!
+//! - `Shared::shutdown` is a pure stop *signal*: no data is published
+//!   through it (all shared state lives behind the queue's mutex or the
+//!   cache's mutex). Raising it uses `Release` and polling uses
+//!   `Acquire` — the conventional flag pairing; the previous `SeqCst`
+//!   was stronger than anything the code relies on, and nothing here
+//!   needs a single total order across *multiple* atomics.
+//! - `Shared::connections` is a liveness counter. Increments use
+//!   `Relaxed` (the acceptor thread is the only incrementer and spawns
+//!   the handler afterwards — thread spawn itself synchronizes).
+//!   Decrements use `Release` and the drain loop in
+//!   [`ServerHandle::join`] reads with `Acquire`, so observing `0`
+//!   happens-after each handler's final queue pushes and socket writes.
+//! - [`BoundedQueue`] uses no atomics at all: a `Mutex<VecDeque>` +
+//!   `Condvar`, so every push/pop/close is totally ordered by the lock.
+//!   Its linearizability is exercised exhaustively in
+//!   `tests/queue_interleavings.rs`.
+//! - `PlanCache`'s hit/miss/eviction counters and `CancelToken`'s stop
+//!   flag are intentionally `Relaxed`: they are monotone statistics and
+//!   a latched one-way signal, neither of which publishes data.
 
 use crate::protocol::{self, Op, Request};
 use crate::queue::{BoundedQueue, PushError};
@@ -55,6 +81,10 @@ pub struct ServerConfig {
     /// Enable the process-global observability collector on spawn, so
     /// cache and serve counters tick.
     pub obs: bool,
+    /// Verify every freshly-planned result with `smm-check` before
+    /// caching or responding; a plan with error-severity diagnostics is
+    /// rejected (answered as an error, never cached).
+    pub verify_plans: bool,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +95,7 @@ impl Default for ServerConfig {
             queue_cap: 64,
             cache_cap: 128,
             obs: true,
+            verify_plans: false,
         }
     }
 }
@@ -83,6 +114,7 @@ struct Shared {
     cache: PlanCache,
     shutdown: AtomicBool,
     connections: AtomicUsize,
+    verify_plans: bool,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -112,6 +144,7 @@ impl Server {
             cache: PlanCache::new(cfg.cache_cap),
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
+            verify_plans: cfg.verify_plans,
         });
 
         let workers = (0..cfg.workers.max(1))
@@ -149,13 +182,15 @@ impl ServerHandle {
 
     /// Signal shutdown. Non-blocking; pair with [`join`](Self::join).
     pub fn stop(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Release pairs with the Acquire polls below; the flag carries
+        // no data, it only has to become visible.
+        self.shared.shutdown.store(true, Ordering::Release);
     }
 
     /// Whether shutdown has been signalled (by [`stop`](Self::stop) or
     /// a client `shutdown` op).
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst)
+        self.shared.shutdown.load(Ordering::Acquire)
     }
 
     /// Plan-cache statistics.
@@ -167,7 +202,7 @@ impl ServerHandle {
     /// for connection handlers to finish, let workers drain the queue,
     /// and join every thread.
     pub fn join(mut self) {
-        while !self.shared.shutdown.load(Ordering::SeqCst) {
+        while !self.shared.shutdown.load(Ordering::Acquire) {
             thread::sleep(POLL_INTERVAL);
         }
         if let Some(acceptor) = self.acceptor.take() {
@@ -176,8 +211,10 @@ impl ServerHandle {
         // Handlers exit once their current request is answered; queued
         // jobs keep workers busy until then, so close the queue only
         // after the handlers are gone (bounded by DRAIN_TIMEOUT).
+        // Acquire pairs with the handlers' Release decrements: once 0
+        // is observed, every handler's final queue push has happened.
         let drain_start = Instant::now();
-        while self.shared.connections.load(Ordering::SeqCst) > 0
+        while self.shared.connections.load(Ordering::Acquire) > 0
             && drain_start.elapsed() < DRAIN_TIMEOUT
         {
             thread::sleep(POLL_INTERVAL);
@@ -190,20 +227,25 @@ impl ServerHandle {
 }
 
 fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
+    while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
-                shared.connections.fetch_add(1, Ordering::SeqCst);
+                // Relaxed is enough for the increment: only this thread
+                // increments, and the spawn below synchronizes-with the
+                // handler anyway.
+                shared.connections.fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(shared);
                 let spawned =
                     thread::Builder::new()
                         .name("smm-serve-conn".into())
                         .spawn(move || {
                             handle_connection(stream, &conn_shared);
-                            conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+                            // Release publishes the handler's work to
+                            // join()'s Acquire drain loop.
+                            conn_shared.connections.fetch_sub(1, Ordering::Release);
                         });
                 if spawned.is_err() {
-                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    shared.connections.fetch_sub(1, Ordering::Release);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
@@ -234,18 +276,18 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 }
                 let (response, shutdown_requested) = handle_line(line, shared);
                 if writeln!(writer, "{response}")
-                    .and_then(|_| writer.flush())
+                    .and_then(|()| writer.flush())
                     .is_err()
                 {
                     break;
                 }
                 if shutdown_requested {
-                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.shutdown.store(true, Ordering::Release);
                     break;
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::Acquire) {
                     break;
                 }
             }
@@ -361,6 +403,25 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
     };
     match result {
         Ok(plan) => {
+            // Opt-in verification gate: an infeasible plan must never be
+            // cached (it would be served to every later client) nor
+            // answered as `ok`.
+            if shared.verify_plans {
+                let report = smm_check::check_plan(&plan, &net, &acc);
+                if report.error_count() > 0 {
+                    smm_obs::add(Counter::ServeVerifyFailed, 1);
+                    let codes: Vec<&str> =
+                        report.diagnostics.iter().map(|d| d.code.as_str()).collect();
+                    return protocol::error_response(
+                        &req.id,
+                        &format!(
+                            "plan failed verification ({} diagnostics: {})",
+                            report.diagnostics.len(),
+                            codes.join(", ")
+                        ),
+                    );
+                }
+            }
             let plan = Arc::new(plan);
             shared.cache.insert(key, Arc::clone(&plan));
             let metrics = request_metrics(start, &before);
@@ -423,6 +484,27 @@ mod tests {
         assert_eq!(status_of(&round_trip(addr, r#"{"op":"ping"}"#)), "ok");
         assert_eq!(status_of(&round_trip(addr, r#"{"op":"stats"}"#)), "ok");
         assert_eq!(status_of(&round_trip(addr, r#"{"op":"shutdown"}"#)), "ok");
+        handle.join();
+    }
+
+    #[test]
+    fn verify_mode_serves_and_caches_clean_plans() {
+        let handle = Server::spawn(ServerConfig {
+            verify_plans: true,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.local_addr();
+
+        // A genuine planner output passes verification, is answered `ok`,
+        // and lands in the cache (second identical request is a hit).
+        let line = round_trip(addr, r#"{"model":"mobilenet","glb_kb":128,"id":"v1"}"#);
+        assert_eq!(status_of(&line), "ok", "{line}");
+        assert!(line.contains("\"cache_hit\":false"), "{line}");
+        let line = round_trip(addr, r#"{"model":"mobilenet","glb_kb":128,"id":"v2"}"#);
+        assert_eq!(status_of(&line), "ok", "{line}");
+        assert!(line.contains("\"cache_hit\":true"), "{line}");
+        handle.stop();
         handle.join();
     }
 

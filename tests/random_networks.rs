@@ -112,7 +112,7 @@ fn random_network(rng: &mut StdRng, max_layers: usize) -> Network {
 
 #[test]
 fn planner_invariants_hold_on_random_networks() {
-    let mut rng = StdRng::seed_from_u64(0xB0FFE7);
+    let mut rng = StdRng::seed_from_u64(0x00B0_FFE7);
     for trial in 0..40 {
         let net = random_network(&mut rng, 12);
         for kb in [64u64, 256] {
