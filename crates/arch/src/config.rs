@@ -36,7 +36,7 @@ impl std::error::Error for ConfigError {}
 /// Accelerator specification, mirroring the paper's inputs (Figure 4):
 /// operations per cycle, data width, GLB size, and off-chip bandwidth,
 /// plus the PE-array geometry used by the systolic compute model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AcceleratorConfig {
     /// Systolic array rows (16 in the paper).
     pub pe_rows: usize,

@@ -7,11 +7,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smm_arch::{AcceleratorConfig, ByteSize, GLB_SIZES_KB};
-use smm_core::{Manager, ManagerConfig, Objective};
+use smm_core::{CancelToken, LayerMemo, Manager, ManagerConfig, Objective, Planner};
 use smm_model::zoo;
 use smm_systolic::schedule::trace_layer;
 use smm_systolic::{simulate_network, BaselineConfig, BufferSplit};
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// Generate Het plans for all models at all paper sizes — the full
 /// "management schemes for all the tested models" workload.
@@ -28,6 +29,107 @@ fn bench_plan_generation(c: &mut Criterion) {
             }
         });
     });
+}
+
+/// Algorithm 1 with and without the shape-keyed layer memo on one
+/// model: repeated shapes (ResNet18 plans the same basic-block shapes
+/// many times) make the memoized planner strictly cheaper. The memo's
+/// hit/miss counters are printed after each variant so the saving is
+/// attributable.
+fn bench_memoized_plangen(c: &mut Criterion) {
+    let net = zoo::resnet18();
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+    let cfg = ManagerConfig::new(Objective::Accesses);
+    let open = CancelToken::none();
+
+    let mut group = c.benchmark_group("plangen/memo");
+    group.bench_function("off/resnet18", |b| {
+        b.iter(|| {
+            let planner = Planner::new(acc, cfg);
+            black_box(planner.heterogeneous_with(&net, &open).expect("plan"));
+        });
+    });
+    group.bench_function("on/resnet18", |b| {
+        b.iter(|| {
+            // Fresh memo per iteration: this measures intra-plan reuse
+            // (repeated shapes within one network), not warm-cache luck.
+            let memo = Arc::new(LayerMemo::default());
+            let planner = Planner::new(acc, cfg).with_memo(Arc::clone(&memo));
+            black_box(planner.heterogeneous_with(&net, &open).expect("plan"));
+        });
+    });
+    group.finish();
+
+    // Counted run through smm-obs: the planner publishes the same
+    // hit/miss tallies on the `planner.memo_*` counters.
+    smm_obs::reset();
+    smm_obs::set_enabled(true);
+    let memo = Arc::new(LayerMemo::default());
+    let planner = Planner::new(acc, cfg).with_memo(Arc::clone(&memo));
+    planner.heterogeneous_with(&net, &open).expect("plan");
+    smm_obs::set_enabled(false);
+    let s = memo.stats();
+    println!(
+        "plangen/memo: resnet18 single plan: {} hits / {} misses ({:.0}% hit rate) \
+         [obs: planner.memo_hits={} planner.memo_misses={}]",
+        s.hits,
+        s.misses,
+        s.hit_rate() * 100.0,
+        smm_obs::counter_value(smm_obs::Counter::LayerMemoHits),
+        smm_obs::counter_value(smm_obs::Counter::LayerMemoMisses),
+    );
+}
+
+/// A serve-shaped workload: the same model planned N times, as a warm
+/// planning server sees it when the plan cache is disabled or keys vary
+/// (e.g. per-request batch sizes). One shared memo across all N plans —
+/// after the first, every layer is a hit.
+fn bench_serve_shaped_workload(c: &mut Criterion) {
+    const REPEATS: usize = 8;
+    let net = zoo::mobilenetv2();
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+    let cfg = ManagerConfig::new(Objective::Accesses);
+    let open = CancelToken::none();
+
+    let mut group = c.benchmark_group("plangen/serve_shaped");
+    group.bench_function(BenchmarkId::new("memo_off", REPEATS), |b| {
+        b.iter(|| {
+            for _ in 0..REPEATS {
+                let planner = Planner::new(acc, cfg);
+                black_box(planner.heterogeneous_with(&net, &open).expect("plan"));
+            }
+        });
+    });
+    group.bench_function(BenchmarkId::new("memo_shared", REPEATS), |b| {
+        b.iter(|| {
+            let memo = Arc::new(LayerMemo::default());
+            for _ in 0..REPEATS {
+                let planner = Planner::new(acc, cfg).with_memo(Arc::clone(&memo));
+                black_box(planner.heterogeneous_with(&net, &open).expect("plan"));
+            }
+        });
+    });
+    group.finish();
+
+    smm_obs::reset();
+    smm_obs::set_enabled(true);
+    let memo = Arc::new(LayerMemo::default());
+    for _ in 0..REPEATS {
+        let planner = Planner::new(acc, cfg).with_memo(Arc::clone(&memo));
+        planner.heterogeneous_with(&net, &open).expect("plan");
+    }
+    smm_obs::set_enabled(false);
+    let s = memo.stats();
+    println!(
+        "plangen/serve_shaped: {REPEATS}x mobilenetv2, shared memo: \
+         {} hits / {} misses ({:.0}% hit rate) \
+         [obs: planner.memo_hits={} planner.memo_misses={}]",
+        s.hits,
+        s.misses,
+        s.hit_rate() * 100.0,
+        smm_obs::counter_value(smm_obs::Counter::LayerMemoHits),
+        smm_obs::counter_value(smm_obs::Counter::LayerMemoMisses),
+    );
 }
 
 /// One analytical baseline simulation of a full network.
@@ -64,6 +166,8 @@ fn bench_baseline_trace(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_plan_generation,
+    bench_memoized_plangen,
+    bench_serve_shaped_workload,
     bench_baseline_analytic,
     bench_baseline_trace
 );

@@ -102,6 +102,16 @@ pub struct Derived {
     pub ofmap_resident_at_end: bool,
 }
 
+impl Derived {
+    /// The lexicographic rank of this candidate under `objective` — the
+    /// exact key Algorithm 1 minimises ([`smm_core::Objective::key`]),
+    /// so checker-side rankings can never drift from the planner's
+    /// ordering.
+    pub fn objective_key(&self, objective: smm_core::Objective) -> (u64, u64) {
+        objective.key(self.accesses.total(), self.latency.cycles)
+    }
+}
+
 /// Minimum-transfer traffic (Section 3): every element moved once.
 fn min_traffic(shape: &LayerShape) -> AccessCounts {
     AccessCounts {
@@ -422,6 +432,42 @@ mod tests {
                     assert_eq!(
                         d.ofmap_resident_at_end, e.ofmap_resident_at_end,
                         "{kind} pf={prefetch}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The planner's chosen policy must carry the minimal
+    /// [`Derived::objective_key`] among all feasible candidates: the
+    /// checker ranks with the same lexicographic key Algorithm 1 uses.
+    #[test]
+    fn objective_key_ranks_candidates_like_the_planner() {
+        use smm_core::{LayerPlanner, ManagerConfig, Objective};
+        let a = acc();
+        for shape in [conv(), dw()] {
+            for objective in [Objective::Accesses, Objective::Latency] {
+                let lp = LayerPlanner::new(a, ManagerConfig::new(objective));
+                let cands = lp.explain(&shape);
+                let rank = |c: &smm_core::CandidateReport| {
+                    rederive(
+                        &shape,
+                        &a,
+                        c.estimate.kind,
+                        c.estimate.prefetch,
+                        c.estimate.block_n,
+                        c.estimate.fallback.as_ref(),
+                    )
+                    .unwrap()
+                    .objective_key(objective)
+                };
+                let chosen = cands.iter().find(|c| c.chosen).expect("a policy fits");
+                let best = rank(chosen);
+                for c in cands.iter().filter(|c| c.feasible) {
+                    assert!(
+                        best <= rank(c),
+                        "{objective:?}: {} beats chosen",
+                        c.estimate.kind
                     );
                 }
             }

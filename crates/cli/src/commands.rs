@@ -4,17 +4,22 @@ use crate::args::Options;
 use smm_arch::{AcceleratorConfig, ByteSize, GLB_SIZES_KB};
 use smm_core::energy::{plan_energy, EnergyModel};
 use smm_core::report::{plan_csv, plan_json, TextTable};
-use smm_core::{batch, interlayer, tenancy, Manager, ManagerConfig};
+use smm_core::{
+    batch, interlayer, tenancy, CancelToken, LayerPlanner, ManagerConfig, NetworkRef, PlanScheme,
+    PlanSpec,
+};
 use smm_model::{topology, zoo, Network};
 use smm_systolic::{simulate_network, BaselineConfig, BufferSplit};
 
-/// Resolve a positional target: a zoo model name or a topology CSV path.
-fn load_network(opts: &Options) -> Result<Network, String> {
+/// Resolve a positional target into a network reference: a zoo model
+/// name or a topology CSV path (read here; the parse happens when the
+/// spec resolves).
+fn network_ref(opts: &Options) -> Result<NetworkRef, String> {
     let Some(target) = &opts.target else {
         return Err("missing model name or topology file".into());
     };
-    if let Some(net) = zoo::by_name(target) {
-        return Ok(net);
+    if zoo::by_name(target).is_some() {
+        return Ok(NetworkRef::Zoo(target.clone()));
     }
     if std::path::Path::new(target).exists() {
         let text = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
@@ -23,24 +28,46 @@ fn load_network(opts: &Options) -> Result<Network, String> {
             .and_then(|s| s.to_str())
             .unwrap_or("topology")
             .to_string();
-        return topology::parse(name, &text).map_err(|e| e.to_string());
+        return Ok(NetworkRef::Inline {
+            name,
+            topology: text,
+        });
     }
     Err(format!(
         "{target:?} is neither a zoo model nor a topology file; try `smm list-models`"
     ))
 }
 
+/// Resolve a positional target into the network itself.
+fn load_network(opts: &Options) -> Result<Network, String> {
+    network_ref(opts)?.resolve().map_err(|e| e.to_string())
+}
+
 fn accelerator(opts: &Options) -> AcceleratorConfig {
     AcceleratorConfig::paper_default(ByteSize::from_kb(opts.glb_kb)).with_data_width(opts.width)
 }
 
-fn manager(opts: &Options) -> Manager {
-    Manager::new(
+fn manager_config(opts: &Options) -> ManagerConfig {
+    ManagerConfig::new(opts.objective)
+        .with_prefetch(opts.prefetch)
+        .with_inter_layer_reuse(opts.inter_layer)
+}
+
+/// The [`PlanSpec`] the parsed command line describes: every planning
+/// subcommand derives its job (and any cache key) from this one value.
+fn plan_spec(opts: &Options) -> Result<PlanSpec, String> {
+    let scheme = if opts.heterogeneous {
+        PlanScheme::Heterogeneous
+    } else {
+        PlanScheme::BestHomogeneous
+    };
+    Ok(PlanSpec::new(
+        network_ref(opts)?,
         accelerator(opts),
-        ManagerConfig::new(opts.objective)
-            .with_prefetch(opts.prefetch)
-            .with_inter_layer_reuse(opts.inter_layer),
+        manager_config(opts),
+        scheme,
     )
+    .with_batch(opts.batch))
 }
 
 /// Run `body` with the observability collector enabled when `--profile`
@@ -95,36 +122,34 @@ pub fn analyze(opts: &Options) -> Result<(), String> {
 }
 
 fn analyze_body(opts: &Options) -> Result<(), String> {
-    let net = load_network(opts)?;
-    let m = manager(opts);
-    let plan = if opts.heterogeneous {
-        m.heterogeneous(&net)
-    } else {
-        m.best_homogeneous(&net)
-    }
-    .map_err(|e| e.to_string())?;
+    let spec = plan_spec(opts)?;
+    let net = spec.resolve().map_err(|e| e.to_string())?;
+    let plan = spec
+        .planner()
+        .plan(&net, spec.scheme, &CancelToken::none())
+        .map_err(|e| e.to_string())?;
 
     if opts.json {
-        println!("{}", plan_json(&plan, m.accelerator()));
+        println!("{}", plan_json(&plan, &spec.accelerator));
         return Ok(());
     }
     if opts.csv {
-        print!("{}", plan_csv(&plan, m.accelerator()));
+        print!("{}", plan_csv(&plan, &spec.accelerator));
         return Ok(());
     }
 
     println!(
         "{} @ {} GLB, {}, objective {:?}, scheme {}",
         net.name,
-        m.accelerator().glb,
-        m.accelerator().data_width,
-        m.config().objective,
+        spec.accelerator.glb,
+        spec.accelerator.data_width,
+        spec.config.objective,
         plan.scheme.label()
     );
     let mut t = TextTable::new(&[
         "Layer", "Policy", "+p", "ifmap", "filter", "ofmap", "req kB", "acc kB", "cycles",
     ]);
-    let acc = m.accelerator();
+    let acc = &spec.accelerator;
     for d in &plan.decisions {
         let alloc = d.estimate.allocation();
         t.row(vec![
@@ -191,19 +216,17 @@ fn check_body(opts: &Options) -> Result<(), String> {
     if opts.target.as_deref() == Some("all") {
         return check_all(opts);
     }
-    let net = load_network(opts)?;
-    let m = manager(opts);
-    let plan = if opts.heterogeneous {
-        m.heterogeneous(&net)
-    } else {
-        m.best_homogeneous(&net)
-    }
-    .map_err(|e| e.to_string())?;
-    let report = smm_check::check_plan(&plan, &net, m.accelerator());
+    let spec = plan_spec(opts)?;
+    let net = spec.resolve().map_err(|e| e.to_string())?;
+    let plan = spec
+        .planner()
+        .plan(&net, spec.scheme, &CancelToken::none())
+        .map_err(|e| e.to_string())?;
+    let report = smm_check::check_plan(&plan, &net, &spec.accelerator);
     if opts.json {
         println!(
             "{}",
-            smm_check::report_json(&report, &plan, m.accelerator())
+            smm_check::report_json(&report, &plan, &spec.accelerator)
         );
     } else {
         print!("{}", smm_check::render_text(&report, &plan));
@@ -220,23 +243,27 @@ fn check_body(opts: &Options) -> Result<(), String> {
 /// The acceptance matrix: every zoo model under both objectives, at the
 /// requested GLB size and scheme. One line (or JSON entry) per run.
 fn check_all(opts: &Options) -> Result<(), String> {
-    use smm_core::Objective;
+    use smm_core::{LayerMemo, Objective};
+    use std::sync::Arc;
     let mut failures = 0usize;
     let mut entries = Vec::new();
+    // One memo for the whole matrix: identical shapes recur both within
+    // a model and across related models, so later runs replan less.
+    let memo = Arc::new(LayerMemo::default());
     for net in zoo::all_networks() {
         for objective in [Objective::Accesses, Objective::Latency] {
             let o = Options {
                 objective,
+                target: Some(net.name.clone()),
                 ..opts.clone()
             };
-            let m = manager(&o);
-            let plan = if o.heterogeneous {
-                m.heterogeneous(&net)
-            } else {
-                m.best_homogeneous(&net)
-            }
-            .map_err(|e| format!("{} ({objective:?}): {e}", net.name))?;
-            let report = smm_check::check_plan(&plan, &net, m.accelerator());
+            let spec = plan_spec(&o)?;
+            let plan = spec
+                .planner()
+                .with_memo(Arc::clone(&memo))
+                .plan(&net, spec.scheme, &CancelToken::none())
+                .map_err(|e| format!("{} ({objective:?}): {e}", net.name))?;
+            let report = smm_check::check_plan(&plan, &net, &spec.accelerator);
             let errors = report.error_count();
             failures += usize::from(errors > 0);
             if opts.json {
@@ -287,11 +314,8 @@ pub fn tenants(opts: &Options) -> Result<(), String> {
         o.target2 = None;
         load_network(&o)?
     };
-    let cfg = ManagerConfig::new(opts.objective)
-        .with_prefetch(opts.prefetch)
-        .with_inter_layer_reuse(opts.inter_layer);
-    let t =
-        tenancy::partition(accelerator(opts), cfg, &net_a, &net_b, 5).map_err(|e| e.to_string())?;
+    let t = tenancy::partition(accelerator(opts), manager_config(opts), &net_a, &net_b, 5)
+        .map_err(|e| e.to_string())?;
     println!(
         "best static split of {}: {} for {}, {} for {}",
         accelerator(opts).glb,
@@ -324,13 +348,11 @@ pub fn explain(opts: &Options) -> Result<(), String> {
     let layer = net
         .layer(layer_name)
         .ok_or_else(|| format!("{} has no layer {layer_name:?}", net.name))?;
-    let m = manager(opts);
+    let acc = accelerator(opts);
+    let lp = LayerPlanner::new(acc, manager_config(opts));
     println!(
         "{}/{} @ {} GLB ({:?} objective): candidates of Algorithm 1",
-        net.name,
-        layer.name,
-        m.accelerator().glb,
-        m.config().objective
+        net.name, layer.name, acc.glb, opts.objective
     );
     let mut t = TextTable::new(&[
         "policy",
@@ -342,7 +364,7 @@ pub fn explain(opts: &Options) -> Result<(), String> {
         "fits",
         "chosen",
     ]);
-    for c in m.explain(&layer.shape) {
+    for c in lp.explain(&layer.shape) {
         t.row(vec![
             c.estimate.kind.label().into(),
             if c.estimate.prefetch { "+p" } else { "" }.into(),
@@ -350,7 +372,7 @@ pub fn explain(opts: &Options) -> Result<(), String> {
                 .block_n
                 .map(|n| n.to_string())
                 .unwrap_or_default(),
-            format!("{:.1}", c.estimate.required_bytes(m.accelerator()).kb()),
+            format!("{:.1}", c.estimate.required_bytes(&acc).kb()),
             c.estimate.accesses.total().to_string(),
             c.estimate.latency.cycles.to_string(),
             if c.feasible { "yes" } else { "no" }.into(),
@@ -376,12 +398,13 @@ fn lower_body(opts: &Options) -> Result<(), String> {
     let layer = net
         .layer(layer_name)
         .ok_or_else(|| format!("{} has no layer {layer_name:?}", net.name))?;
-    let m = manager(opts);
-    let chosen = m
+    let acc = accelerator(opts);
+    let lp = LayerPlanner::new(acc, manager_config(opts));
+    let chosen = lp
         .explain(&layer.shape)
         .into_iter()
         .find(|c| c.chosen)
-        .ok_or_else(|| format!("no policy fits {layer_name} in {}", m.accelerator().glb))?;
+        .ok_or_else(|| format!("no policy fits {layer_name} in {}", acc.glb))?;
     let program =
         smm_exec::Program::lower(&layer.shape, &chosen.estimate).map_err(|e| e.to_string())?;
     println!(
@@ -463,9 +486,14 @@ fn sweep_body(opts: &Options) -> Result<(), String> {
                 mb(rep.total_accesses)
             })
             .collect();
-        let m = manager(&o);
-        let hom = m.best_homogeneous(&net).map_err(|e| e.to_string())?;
-        let het = m.heterogeneous(&net).map_err(|e| e.to_string())?;
+        let planner = smm_core::Planner::new(acc, manager_config(&o));
+        let open = CancelToken::none();
+        let hom = planner
+            .best_homogeneous_with(&net, &open)
+            .map_err(|e| e.to_string())?;
+        let het = planner
+            .heterogeneous_with(&net, &open)
+            .map_err(|e| e.to_string())?;
         let base_cycles =
             simulate_network(&BaselineConfig::paper(acc, BufferSplit::SA_50_50), &net)
                 .latency_cycles;

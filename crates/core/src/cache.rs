@@ -21,8 +21,9 @@
 //! locally (always) and in the `smm-obs` registry (when collection is
 //! enabled).
 
-use crate::{ExecutionPlan, ManagerConfig, Objective};
+use crate::{ExecutionPlan, ManagerConfig, Objective, PlanSpec};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use smm_arch::AcceleratorConfig;
 use smm_model::Network;
 use std::collections::HashMap;
@@ -32,7 +33,7 @@ use std::sync::Arc;
 
 /// Whether a request asks for the heterogeneous or best-homogeneous
 /// scheme — part of the cache key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PlanScheme {
     /// Algorithm 1 per layer (`Het`).
     Heterogeneous,
@@ -55,6 +56,33 @@ impl PlanKey {
         cfg: &ManagerConfig,
         scheme: PlanScheme,
     ) -> Self {
+        let enc = Self::encode(net, acc, *cfg, scheme);
+        PlanKey {
+            hash: enc.hash,
+            encoding: enc.bytes,
+        }
+    }
+
+    /// Canonicalize a [`PlanSpec`] against its resolved network: the
+    /// [`new`](Self::new) encoding extended with the spec's batch knob,
+    /// so every field of the spec participates in the key. `net` must be
+    /// `spec.resolve()`'s result (resolution is kept separate so callers
+    /// that already hold the network don't re-parse it).
+    pub fn from_spec(spec: &PlanSpec, net: &Network) -> Self {
+        let mut enc = Self::encode(net, &spec.accelerator, spec.config, spec.scheme);
+        enc.u64(spec.batch);
+        PlanKey {
+            hash: enc.hash,
+            encoding: enc.bytes,
+        }
+    }
+
+    fn encode(
+        net: &Network,
+        acc: &AcceleratorConfig,
+        cfg: ManagerConfig,
+        scheme: PlanScheme,
+    ) -> Encoder {
         let mut enc = Encoder::default();
         enc.str_field(&net.name);
         enc.u64(net.layers.len() as u64);
@@ -96,10 +124,7 @@ impl PlanKey {
             PlanScheme::Heterogeneous => 0,
             PlanScheme::BestHomogeneous => 1,
         });
-        PlanKey {
-            hash: enc.hash,
-            encoding: enc.bytes,
-        }
+        enc
     }
 
     /// The canonical 64-bit hash (FNV-1a over the encoding).

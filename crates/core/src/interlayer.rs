@@ -120,10 +120,7 @@ pub fn apply(
                 .estimate
                 .latency_for_traffic(acc, cons_traffic)
                 .cycles;
-            let metrics = match objective {
-                Objective::Accesses => (prod_traffic + cons_traffic, prod_lat + cons_lat),
-                Objective::Latency => (prod_lat + cons_lat, prod_traffic + cons_traffic),
-            };
+            let metrics = objective.key(prod_traffic + cons_traffic, prod_lat + cons_lat);
             if best.as_ref().is_none_or(|(_, m)| metrics < *m) {
                 best = Some((cand, metrics));
             }
@@ -142,16 +139,10 @@ pub fn apply(
             a.total()
         };
         let prod_lat_now = current.latency_for_traffic(acc, prod_traffic_now).cycles;
-        let before = match objective {
-            Objective::Accesses => (
-                prod_traffic_now + cons_traffic_now,
-                prod_lat_now + cons_lat_now,
-            ),
-            Objective::Latency => (
-                prod_lat_now + cons_lat_now,
-                prod_traffic_now + cons_traffic_now,
-            ),
-        };
+        let before = objective.key(
+            prod_traffic_now + cons_traffic_now,
+            prod_lat_now + cons_lat_now,
+        );
         if after >= before {
             continue;
         }

@@ -4,8 +4,15 @@
 //! matches every layer of a network with the reuse policy that best
 //! serves an optimization objective under the GLB capacity constraint.
 //!
+//! - [`PlanSpec`] — the serializable description of one planning job
+//!   (network ref + accelerator + config + scheme + batch), from which
+//!   the cache key and the plan are derived.
+//! - [`Planner`] — the pass-based pipeline (per-layer selection →
+//!   §5.4 inter-layer pass → totals/finish) behind every entry point,
+//!   with an optional shape-keyed [`LayerMemo`].
 //! - [`Manager`] — Algorithm 1 (objective: off-chip accesses) and its
-//!   latency-objective twin; produces [`ExecutionPlan`]s.
+//!   latency-objective twin as a thin facade over [`Planner`]; produces
+//!   [`ExecutionPlan`]s.
 //! - [`ExecutionPlan`] — a per-layer policy assignment (homogeneous or
 //!   heterogeneous) with traffic/latency totals and coverage metrics.
 //! - [`interlayer`] — the inter-layer reuse pass of Section 5.4: when a
@@ -39,8 +46,10 @@ pub mod energy;
 pub mod interlayer;
 mod manager;
 mod plan;
+mod planner;
 pub mod report;
 pub mod runtime;
+mod spec;
 pub mod sweep;
 pub mod tenancy;
 
@@ -48,3 +57,5 @@ pub use cache::{CacheStats, PlanCache, PlanKey, PlanScheme};
 pub use cancel::CancelToken;
 pub use manager::{CandidateReport, Manager, ManagerConfig, Objective, PlanError};
 pub use plan::{ExecutionPlan, LayerDecision, PlanTotals, Scheme};
+pub use planner::{LayerMemo, LayerPlanner, MemoStats, Planner};
+pub use spec::{NetworkRef, PlanSpec};

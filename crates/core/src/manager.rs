@@ -1,12 +1,13 @@
-use crate::plan::{ExecutionPlan, LayerDecision, Scheme};
+use crate::plan::ExecutionPlan;
+use crate::planner::{LayerPlanner, Planner};
 use serde::{Deserialize, Serialize};
 use smm_arch::AcceleratorConfig;
 use smm_model::Network;
-use smm_policy::{estimate, PolicyEstimate, PolicyKind};
+use smm_policy::{PolicyEstimate, PolicyKind};
 use std::fmt;
 
 /// The two optimization objectives of Section 3.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Objective {
     /// Objective 1: reduce off-chip data transfers under the memory
     /// constraint.
@@ -23,12 +24,31 @@ impl Objective {
             Objective::Latency => "_l",
         }
     }
+
+    /// The lexicographic comparison key of Algorithm 1 lines 11–15:
+    /// the primary metric first, the other as tie-breaker. Candidate
+    /// `a` beats candidate `b` iff `key(a) < key(b)` — strictly better
+    /// on the primary metric, or equal primary and strictly better
+    /// secondary. Every objective comparison in the workspace (layer
+    /// selection, best-homogeneous search, the §5.4 inter-layer pass,
+    /// tenancy partitioning, the checker) goes through this helper.
+    pub fn key(self, accesses: u64, latency: u64) -> (u64, u64) {
+        match self {
+            Objective::Accesses => (accesses, latency),
+            Objective::Latency => (latency, accesses),
+        }
+    }
+
+    /// [`key`](Self::key) applied to a policy estimate.
+    pub fn estimate_key(self, e: &PolicyEstimate) -> (u64, u64) {
+        self.key(e.accesses.total(), e.latency.cycles)
+    }
 }
 
 /// Knobs of the memory-management technique. Prefetching and inter-layer
 /// reuse can be disabled to reproduce the Figure 10 / Figure 11
 /// ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ManagerConfig {
     pub objective: Objective,
     /// Allow the double-buffered `+p` policy variants (Eq. 2).
@@ -70,6 +90,9 @@ pub enum PlanError {
     /// stop flag raised) before the plan completed; `layers_done` layers
     /// had been planned.
     Cancelled { layers_done: usize },
+    /// A [`PlanSpec`](crate::PlanSpec) could not be resolved into a
+    /// planning job (unknown zoo model, malformed inline topology, …).
+    InvalidSpec { message: String },
 }
 
 impl fmt::Display for PlanError {
@@ -85,6 +108,7 @@ impl fmt::Display for PlanError {
             PlanError::Cancelled { layers_done } => {
                 write!(f, "planning cancelled after {layers_done} layers")
             }
+            PlanError::InvalidSpec { message } => write!(f, "{message}"),
         }
     }
 }
@@ -102,6 +126,14 @@ pub struct CandidateReport {
 }
 
 /// The memory-management analyser (Figure 4's "Analyser" box).
+///
+/// Since the pass-based refactor this is a thin facade over
+/// [`Planner`](crate::Planner): it keeps the original entry points
+/// (`heterogeneous`, `homogeneous`, `best_homogeneous`, `explain`)
+/// working unchanged, always with the layer-decision memo disabled so
+/// its observable behaviour — candidate counts, estimator calls, spans —
+/// is exactly the pre-refactor one. Callers that want memoization or
+/// explicit pass control use [`Planner`](crate::Planner) directly.
 #[derive(Debug, Clone)]
 pub struct Manager {
     acc: AcceleratorConfig,
@@ -121,137 +153,16 @@ impl Manager {
         &self.cfg
     }
 
-    /// `a` beats `b` under the objective? Algorithm 1 lines 11–15:
-    /// primary metric strictly better, or equal primary and strictly
-    /// better secondary.
-    fn better(&self, a: &PolicyEstimate, b: &PolicyEstimate) -> bool {
-        let (pa, sa) = self.metrics(a);
-        let (pb, sb) = self.metrics(b);
-        pa < pb || (pa == pb && sa < sb)
-    }
-
-    fn metrics(&self, e: &PolicyEstimate) -> (u64, u64) {
-        match self.cfg.objective {
-            Objective::Accesses => (e.accesses.total(), e.latency.cycles),
-            Objective::Latency => (e.latency.cycles, e.accesses.total()),
-        }
-    }
-
-    fn prefetch_options(&self) -> &'static [bool] {
-        if self.cfg.allow_prefetch {
-            &[false, true]
-        } else {
-            &[false]
-        }
-    }
-
-    /// Algorithm 1's inner loop for one layer: the best feasible
-    /// candidate among the named policies (and their prefetch variants).
-    /// The paper only reaches for the tile-size search when nothing named
-    /// fits; we keep it in the candidate list unconditionally — a strict
-    /// superset that can only improve the plan (named policies win ties
-    /// because they are evaluated first).
-    fn select(&self, shape: &smm_model::LayerShape) -> Option<PolicyEstimate> {
-        let mut best: Option<PolicyEstimate> = None;
-        let mut candidates = 0u64;
-        let mut rejected = 0u64;
-        for kind in PolicyKind::ALL {
-            for &prefetch in self.prefetch_options() {
-                let Some(e) = estimate(kind, shape, &self.acc, prefetch) else {
-                    continue;
-                };
-                candidates += 1;
-                if !e.fits(&self.acc) {
-                    if prefetch {
-                        rejected += 1;
-                    }
-                    continue;
-                }
-                if best.as_ref().is_none_or(|b| self.better(&e, b)) {
-                    best = Some(e);
-                }
-            }
-        }
-        if smm_obs::enabled() {
-            smm_obs::add(smm_obs::Counter::PlannerCandidates, candidates);
-            smm_obs::add(smm_obs::Counter::PlannerPrefetchRejected, rejected);
-            smm_obs::observe(smm_obs::Histogram::CandidatesPerLayer, candidates);
-        }
-        best
-    }
-
-    /// The best estimate for one layer when constrained to a single named
-    /// policy (used by homogeneous plans): the policy itself or its
-    /// prefetch variant, falling back to the tiled search when the policy
-    /// cannot fit (so a homogeneous plan still executes every layer).
-    fn select_constrained(
-        &self,
-        kind: PolicyKind,
-        shape: &smm_model::LayerShape,
-    ) -> Option<PolicyEstimate> {
-        let mut best: Option<PolicyEstimate> = None;
-        for &prefetch in self.prefetch_options() {
-            let Some(e) = estimate(kind, shape, &self.acc, prefetch) else {
-                continue;
-            };
-            if !e.fits(&self.acc) {
-                continue;
-            }
-            if best.as_ref().is_none_or(|b| self.better(&e, b)) {
-                best = Some(e);
-            }
-        }
-        if best.is_some() {
-            return best;
-        }
-        for &prefetch in self.prefetch_options() {
-            let Some(e) = estimate(PolicyKind::Fallback, shape, &self.acc, prefetch) else {
-                continue;
-            };
-            if !e.fits(&self.acc) {
-                continue;
-            }
-            if best.as_ref().is_none_or(|b| self.better(&e, b)) {
-                best = Some(e);
-            }
-        }
-        best
-    }
-
-    fn finish_plan(
-        &self,
-        net: &Network,
-        scheme: Scheme,
-        decisions: Vec<LayerDecision>,
-    ) -> ExecutionPlan {
-        let mut plan = ExecutionPlan::new(net.name.clone(), scheme, decisions, &self.acc);
-        if self.cfg.inter_layer_reuse {
-            crate::interlayer::apply(&mut plan, net, &self.acc, self.cfg.objective);
-        }
-        plan
+    /// The unmemoized pipeline this facade delegates to.
+    fn planner(&self) -> Planner {
+        Planner::new(self.acc, self.cfg)
     }
 
     /// Explain Algorithm 1's choice for one layer: every candidate with
     /// its metrics, feasibility, and whether it won. Chosen = the same
-    /// candidate [`select`](Self::heterogeneous) would pick.
+    /// candidate the selection pass would pick.
     pub fn explain(&self, shape: &smm_model::LayerShape) -> Vec<CandidateReport> {
-        let chosen = self.select(shape);
-        let mut out = Vec::new();
-        for kind in PolicyKind::ALL {
-            for &prefetch in self.prefetch_options() {
-                let Some(e) = estimate(kind, shape, &self.acc, prefetch) else {
-                    continue;
-                };
-                let feasible = e.fits(&self.acc);
-                let is_chosen = chosen.as_ref() == Some(&e);
-                out.push(CandidateReport {
-                    estimate: e,
-                    feasible,
-                    chosen: is_chosen,
-                });
-            }
-        }
-        out
+        LayerPlanner::new(self.acc, self.cfg).explain(shape)
     }
 
     /// The heterogeneous execution plan (`Het`): Algorithm 1 applied per
@@ -268,23 +179,7 @@ impl Manager {
         net: &Network,
         cancel: &crate::CancelToken,
     ) -> Result<ExecutionPlan, PlanError> {
-        let _net_span = smm_obs::span!("plan.network", "{} ({})", net.name, "het");
-        let mut decisions = Vec::with_capacity(net.layers.len());
-        for (i, layer) in net.layers.iter().enumerate() {
-            if cancel.is_cancelled() {
-                return Err(PlanError::Cancelled { layers_done: i });
-            }
-            let _layer_span = smm_obs::span!("plan.layer", "{}", layer.name);
-            let est = self
-                .select(&layer.shape)
-                .ok_or(PlanError::LayerDoesNotFit {
-                    layer: layer.name.clone(),
-                    glb_elements: self.acc.glb_elements(),
-                })?;
-            smm_obs::add(smm_obs::Counter::PlannerLayersPlanned, 1);
-            decisions.push(LayerDecision::new(i, layer.name.clone(), est));
-        }
-        Ok(self.finish_plan(net, Scheme::Heterogeneous, decisions))
+        self.planner().heterogeneous_with(net, cancel)
     }
 
     /// A homogeneous execution plan: every layer constrained to `kind`.
@@ -299,22 +194,7 @@ impl Manager {
         kind: PolicyKind,
         cancel: &crate::CancelToken,
     ) -> Result<ExecutionPlan, PlanError> {
-        let _net_span = smm_obs::span!("plan.network", "{} (hom {:?})", net.name, kind);
-        let mut decisions = Vec::with_capacity(net.layers.len());
-        for (i, layer) in net.layers.iter().enumerate() {
-            if cancel.is_cancelled() {
-                return Err(PlanError::Cancelled { layers_done: i });
-            }
-            let _layer_span = smm_obs::span!("plan.layer", "{}", layer.name);
-            let est =
-                self.select_constrained(kind, &layer.shape)
-                    .ok_or(PlanError::LayerDoesNotFit {
-                        layer: layer.name.clone(),
-                        glb_elements: self.acc.glb_elements(),
-                    })?;
-            decisions.push(LayerDecision::new(i, layer.name.clone(), est));
-        }
-        Ok(self.finish_plan(net, Scheme::Homogeneous(kind), decisions))
+        self.planner().homogeneous_with(net, kind, cancel)
     }
 
     /// The best homogeneous plan under the objective (`Hom` in the
@@ -331,33 +211,7 @@ impl Manager {
         net: &Network,
         cancel: &crate::CancelToken,
     ) -> Result<ExecutionPlan, PlanError> {
-        let mut best: Option<ExecutionPlan> = None;
-        let mut last_err = None;
-        for kind in PolicyKind::NAMED {
-            match self.homogeneous_with(net, kind, cancel) {
-                Ok(plan) => {
-                    let better = match &best {
-                        None => true,
-                        Some(b) => match self.cfg.objective {
-                            Objective::Accesses => {
-                                (plan.totals.accesses_elems, plan.totals.latency_cycles)
-                                    < (b.totals.accesses_elems, b.totals.latency_cycles)
-                            }
-                            Objective::Latency => {
-                                (plan.totals.latency_cycles, plan.totals.accesses_elems)
-                                    < (b.totals.latency_cycles, b.totals.accesses_elems)
-                            }
-                        },
-                    };
-                    if better {
-                        best = Some(plan);
-                    }
-                }
-                Err(e @ PlanError::Cancelled { .. }) => return Err(e),
-                Err(e) => last_err = Some(e),
-            }
-        }
-        best.ok_or_else(|| last_err.expect("at least one policy attempted"))
+        self.planner().best_homogeneous_with(net, cancel)
     }
 }
 
@@ -499,6 +353,19 @@ mod tests {
     fn objective_suffixes() {
         assert_eq!(Objective::Accesses.suffix(), "_a");
         assert_eq!(Objective::Latency.suffix(), "_l");
+    }
+
+    #[test]
+    fn objective_key_orders_lexicographically() {
+        let o = Objective::Accesses;
+        // Strictly better primary wins regardless of secondary.
+        assert!(o.key(10, 999) < o.key(11, 0));
+        // Equal primary falls back to secondary.
+        assert!(o.key(10, 5) < o.key(10, 6));
+        // Latency swaps the roles.
+        let l = Objective::Latency;
+        assert!(l.key(999, 10) < l.key(0, 11));
+        assert_eq!(l.key(3, 7), (7, 3));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! actually has when the layer starts.
 
 use crate::plan::{ExecutionPlan, LayerDecision, Scheme};
-use crate::{Manager, ManagerConfig, PlanError};
+use crate::planner::LayerPlanner;
+use crate::{ManagerConfig, PlanError};
 use smm_arch::{AcceleratorConfig, ByteSize};
 use smm_model::Network;
 
@@ -69,14 +70,19 @@ pub fn run_with_events(
             current = e.glb;
         }
         capacity_trace.push(current);
-        let manager = Manager::new(acc.with_glb(current), cfg);
-        // Plan just this layer under the live capacity.
-        let single = Network::new(net.name.clone(), vec![layer.clone()])
-            .expect("single-layer network is valid");
-        let plan = manager.heterogeneous(&single)?;
-        let mut d: LayerDecision = plan.decisions.into_iter().next().expect("one decision");
-        d.layer_index = i;
-        decisions.push(d);
+        // Plan just this layer under the live capacity via the shared
+        // selection pass (Algorithm 1's inner loop).
+        let live = acc.with_glb(current);
+        let planner = LayerPlanner::new(live, cfg);
+        let _layer_span = smm_obs::span!("plan.layer", "{}", layer.name);
+        let est = planner
+            .select(&layer.shape)
+            .ok_or_else(|| PlanError::LayerDoesNotFit {
+                layer: layer.name.clone(),
+                glb_elements: live.glb_elements(),
+            })?;
+        smm_obs::add(smm_obs::Counter::PlannerLayersPlanned, 1);
+        decisions.push(LayerDecision::new(i, layer.name.clone(), est));
     }
     let mut plan = ExecutionPlan::new(net.name.clone(), Scheme::Heterogeneous, decisions, &acc);
     plan.refresh_totals(&acc);
@@ -89,7 +95,7 @@ pub fn run_with_events(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Objective;
+    use crate::{Manager, Objective};
     use smm_model::zoo;
 
     fn acc(kb: u64) -> AcceleratorConfig {

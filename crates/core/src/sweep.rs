@@ -4,8 +4,7 @@
 //! Each cell is independent, so the sweep is an embarrassingly parallel
 //! map — exactly the shape Rayon's parallel iterators are built for.
 
-use crate::{ExecutionPlan, Manager, ManagerConfig, PlanError};
-use rayon::prelude::*;
+use crate::{CancelToken, ExecutionPlan, ManagerConfig, NetworkRef, PlanError, PlanSpec, Planner};
 use smm_arch::{AcceleratorConfig, ByteSize};
 use smm_model::Network;
 
@@ -17,18 +16,17 @@ pub struct PlanCell {
     pub plan: ExecutionPlan,
 }
 
-/// Which plan flavour a sweep should produce per cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SweepScheme {
-    /// Best homogeneous plan (`Hom`).
-    BestHomogeneous,
-    /// Heterogeneous plan (`Het`).
-    Heterogeneous,
-}
+/// Which plan flavour a sweep should produce per cell. Since the
+/// pass-based refactor this is the same type as the cache key's
+/// [`PlanScheme`](crate::PlanScheme) — a sweep cell is just one
+/// [`PlanSpec`] evaluated through the shared [`Planner`] pipeline.
+pub use crate::cache::PlanScheme as SweepScheme;
 
 /// Evaluate `networks × glb_kbs` in parallel with one manager
 /// configuration, returning cells in deterministic
-/// (network-major, size-minor) order.
+/// (network-major, size-minor) order. Each cell is described by a
+/// [`PlanSpec`] derived from the matrix coordinates and planned through
+/// the pass-based [`Planner`].
 pub fn plan_matrix(
     base: AcceleratorConfig,
     cfg: ManagerConfig,
@@ -36,24 +34,41 @@ pub fn plan_matrix(
     networks: &[Network],
     glb_kbs: &[u64],
 ) -> Result<Vec<PlanCell>, PlanError> {
-    let cells: Vec<(usize, usize)> = (0..networks.len())
-        .flat_map(|n| (0..glb_kbs.len()).map(move |g| (n, g)))
+    let specs: Vec<PlanSpec> = networks
+        .iter()
+        .flat_map(|net| {
+            let net_ref = NetworkRef::from_network(net);
+            glb_kbs.iter().map(move |&kb| {
+                PlanSpec::new(
+                    net_ref.clone(),
+                    base.with_glb(ByteSize::from_kb(kb)),
+                    cfg,
+                    scheme,
+                )
+            })
+        })
         .collect();
-    let _span = smm_obs::span!("sweep.matrix", "{} cells", cells.len());
-    cells
+    let _span = smm_obs::span!("sweep.matrix", "{} cells", specs.len());
+    sweep_cells(&specs)
+}
+
+/// Plan a batch of independent cell specs in parallel, in input order.
+pub(crate) fn sweep_cells(specs: &[PlanSpec]) -> Result<Vec<PlanCell>, PlanError> {
+    use rayon::prelude::*;
+    specs
         .par_iter()
-        .map(|&(n, g)| {
-            let net = &networks[n];
-            let kb = glb_kbs[g];
-            let _cell_span = smm_obs::span!("sweep.cell", "{}@{}kB", networks[n].name, kb);
+        .map(|spec| {
+            let kb = spec.accelerator.glb.bytes() / 1024;
+            let _cell_span = smm_obs::span!("sweep.cell", "{}@{}kB", spec.network.name(), kb);
             smm_obs::add(smm_obs::Counter::SweepCells, 1);
-            let manager = Manager::new(base.with_glb(ByteSize::from_kb(kb)), cfg);
-            let plan = match scheme {
-                SweepScheme::BestHomogeneous => manager.best_homogeneous(net)?,
-                SweepScheme::Heterogeneous => manager.heterogeneous(net)?,
-            };
+            let net = spec.resolve()?;
+            let plan = Planner::new(spec.accelerator, spec.config).plan(
+                &net,
+                spec.scheme,
+                &CancelToken::none(),
+            )?;
             Ok(PlanCell {
-                network: net.name.clone(),
+                network: net.name,
                 glb_kb: kb,
                 plan,
             })
@@ -71,7 +86,7 @@ pub fn cell<'a>(cells: &'a [PlanCell], network: &str, glb_kb: u64) -> Option<&'a
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Objective, Scheme};
+    use crate::{Manager, Objective, Scheme};
     use smm_model::zoo;
 
     fn base() -> AcceleratorConfig {

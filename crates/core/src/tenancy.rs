@@ -8,7 +8,7 @@
 //! the memory manager and the best split under the combined objective
 //! wins.
 
-use crate::{ExecutionPlan, Manager, ManagerConfig, Objective, PlanError};
+use crate::{CancelToken, ExecutionPlan, ManagerConfig, PlanError, Planner};
 use smm_arch::{AcceleratorConfig, ByteSize};
 use smm_model::Network;
 
@@ -51,28 +51,26 @@ pub fn partition(
     while pct < 100 {
         let a_bytes = ByteSize(total * pct as u64 / 100);
         let b_bytes = ByteSize(total - a_bytes.bytes());
-        let ma = Manager::new(acc.with_glb(a_bytes), cfg);
-        let mb = Manager::new(acc.with_glb(b_bytes), cfg);
-        match (ma.heterogeneous(tenant_a), mb.heterogeneous(tenant_b)) {
+        let pa = Planner::new(acc.with_glb(a_bytes), cfg);
+        let pb = Planner::new(acc.with_glb(b_bytes), cfg);
+        let open = CancelToken::none();
+        match (
+            pa.heterogeneous_with(tenant_a, &open),
+            pb.heterogeneous_with(tenant_b, &open),
+        ) {
             (Ok(plan_a), Ok(plan_b)) => {
                 let cand = TenancyPlan {
                     split_a: a_bytes,
                     plan_a,
                     plan_b,
                 };
-                let better = match &best {
-                    None => true,
-                    Some(b) => match cfg.objective {
-                        Objective::Accesses => {
-                            (cand.combined_accesses(), cand.combined_latency())
-                                < (b.combined_accesses(), b.combined_latency())
-                        }
-                        Objective::Latency => {
-                            (cand.combined_latency(), cand.combined_accesses())
-                                < (b.combined_latency(), b.combined_accesses())
-                        }
-                    },
-                };
+                let better = best.as_ref().is_none_or(|b| {
+                    cfg.objective
+                        .key(cand.combined_accesses(), cand.combined_latency())
+                        < cfg
+                            .objective
+                            .key(b.combined_accesses(), b.combined_latency())
+                });
                 if better {
                     best = Some(cand);
                 }
@@ -92,6 +90,7 @@ pub fn partition(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Manager, Objective};
     use smm_model::zoo;
 
     fn acc(kb: u64) -> AcceleratorConfig {

@@ -100,11 +100,15 @@ pub enum Counter {
     CheckDiagnostics,
     /// Plans the serving layer rejected because verification failed.
     ServeVerifyFailed,
+    /// Layer-selection lookups answered from the shape-keyed memo.
+    LayerMemoHits,
+    /// Layer-selection lookups that had to run Algorithm 1's inner loop.
+    LayerMemoMisses,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -125,6 +129,8 @@ impl Counter {
         Counter::CheckRuns,
         Counter::CheckDiagnostics,
         Counter::ServeVerifyFailed,
+        Counter::LayerMemoHits,
+        Counter::LayerMemoMisses,
     ];
 
     /// Stable dotted name (report rows, Chrome counter events).
@@ -150,6 +156,8 @@ impl Counter {
             Counter::CheckRuns => "check.runs",
             Counter::CheckDiagnostics => "check.diagnostics",
             Counter::ServeVerifyFailed => "serve.verify_failed",
+            Counter::LayerMemoHits => "planner.memo_hits",
+            Counter::LayerMemoMisses => "planner.memo_misses",
         }
     }
 

@@ -32,7 +32,8 @@
 //! counter deltas), and the full plan object **last**, so clients can
 //! compare plans byte-for-byte by slicing the line after `"plan":`.
 
-use smm_core::{Objective, PlanScheme};
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_core::{ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec};
 
 /// Maximum accepted `glb_kb` (1 GiB); guards the `ByteSize` arithmetic.
 pub const MAX_GLB_KB: u64 = 1 << 20;
@@ -99,6 +100,32 @@ impl Default for Request {
             deadline_ms: None,
             delay_ms: None,
         }
+    }
+}
+
+impl Request {
+    /// Derive the [`PlanSpec`] this plan request describes: the network
+    /// reference, the paper-default accelerator at the requested GLB
+    /// size, and the planner knobs. The worker plans from this spec and
+    /// keys the plan cache with [`PlanSpec::cache_key`], so the wire
+    /// protocol and the cache can never disagree about what a request
+    /// means.
+    pub fn to_spec(&self) -> PlanSpec {
+        let network = match (&self.model, &self.topology) {
+            (Some(model), _) => NetworkRef::Zoo(model.clone()),
+            (None, topology) => NetworkRef::Inline {
+                name: self.name.clone().unwrap_or_else(|| "inline".into()),
+                topology: topology.clone().unwrap_or_default(),
+            },
+        };
+        PlanSpec::new(
+            network,
+            AcceleratorConfig::paper_default(ByteSize::from_kb(self.glb_kb)),
+            ManagerConfig::new(self.objective)
+                .with_prefetch(self.prefetch)
+                .with_inter_layer_reuse(self.reuse),
+            self.scheme,
+        )
     }
 }
 
@@ -363,6 +390,32 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn request_derives_the_matching_spec() {
+        let r = parse_request(
+            r#"{"model":"mobilenet","glb_kb":128,"objective":"latency",
+                "scheme":"hom","prefetch":false,"reuse":true}"#,
+        )
+        .unwrap();
+        let spec = r.to_spec();
+        assert_eq!(spec.network, NetworkRef::Zoo("mobilenet".into()));
+        assert_eq!(spec.accelerator.glb, ByteSize::from_kb(128));
+        assert_eq!(spec.config.objective, Objective::Latency);
+        assert!(!spec.config.allow_prefetch);
+        assert!(spec.config.inter_layer_reuse);
+        assert_eq!(spec.scheme, PlanScheme::BestHomogeneous);
+        assert_eq!(spec.batch, 1);
+
+        let inline = parse_request(r#"{"topology":"a, 8, 8, 3, 3, 4, 8, 1,","name":"tiny"}"#)
+            .unwrap()
+            .to_spec();
+        assert!(matches!(
+            inline.network,
+            NetworkRef::Inline { ref name, .. } if name == "tiny"
+        ));
+        assert!(inline.resolve().is_ok());
     }
 
     #[test]

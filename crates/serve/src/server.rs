@@ -48,10 +48,8 @@
 
 use crate::protocol::{self, Op, Request};
 use crate::queue::{BoundedQueue, PushError};
-use smm_arch::{AcceleratorConfig, ByteSize};
 use smm_core::report::plan_json;
-use smm_core::{CacheStats, CancelToken, Manager, ManagerConfig, PlanCache, PlanError, PlanKey};
-use smm_model::{topology, zoo, Network};
+use smm_core::{CacheStats, CancelToken, LayerMemo, PlanCache, PlanError};
 use smm_obs::{Counter, CounterSnapshot};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -112,6 +110,13 @@ struct Job {
 struct Shared {
     queue: BoundedQueue<Job>,
     cache: PlanCache,
+    /// Shape-keyed layer-decision memo, shared across all workers and
+    /// requests: two concurrent requests for models with overlapping
+    /// layer shapes (or the same model at the same GLB size missing the
+    /// plan cache on different knobs) reuse each other's selection work.
+    /// The memo key includes the accelerator and planner knobs, so mixed
+    /// configurations coexist safely.
+    memo: Arc<LayerMemo>,
     shutdown: AtomicBool,
     connections: AtomicUsize,
     verify_plans: bool,
@@ -142,6 +147,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_cap),
             cache: PlanCache::new(cfg.cache_cap),
+            memo: Arc::new(LayerMemo::default()),
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             verify_plans: cfg.verify_plans,
@@ -341,18 +347,6 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
     }
 }
 
-/// Resolve the request's network: a zoo model by name or an inline
-/// topology CSV. Errors carry the offending model name or the
-/// offending topology line.
-fn resolve_network(req: &Request) -> Result<Network, String> {
-    if let Some(model) = &req.model {
-        return zoo::by_name(model).ok_or_else(|| format!("unknown model {model:?}"));
-    }
-    let text = req.topology.as_deref().unwrap_or_default();
-    let name = req.name.clone().unwrap_or_else(|| "inline".into());
-    topology::parse(name, text).map_err(|e| format!("bad topology: {e}"))
-}
-
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         smm_obs::add(Counter::ServeRequests, 1);
@@ -377,15 +371,15 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
 
     let start = Instant::now();
     let before = CounterSnapshot::capture();
-    let net = match resolve_network(req) {
+    // One spec describes the whole job; the network, the cache key, and
+    // the planner configuration are all derived from it.
+    let spec = req.to_spec();
+    let net = match spec.resolve() {
         Ok(net) => net,
-        Err(msg) => return protocol::error_response(&req.id, &msg),
+        Err(e) => return protocol::error_response(&req.id, &e.to_string()),
     };
-    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(req.glb_kb));
-    let cfg = ManagerConfig::new(req.objective)
-        .with_prefetch(req.prefetch)
-        .with_inter_layer_reuse(req.reuse);
-    let key = PlanKey::new(&net, &acc, &cfg, req.scheme);
+    let acc = spec.accelerator;
+    let key = spec.cache_key(&net);
 
     if let Some(plan) = shared.cache.get(&key) {
         let metrics = request_metrics(start, &before);
@@ -396,12 +390,8 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::none(),
     };
-    let manager = Manager::new(acc, cfg);
-    let result = match req.scheme {
-        smm_core::PlanScheme::Heterogeneous => manager.heterogeneous_with(&net, &cancel),
-        smm_core::PlanScheme::BestHomogeneous => manager.best_homogeneous_with(&net, &cancel),
-    };
-    match result {
+    let planner = spec.planner().with_memo(Arc::clone(&shared.memo));
+    match planner.plan(&net, spec.scheme, &cancel) {
         Ok(plan) => {
             // Opt-in verification gate: an infeasible plan must never be
             // cached (it would be served to every later client) nor

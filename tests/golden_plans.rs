@@ -1,0 +1,108 @@
+//! Golden-plan fixtures: the heterogeneous and best-homogeneous plans
+//! for every zoo model at three GLB sizes, serialized with `plan_json`
+//! and pinned byte-for-byte under `tests/golden/`.
+//!
+//! These fixtures are the repo's regression net for the planning
+//! pipeline: any change to the estimators, Algorithm 1's selection
+//! loop, the pass order, or the JSON emitter shows up as a fixture
+//! diff. The test also replans every cell through a memoized
+//! [`LayerPlanner`] and demands the identical bytes — the shape memo
+//! must be invisible in the output.
+//!
+//! Regenerate (after an intentional planner change) with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_plans`
+
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_core::report::plan_json;
+use smm_core::{
+    CancelToken, LayerMemo, ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec,
+};
+use smm_model::zoo;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const GLB_KBS: [u64; 3] = [64, 256, 1024];
+const SCHEMES: [(PlanScheme, &str); 2] = [
+    (PlanScheme::Heterogeneous, "het"),
+    (PlanScheme::BestHomogeneous, "hom"),
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Every (model, scheme, GLB) cell as the `PlanSpec` describing it,
+/// plus the fixture file name the cell pins.
+fn all_cells() -> Vec<(PlanSpec, String)> {
+    let mut cells = Vec::new();
+    for net in zoo::all_networks() {
+        for (scheme, tag) in SCHEMES {
+            for kb in GLB_KBS {
+                let spec = PlanSpec::new(
+                    NetworkRef::Zoo(net.name.clone()),
+                    AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+                    ManagerConfig::new(Objective::Accesses),
+                    scheme,
+                );
+                let file = format!("{}_{tag}_{kb}kb.json", net.name.to_lowercase());
+                cells.push((spec, file));
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn golden_plans_reproduce_byte_for_byte() {
+    let dir = golden_dir();
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    if update {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let memo = Arc::new(LayerMemo::default());
+    let open = CancelToken::none();
+    let mut checked = 0usize;
+    for (spec, file) in all_cells() {
+        let net = spec.resolve().expect("zoo model resolves");
+        let plain = spec
+            .planner()
+            .plan(&net, spec.scheme, &open)
+            .expect("cell plans");
+        let memoized = spec
+            .planner()
+            .with_memo(Arc::clone(&memo))
+            .plan(&net, spec.scheme, &open)
+            .expect("memoized cell plans");
+        let json = plan_json(&plain, &spec.accelerator);
+        assert_eq!(
+            json,
+            plan_json(&memoized, &spec.accelerator),
+            "{file}: the layer memo must not change the emitted plan"
+        );
+        let path = dir.join(&file);
+        if update {
+            std::fs::write(&path, &json).unwrap();
+        } else {
+            let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: {e}; run UPDATE_GOLDEN=1 to (re)generate",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                json, golden,
+                "{file}: plan drifted from the golden fixture \
+                 (UPDATE_GOLDEN=1 regenerates after an intentional change)"
+            );
+        }
+        checked += 1;
+    }
+    // 6 models x 2 schemes x 3 GLB sizes.
+    assert_eq!(checked, 36);
+    // The shared memo across all 36 cells must have actually memoized:
+    // replans of the same spec hit for every layer.
+    let stats = memo.stats();
+    assert!(stats.hits > 0, "shared memo saw no hits: {stats:?}");
+}

@@ -1,0 +1,111 @@
+//! Property tests for the shape-keyed layer-decision memo: on arbitrary
+//! networks (built to contain repeated layer shapes), a memoized
+//! [`LayerPlanner`] must be observationally identical to a memo-free
+//! one — same plan, byte for byte — and the memo must actually fire:
+//! every repeat of an already-planned shape is a hit.
+
+use proptest::prelude::*;
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::core::report::plan_json;
+use scratchpad_mm::core::{CancelToken, LayerMemo, ManagerConfig, Objective, Planner};
+use scratchpad_mm::model::{Layer, LayerKind, LayerShape, Network};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn arb_shape() -> impl Strategy<Value = LayerShape> {
+    (
+        4u32..32, // ifmap_h
+        4u32..32, // ifmap_w
+        1u32..8,  // in_channels
+        1u32..4,  // filter (square)
+        2u32..12, // num_filters
+        1u32..3,  // stride
+        0u32..2,  // padding
+        any::<bool>(),
+    )
+        .prop_map(|(ih, iw, ci, k, nf, s, p, dw)| LayerShape {
+            ifmap_h: ih,
+            ifmap_w: iw,
+            in_channels: ci,
+            filter_h: k,
+            filter_w: k,
+            num_filters: if dw { ci } else { nf },
+            stride: s,
+            padding: p,
+            depthwise: dw,
+        })
+        .prop_filter("shape must validate", |s| s.validate().is_ok())
+}
+
+/// A network drawn from a small pool of shapes, so repeats are common:
+/// `picks[i]` indexes into the pool, and most pools are smaller than the
+/// layer count.
+fn arb_network() -> impl Strategy<Value = Network> {
+    (
+        prop::collection::vec(arb_shape(), 1..5),
+        prop::collection::vec(0usize..64, 2..16),
+    )
+        .prop_map(|(pool, picks)| {
+            let layers: Vec<Layer> = picks
+                .iter()
+                .enumerate()
+                .map(|(i, pick)| {
+                    let shape = pool[pick % pool.len()];
+                    let kind = if shape.depthwise {
+                        LayerKind::DepthwiseConv
+                    } else {
+                        LayerKind::Conv
+                    };
+                    Layer::new(format!("l{i}"), kind, shape).expect("pool shapes are valid")
+                })
+                .collect();
+            Network::new("prop", layers).expect("generated network is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Memo on == memo off, and the hit/miss counts are exact: one miss
+    /// per distinct shape, one hit per repeat.
+    #[test]
+    fn memoized_planner_is_equivalent_and_memo_fires(
+        net in arb_network(),
+        kb in 8u64..128,
+        latency_objective in any::<bool>(),
+    ) {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(kb));
+        let objective = if latency_objective { Objective::Latency } else { Objective::Accesses };
+        let cfg = ManagerConfig::new(objective);
+        let open = CancelToken::none();
+
+        let plain = Planner::new(acc, cfg).heterogeneous_with(&net, &open);
+        let memo = Arc::new(LayerMemo::default());
+        let memoized = Planner::new(acc, cfg)
+            .with_memo(Arc::clone(&memo))
+            .heterogeneous_with(&net, &open);
+
+        match (plain, memoized) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(
+                    plan_json(&a, &acc),
+                    plan_json(&b, &acc),
+                    "memo changed the plan"
+                );
+                let distinct: HashSet<LayerShape> =
+                    net.layers.iter().map(|l| l.shape).collect();
+                let stats = memo.stats();
+                prop_assert_eq!(stats.misses, distinct.len() as u64);
+                prop_assert_eq!(stats.hits, (net.layers.len() - distinct.len()) as u64);
+            }
+            // Infeasible cells must fail identically on both paths.
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a}"), format!("{b}")),
+            (a, b) => {
+                prop_assert!(
+                    false,
+                    "memo changed feasibility: plain {a:?} vs memoized {b:?}"
+                );
+            }
+        }
+    }
+}
