@@ -1,0 +1,64 @@
+//! Benches for the discrete-event simulator: full-network simulation
+//! cost per zoo model, and the marginal cost of the scenario knobs
+//! (fault injection draws the PRNG per transfer; a clean run must not
+//! pay for it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_core::{Manager, ManagerConfig, Objective};
+use smm_model::zoo;
+use smm_sim::{simulate_plan, SimConfig};
+use std::hint::black_box;
+
+fn bench_simulate_zoo(c: &mut Criterion) {
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+    let manager = Manager::new(acc, ManagerConfig::new(Objective::Accesses));
+    let mut group = c.benchmark_group("simulate");
+    for net in zoo::all_networks() {
+        let plan = manager.heterogeneous(&net).expect("plan");
+        group.bench_with_input(BenchmarkId::from_parameter(&net.name), &net, |b, net| {
+            b.iter(|| {
+                black_box(simulate_plan(&plan, net, &acc, &SimConfig::default()).expect("sim"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+    let net = zoo::mobilenet();
+    let plan = Manager::new(acc, ManagerConfig::new(Objective::Accesses))
+        .heterogeneous(&net)
+        .expect("plan");
+    let scenarios: [(&str, SimConfig); 3] = [
+        ("clean", SimConfig::default()),
+        (
+            "derated",
+            SimConfig {
+                bw_derate: 2.0,
+                contenders: 2,
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "faulty",
+            SimConfig {
+                jitter_max_cycles: 8,
+                drop_rate: 0.05,
+                seed: 7,
+                ..SimConfig::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("simulate_scenario");
+    for (label, cfg) in scenarios {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(simulate_plan(&plan, &net, &acc, &cfg).expect("sim")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate_zoo, bench_scenarios);
+criterion_main!(benches);

@@ -320,6 +320,30 @@ fn mislabelled_homogeneous_scheme_is_flagged() {
 }
 
 #[test]
+fn divergent_simulation_is_flagged() {
+    // SMM011 guards the simulator-vs-estimator agreement: a simulated
+    // latency far from the analytic number is a modeling bug in one of
+    // the two. The check takes plain cycle counts, so a mutation is
+    // just a divergent pair.
+    use smm_check::{check_sim_divergence, DEFAULT_SIM_TOLERANCE};
+
+    assert!(check_sim_divergence("net", 1_000, 1_000, DEFAULT_SIM_TOLERANCE).is_none());
+    let just_inside = (1_000.0 * (1.0 + DEFAULT_SIM_TOLERANCE)) as u64;
+    assert!(check_sim_divergence("net", 1_000, just_inside, DEFAULT_SIM_TOLERANCE).is_none());
+
+    let d = check_sim_divergence("net", 1_000, 2_000, DEFAULT_SIM_TOLERANCE)
+        .expect("2x divergence must fire");
+    assert_eq!(d.code, Code::SimDivergence);
+    assert_eq!(d.code.as_str(), "SMM011");
+    assert!(d.message.contains("diverges"), "{}", d.message);
+
+    // Both directions count, and a zero analytic latency must not panic.
+    assert!(check_sim_divergence("net", 1_000, 100, DEFAULT_SIM_TOLERANCE).is_some());
+    assert!(check_sim_divergence("net", 0, 50, DEFAULT_SIM_TOLERANCE).is_some());
+    assert!(check_sim_divergence("net", 0, 0, DEFAULT_SIM_TOLERANCE).is_none());
+}
+
+#[test]
 fn every_code_has_a_mutation_that_triggers_it() {
     // Meta-test: the harness above covers the full catalogue. Keep this
     // in sync when adding codes — an uncovered code is an untested claim.
@@ -334,6 +358,7 @@ fn every_code_has_a_mutation_that_triggers_it() {
         Code::HandoffOverflow,
         Code::TotalsMismatch,
         Code::MalformedPlan,
+        Code::SimDivergence,
     ];
     assert_eq!(covered.len(), Code::ALL.len());
     for code in Code::ALL {

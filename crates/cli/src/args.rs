@@ -29,6 +29,8 @@ pub struct Options {
     pub profile: bool,
     /// Write a Chrome trace-event JSON file of the run.
     pub trace_out: Option<String>,
+    /// Simulation scenario knobs (`smm simulate`).
+    pub sim: smm_sim::SimConfig,
 }
 
 impl Default for Options {
@@ -48,6 +50,7 @@ impl Default for Options {
             target2: None,
             profile: false,
             trace_out: None,
+            sim: smm_sim::SimConfig::default(),
         }
     }
 }
@@ -97,6 +100,40 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown split {other:?}")),
                 };
             }
+            "--queue-depth" => {
+                opts.sim.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth expects a positive integer".to_string())?;
+                if opts.sim.queue_depth == 0 {
+                    return Err("--queue-depth expects a positive integer".into());
+                }
+            }
+            "--bw-derate" => {
+                opts.sim.bw_derate = value("--bw-derate")?
+                    .parse()
+                    .map_err(|_| "--bw-derate expects a factor >= 1.0".to_string())?;
+            }
+            "--jitter" => {
+                opts.sim.jitter_max_cycles = value("--jitter")?
+                    .parse()
+                    .map_err(|_| "--jitter expects a cycle count".to_string())?;
+            }
+            "--drop-rate" => {
+                opts.sim.drop_rate = value("--drop-rate")?
+                    .parse()
+                    .map_err(|_| "--drop-rate expects a probability in [0, 1)".to_string())?;
+            }
+            "--seed" => {
+                opts.sim.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--contenders" => {
+                opts.sim.contenders = value("--contenders")?
+                    .parse()
+                    .map_err(|_| "--contenders expects a positive integer".to_string())?;
+            }
+            "--compute-folds" => opts.sim.compute = smm_sim::ComputeModel::SystolicFolds,
             "--no-prefetch" => opts.prefetch = false,
             "--inter-layer" => opts.inter_layer = true,
             "--csv" => opts.csv = true,
@@ -311,6 +348,29 @@ mod tests {
         assert_eq!(o.target2.as_deref(), Some("mobilenet"));
         assert!(o.csv);
         assert_eq!(o.batch, 4);
+    }
+
+    #[test]
+    fn simulate_flags() {
+        let o = parse(&argv(
+            "mobilenet --queue-depth 8 --bw-derate 2.5 --jitter 4 --drop-rate 0.01 \
+             --seed 99 --contenders 3 --compute-folds",
+        ))
+        .unwrap();
+        assert_eq!(o.sim.queue_depth, 8);
+        assert!((o.sim.bw_derate - 2.5).abs() < 1e-12);
+        assert_eq!(o.sim.jitter_max_cycles, 4);
+        assert!((o.sim.drop_rate - 0.01).abs() < 1e-12);
+        assert_eq!(o.sim.seed, 99);
+        assert_eq!(o.sim.contenders, 3);
+        assert_eq!(o.sim.compute, smm_sim::ComputeModel::SystolicFolds);
+        let d = parse(&argv("mobilenet")).unwrap();
+        assert_eq!(d.sim, smm_sim::SimConfig::default());
+        assert!(d.sim.is_clean());
+        assert!(parse(&argv("m --queue-depth 0")).is_err());
+        assert!(parse(&argv("m --bw-derate fast")).is_err());
+        assert!(parse(&argv("m --drop-rate lots")).is_err());
+        assert!(parse(&argv("m --seed")).is_err());
     }
 
     #[test]

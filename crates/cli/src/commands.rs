@@ -428,6 +428,98 @@ fn lower_body(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `smm simulate <model>` — plan, lower, and execute the plan in the
+/// discrete-event simulator, cross-checking against the analytic
+/// estimate (SMM011) when the scenario is clean.
+pub fn simulate(opts: &Options) -> Result<(), String> {
+    with_observability(opts, || simulate_body(opts))
+}
+
+fn simulate_body(opts: &Options) -> Result<(), String> {
+    let spec = plan_spec(opts)?;
+    let net = spec.resolve().map_err(|e| e.to_string())?;
+    let plan = spec
+        .planner()
+        .plan(&net, spec.scheme, &CancelToken::none())
+        .map_err(|e| e.to_string())?;
+    let report = smm_sim::simulate_plan(&plan, &net, &spec.accelerator, &opts.sim)
+        .map_err(|e| e.to_string())?;
+
+    if opts.json {
+        println!("{}", smm_sim::report_json(&report));
+    } else {
+        println!(
+            "{} @ {} GLB, scheme {}, simulated under {:?}",
+            net.name, spec.accelerator.glb, report.scheme, opts.sim
+        );
+        let mut t = TextTable::new(&[
+            "Layer",
+            "Policy",
+            "+p",
+            "analytic",
+            "simulated",
+            "stall",
+            "dram busy",
+            "peak elems",
+        ]);
+        for l in &report.layers {
+            t.row(vec![
+                l.layer_name.clone(),
+                l.policy.label().into(),
+                if l.prefetch { "+p" } else { "" }.into(),
+                l.analytic_cycles.to_string(),
+                l.stats.cycles.to_string(),
+                l.stats.stall_cycles.to_string(),
+                l.stats.dram_busy_cycles.to_string(),
+                l.stats.peak_occupancy_elems.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        let tot = &report.totals;
+        println!(
+            "totals: {} simulated cycles vs {} analytic ({:+.2}%), {:.2} MB off-chip",
+            tot.cycles,
+            tot.analytic_cycles,
+            (tot.cycles as f64 / tot.analytic_cycles.max(1) as f64 - 1.0) * 100.0,
+            report.traffic_bytes(&spec.accelerator).mb()
+        );
+        println!(
+            "breakdown: {} compute-busy, {} dram-busy, {} stall; peak occupancy {}/{} elements",
+            tot.compute_busy_cycles,
+            tot.dram_busy_cycles,
+            tot.stall_cycles,
+            tot.peak_occupancy_elems,
+            report.capacity_elems
+        );
+        if tot.retries > 0 {
+            println!(
+                "faults: {} transfers re-issued ({} elements re-transferred)",
+                tot.retries, tot.retried_elems
+            );
+        }
+    }
+
+    if report.totals.occupancy_violations > 0 {
+        return Err(format!(
+            "{} command(s) exceeded GLB capacity during simulation",
+            report.totals.occupancy_violations
+        ));
+    }
+    // The analytic model claims nothing about degraded scenarios, so
+    // only a clean simulation is held to SMM011.
+    if opts.sim.is_clean() {
+        if let Some(d) = smm_check::check_sim_divergence(
+            &plan.network,
+            report.totals.analytic_cycles,
+            report.totals.cycles,
+            smm_check::DEFAULT_SIM_TOLERANCE,
+        ) {
+            return Err(d.to_string());
+        }
+    }
+    Ok(())
+}
+
 /// `smm baseline <model>`
 pub fn baseline(opts: &Options) -> Result<(), String> {
     let net = load_network(opts)?;

@@ -21,6 +21,7 @@ COMMANDS:
     explain  <model> <layer>          Show Algorithm 1's candidates for one layer
     lower    <model> <layer>          Emit the chosen policy's DMA command stream
     baseline <model|topology.csv>     Run the SCALE-Sim-like baseline
+    simulate <model|topology.csv>     Execute the plan in the discrete-event simulator
     sweep    <model|topology.csv>     Compare all schemes across buffer sizes
     tenants  <modelA> <modelB>        Partition one GLB between two models
     topology <model>                  Emit a model as a topology CSV
@@ -42,6 +43,15 @@ OPTIONS (analyze / check / baseline / sweep):
 OPTIONS (analyze / sweep / lower):
     --profile             Print the observability report (counters, spans)
     --trace-out <FILE>    Write a Chrome trace-event JSON of the run
+
+OPTIONS (simulate):
+    --queue-depth <N>     DMA prefetch queue depth (default 4)
+    --bw-derate <F>       Stretch per-element DRAM cost by F (default 1.0)
+    --jitter <CYC>        Max per-transfer latency jitter in cycles (default 0)
+    --drop-rate <P>       Per-transfer drop probability in [0, 1) (default 0)
+    --seed <N>            PRNG seed for jitter/drops (default 0)
+    --contenders <N>      Streams sharing the DRAM channel fairly (default 1)
+    --compute-folds       Use the systolic fold compute model instead of ideal MACs
 
 OPTIONS (serve):
     --port <P>            TCP port to bind; 0 picks an ephemeral port (default 7878)
@@ -86,6 +96,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "explain" => commands::explain(&args::parse(rest)?),
         "lower" => commands::lower(&args::parse(rest)?),
         "baseline" => commands::baseline(&args::parse(rest)?),
+        "simulate" => commands::simulate(&args::parse(rest)?),
         "sweep" => commands::sweep(&args::parse(rest)?),
         "tenants" => commands::tenants(&args::parse(rest)?),
         "topology" => commands::topology(&args::parse(rest)?),

@@ -1,7 +1,7 @@
 //! The replay engine: a unified scratchpad with per-operand traffic
 //! attribution and peak-residency tracking.
 
-use crate::program::Command;
+use crate::program::{Command, CommandMeta};
 use smm_model::LayerShape;
 use smm_policy::{AccessCounts, PolicyEstimate};
 use smm_trace::{AddressMap, DramCounter, Scratchpad};
@@ -77,6 +77,7 @@ pub struct Engine {
     shape: LayerShape,
     pub replay: Replay,
     record: Option<Vec<Command>>,
+    meta: Option<Vec<CommandMeta>>,
 }
 
 impl Engine {
@@ -103,6 +104,7 @@ impl Engine {
             shape: *shape,
             replay: Replay::default(),
             record: None,
+            meta: None,
         }
     }
 
@@ -111,6 +113,7 @@ impl Engine {
     pub fn recording(shape: &LayerShape, capacity: u64) -> Self {
         let mut e = Engine::new(shape, capacity);
         e.record = Some(Vec::new());
+        e.meta = Some(Vec::new());
         e
     }
 
@@ -120,10 +123,31 @@ impl Engine {
         self.record.take().unwrap_or_default()
     }
 
+    /// Take the per-command measurements recorded alongside the command
+    /// stream (parallel to [`take_commands`](Self::take_commands)).
+    pub fn take_meta(&mut self) -> Vec<CommandMeta> {
+        self.meta.take().unwrap_or_default()
+    }
+
     fn push_cmd(&mut self, cmd: Command) {
         smm_obs::add(smm_obs::Counter::ReplayDmaCommands, 1);
         if let Some(r) = &mut self.record {
             r.push(cmd);
+        }
+    }
+
+    /// Record the measurement for the command pushed last. Called after
+    /// the operation executed, so `dram_elems` is the dedup-aware charge
+    /// and `resident_after` reflects the post-command footprint. Error
+    /// paths may skip this, but they abort the whole replay, so the two
+    /// recorded vectors only ever reach callers in sync.
+    fn note(&mut self, dram_elems: u64, is_write: bool) {
+        if let Some(m) = &mut self.meta {
+            m.push(CommandMeta {
+                dram_elems,
+                is_write,
+                resident_after: self.sp.resident_count(),
+            });
         }
     }
 
@@ -152,6 +176,7 @@ impl Engine {
         let r = self.map.ifmap_rows(c, rows);
         let n = self.charged_fill(r)?;
         self.replay.ifmap_loads += n;
+        self.note(n, false);
         Ok(())
     }
 
@@ -167,8 +192,10 @@ impl Engine {
             rows: rows.clone(),
         });
         let r = self.map.ifmap_rows(c, rows);
-        self.replay.ifmap_loads += r.end - r.start;
+        let n = r.end - r.start;
+        self.replay.ifmap_loads += n;
         self.sp.stream(r);
+        self.note(n, false);
     }
 
     /// Drop padded-ifmap rows of one channel.
@@ -182,6 +209,7 @@ impl Engine {
         });
         let r = self.map.ifmap_rows(c, rows);
         self.sp.evict(r);
+        self.note(0, false);
     }
 
     /// Drop the whole ifmap region.
@@ -202,6 +230,7 @@ impl Engine {
         let r = self.map.filters(fs);
         let n = self.charged_fill(r)?;
         self.replay.filter_loads += n;
+        self.note(n, false);
         Ok(())
     }
 
@@ -214,8 +243,10 @@ impl Engine {
             filters: fs.clone(),
         });
         let r = self.map.filters(fs);
-        self.replay.filter_loads += r.end - r.start;
+        let n = r.end - r.start;
+        self.replay.filter_loads += n;
         self.sp.stream(r);
+        self.note(n, false);
     }
 
     /// Drop whole filters.
@@ -228,6 +259,7 @@ impl Engine {
         });
         let r = self.map.filters(fs);
         self.sp.evict(r);
+        self.note(0, false);
     }
 
     /// Address range of one channel slice of one filter (`F_H·F_W`
@@ -248,6 +280,7 @@ impl Engine {
         let r = self.filter_channel_range(f, c);
         let n = self.charged_fill(r)?;
         self.replay.filter_loads += n;
+        self.note(n, false);
         Ok(())
     }
 
@@ -258,8 +291,10 @@ impl Engine {
             channel: c,
         });
         let r = self.filter_channel_range(f, c);
-        self.replay.filter_loads += r.end - r.start;
+        let n = r.end - r.start;
+        self.replay.filter_loads += n;
         self.sp.stream(r);
+        self.note(n, false);
     }
 
     /// Drop channel `c` of filter `f`.
@@ -269,6 +304,7 @@ impl Engine {
             channel: c,
         });
         self.sp.evict(self.filter_channel_range(f, c));
+        self.note(0, false);
     }
 
     /// Address range of ofmap rows `rows` of output channel `c`.
@@ -292,6 +328,7 @@ impl Engine {
             message: e.to_string(),
         })?;
         self.track_peak();
+        self.note(0, false);
         Ok(())
     }
 
@@ -305,8 +342,10 @@ impl Engine {
             rows: rows.clone(),
         });
         let r = self.ofmap_rows_range(c, rows);
-        self.replay.ofmap_writes += r.end - r.start;
+        let n = r.end - r.start;
+        self.replay.ofmap_writes += n;
         self.sp.writeback(r);
+        self.note(n, true);
     }
 
     /// Re-load previously spilled partial sums (charged as ofmap reads).
@@ -324,7 +363,9 @@ impl Engine {
             message: e.to_string(),
         })?;
         self.track_peak();
-        self.replay.ofmap_reads += self.dram.reads() - before;
+        let n = self.dram.reads() - before;
+        self.replay.ofmap_reads += n;
+        self.note(n, false);
         Ok(())
     }
 

@@ -37,5 +37,5 @@ mod program;
 mod run;
 
 pub use engine::{Engine, ExecError, Replay};
-pub use program::{Command, Program};
+pub use program::{Command, CommandMeta, Program};
 pub use run::replay;

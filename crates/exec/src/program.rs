@@ -44,6 +44,23 @@ pub enum Command {
     ReloadPsumRows { channel: u64, rows: Range<u64> },
 }
 
+/// Per-command measurements recorded while the command stream was
+/// replayed: what the command actually moved over the off-chip
+/// interface (after residency dedup — a refill of resident rows moves
+/// nothing) and the scratchpad footprint right after it ran. Consumers
+/// like the `smm-sim` discrete-event simulator price commands from
+/// these numbers instead of re-deriving the engine's dedup semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandMeta {
+    /// Elements the command moved over the DRAM interface (0 for
+    /// evicts, allocs, and fills whose range was already resident).
+    pub dram_elems: u64,
+    /// True when the movement was chip→DRAM (ofmap stores).
+    pub is_write: bool,
+    /// Elements resident in the scratchpad after the command executed.
+    pub resident_after: u64,
+}
+
 impl Command {
     /// Whether this command moves data over the off-chip interface.
     pub fn touches_dram(&self) -> bool {
@@ -124,11 +141,14 @@ impl fmt::Display for Command {
     }
 }
 
-/// A lowered layer schedule: the command stream plus the traffic it
-/// produced when replayed.
+/// A lowered layer schedule: the command stream, the per-command
+/// measurements recorded while it was replayed, and the traffic it
+/// produced.
 #[derive(Debug, Clone)]
 pub struct Program {
     pub commands: Vec<Command>,
+    /// Parallel to `commands`: the measurement of each command.
+    pub meta: Vec<CommandMeta>,
     pub replay: Replay,
 }
 
@@ -228,6 +248,45 @@ mod tests {
             let p = Program::lower(&small_layer(), &e).unwrap();
             assert!(!p.commands.is_empty(), "{kind:?}");
             assert!(p.replay.matches(&e), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn meta_is_parallel_and_sums_to_the_replay() {
+        for kind in PolicyKind::NAMED {
+            let e = est(kind);
+            let p = Program::lower(&small_layer(), &e).unwrap();
+            assert_eq!(p.meta.len(), p.commands.len(), "{kind:?}");
+            let reads: u64 = p
+                .meta
+                .iter()
+                .filter(|m| !m.is_write)
+                .map(|m| m.dram_elems)
+                .sum();
+            let writes: u64 = p
+                .meta
+                .iter()
+                .filter(|m| m.is_write)
+                .map(|m| m.dram_elems)
+                .sum();
+            assert_eq!(
+                reads,
+                p.replay.ifmap_loads + p.replay.filter_loads + p.replay.ofmap_reads,
+                "{kind:?}"
+            );
+            assert_eq!(writes, p.replay.ofmap_writes, "{kind:?}");
+            let peak = p.meta.iter().map(|m| m.resident_after).max().unwrap_or(0);
+            assert_eq!(peak, p.replay.peak_resident, "{kind:?}");
+            for (c, m) in p.commands.iter().zip(&p.meta) {
+                if !c.touches_dram() {
+                    assert_eq!(m.dram_elems, 0, "{kind:?}: {c}");
+                }
+                assert_eq!(
+                    m.is_write,
+                    matches!(c, Command::StoreOfmapRows { .. }),
+                    "{kind:?}: {c}"
+                );
+            }
         }
     }
 

@@ -84,7 +84,7 @@ fn window(shape: &LayerShape, oy: u64) -> Range<u64> {
 /// scratchpad is sized to exactly the estimator's single-copy footprint;
 /// overflow means the memory estimator is wrong.
 pub fn replay(shape: &LayerShape, est: &PolicyEstimate) -> Result<Replay, ExecError> {
-    run(Engine::new(shape, est.resident.total()), shape, est).map(|(r, _)| r)
+    run(Engine::new(shape, est.resident.total()), shape, est).map(|(r, _, _)| r)
 }
 
 /// Replay with command recording: the [`crate::Program`] lowering path.
@@ -92,15 +92,21 @@ pub(crate) fn replay_recorded(
     shape: &LayerShape,
     est: &PolicyEstimate,
 ) -> Result<crate::Program, ExecError> {
-    let (replay, commands) = run(Engine::recording(shape, est.resident.total()), shape, est)?;
-    Ok(crate::Program { commands, replay })
+    let (replay, commands, meta) = run(Engine::recording(shape, est.resident.total()), shape, est)?;
+    Ok(crate::Program {
+        commands,
+        meta,
+        replay,
+    })
 }
 
-fn run(
-    mut e: Engine,
-    shape: &LayerShape,
-    est: &PolicyEstimate,
-) -> Result<(Replay, Vec<crate::program::Command>), ExecError> {
+type RunOutput = (
+    Replay,
+    Vec<crate::program::Command>,
+    Vec<crate::program::CommandMeta>,
+);
+
+fn run(mut e: Engine, shape: &LayerShape, est: &PolicyEstimate) -> Result<RunOutput, ExecError> {
     let _span = smm_obs::span!("exec.replay", "{:?}", est.kind);
     let dma_before = smm_obs::counter_value(smm_obs::Counter::ReplayDmaCommands);
     let ci = shape.in_channels as u64;
@@ -275,7 +281,8 @@ fn run(
         smm_obs::observe(smm_obs::Histogram::DmaCommandsPerReplay, issued);
     }
     let commands = e.take_commands();
-    Ok((e.replay, commands))
+    let meta = e.take_meta();
+    Ok((e.replay, commands, meta))
 }
 
 /// Replay the generic blocked fallback schedule.

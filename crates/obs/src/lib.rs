@@ -104,11 +104,19 @@ pub enum Counter {
     LayerMemoHits,
     /// Layer-selection lookups that had to run Algorithm 1's inner loop.
     LayerMemoMisses,
+    /// Discrete-event simulator events processed (one per DMA command).
+    SimEvents,
+    /// Simulated cycles the compute array spent stalled on DMA.
+    SimStallCycles,
+    /// Simulated DMA transfers that were dropped and re-issued.
+    SimDmaRetries,
+    /// Simulated cycles where GLB occupancy exceeded capacity.
+    SimOccupancyViolations,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 26] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -131,6 +139,10 @@ impl Counter {
         Counter::ServeVerifyFailed,
         Counter::LayerMemoHits,
         Counter::LayerMemoMisses,
+        Counter::SimEvents,
+        Counter::SimStallCycles,
+        Counter::SimDmaRetries,
+        Counter::SimOccupancyViolations,
     ];
 
     /// Stable dotted name (report rows, Chrome counter events).
@@ -158,6 +170,10 @@ impl Counter {
             Counter::ServeVerifyFailed => "serve.verify_failed",
             Counter::LayerMemoHits => "planner.memo_hits",
             Counter::LayerMemoMisses => "planner.memo_misses",
+            Counter::SimEvents => "sim.events",
+            Counter::SimStallCycles => "sim.stall_cycles",
+            Counter::SimDmaRetries => "sim.dma_retries",
+            Counter::SimOccupancyViolations => "sim.occupancy_violations",
         }
     }
 

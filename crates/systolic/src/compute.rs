@@ -6,11 +6,21 @@
 //! stalls", so baseline latency is exactly these compute cycles,
 //! independent of buffer sizes.
 
-use crate::gemm::FoldPlan;
+use crate::gemm::{FoldPlan, GemmShape};
+use smm_model::LayerShape;
 
 /// Cycles of one output-stationary fold.
 pub fn fold_cycles(rows: usize, cols: usize, k: u64) -> u64 {
     2 * rows as u64 + cols as u64 + k - 2
+}
+
+/// Stall-free compute cycles of one layer on an `rows × cols`
+/// output-stationary array — the fold decomposition and cycle model in
+/// one call. This is the per-tile compute model `smm-sim` drives its
+/// discrete-event simulation with when asked for systolic (rather than
+/// ideal-MAC) compute timing.
+pub fn layer_compute_cycles(shape: &LayerShape, rows: usize, cols: usize) -> u64 {
+    compute_cycles(&FoldPlan::new(rows, cols, GemmShape::of(shape)))
 }
 
 /// Total stall-free compute cycles for a fold plan.
@@ -61,6 +71,24 @@ mod tests {
         let p = FoldPlan::new(16, 16, g);
         // 32 channels over 16 columns → 2 channel folds, not 32.
         assert_eq!(compute_cycles(&p), 2 * 4 * (32 + 16 + 9 - 2));
+    }
+
+    #[test]
+    fn layer_helper_matches_explicit_fold_plan() {
+        let shape = LayerShape {
+            ifmap_h: 16,
+            ifmap_w: 16,
+            in_channels: 8,
+            filter_h: 3,
+            filter_w: 3,
+            num_filters: 16,
+            stride: 1,
+            padding: 1,
+            depthwise: false,
+        };
+        let plan = FoldPlan::new(16, 16, GemmShape::of(&shape));
+        assert_eq!(layer_compute_cycles(&shape, 16, 16), compute_cycles(&plan));
+        assert!(layer_compute_cycles(&shape, 16, 16) > 0);
     }
 
     #[test]

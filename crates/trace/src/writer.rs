@@ -38,6 +38,16 @@ impl TraceWriter {
         self.buf.put_u8(r.is_read as u8);
     }
 
+    /// Append one record with its cycle stamp shifted by `offset` —
+    /// how per-layer traces (stamped from cycle 0) concatenate into a
+    /// network-level timeline.
+    pub fn push_at(&mut self, offset: u64, r: TraceRecord) {
+        self.push(TraceRecord {
+            cycle: offset + r.cycle,
+            ..r
+        });
+    }
+
     /// Number of records written.
     pub fn len(&self) -> usize {
         (self.buf.len() - MAGIC.len()) / RECORD_BYTES
@@ -100,6 +110,20 @@ mod tests {
         let bytes = w.finish();
         let decoded = TraceWriter::decode(&bytes).unwrap();
         assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn push_at_shifts_only_the_cycle() {
+        let mut w = TraceWriter::new();
+        let r = TraceRecord {
+            cycle: 7,
+            addr: 42,
+            count: 3,
+            is_read: true,
+        };
+        w.push_at(100, r);
+        let decoded = TraceWriter::decode(&w.finish()).unwrap();
+        assert_eq!(decoded, vec![TraceRecord { cycle: 107, ..r }]);
     }
 
     #[test]

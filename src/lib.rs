@@ -16,6 +16,11 @@
 //!   reports, Chrome-trace export.
 //! - [`serve`] — the concurrent planning server: JSON-lines over TCP
 //!   with an LRU plan cache, load shedding, and per-request deadlines.
+//! - [`check`] — the static plan verifier behind `smm check` and its
+//!   SMM001–SMM011 diagnostics.
+//! - [`sim`] — the discrete-event execution simulator: DMA prefetch
+//!   queue, DRAM channel contention, fault injection, SMM011
+//!   cross-checks against the analytic model.
 //!
 //! # Quickstart
 //!
@@ -42,11 +47,13 @@
 //! # assert!(plan.totals.accesses_bytes.mb() > 0.0);
 //! ```
 pub use smm_arch as arch;
+pub use smm_check as check;
 pub use smm_core as core;
 pub use smm_exec as exec;
 pub use smm_model as model;
 pub use smm_obs as obs;
 pub use smm_policy as policy;
 pub use smm_serve as serve;
+pub use smm_sim as sim;
 pub use smm_systolic as systolic;
 pub use smm_trace as trace;

@@ -1,0 +1,139 @@
+//! The SMM011 agreement matrix: simulated vs analytic latency for
+//! every zoo model × scheme × GLB size, plus the scenario invariants
+//! the acceptance criteria pin (derate slows the clock but never moves
+//! a byte; clean plans never violate the occupancy ledger).
+//!
+//! The matrix mirrors `tests/golden_plans.rs` — same 6 models, same
+//! {het, hom} schemes, same {64, 256, 1024 kB} sizes, 36 cells.
+
+use smm_arch::{AcceleratorConfig, ByteSize};
+use smm_check::{check_sim_divergence, DEFAULT_SIM_TOLERANCE};
+use smm_core::{CancelToken, ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec};
+use smm_model::zoo;
+use smm_sim::{simulate_plan, SimConfig};
+
+const GLB_KBS: [u64; 3] = [64, 256, 1024];
+const SCHEMES: [(PlanScheme, &str); 2] = [
+    (PlanScheme::Heterogeneous, "het"),
+    (PlanScheme::BestHomogeneous, "hom"),
+];
+
+fn all_cells() -> Vec<(PlanSpec, String)> {
+    let mut cells = Vec::new();
+    for net in zoo::all_networks() {
+        for (scheme, tag) in SCHEMES {
+            for kb in GLB_KBS {
+                let spec = PlanSpec::new(
+                    NetworkRef::Zoo(net.name.clone()),
+                    AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+                    ManagerConfig::new(Objective::Accesses),
+                    scheme,
+                );
+                cells.push((spec, format!("{}_{tag}_{kb}kb", net.name.to_lowercase())));
+            }
+        }
+    }
+    cells
+}
+
+/// Simulate one cell and assert the clean-run invariants, returning
+/// the cell's end-to-end divergence.
+fn check_cell(spec: &PlanSpec, label: &str) -> f64 {
+    let net = spec.resolve().expect("zoo model resolves");
+    let plan = spec.run(&CancelToken::none()).expect("cell plans");
+    let report = simulate_plan(&plan, &net, &spec.accelerator, &SimConfig::default())
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert_eq!(
+        report.totals.occupancy_violations, 0,
+        "{label}: the DES must never overflow the GLB on a clean plan"
+    );
+    assert!(
+        report.totals.peak_occupancy_elems <= spec.accelerator.glb_elements(),
+        "{label}: peak occupancy exceeds capacity"
+    );
+    assert_eq!(
+        report.totals.traffic.total(),
+        plan.totals.accesses_elems,
+        "{label}: simulated logical traffic must equal the plan's"
+    );
+    assert!(
+        check_sim_divergence(
+            &plan.network,
+            report.totals.analytic_cycles,
+            report.totals.cycles,
+            DEFAULT_SIM_TOLERANCE
+        )
+        .is_none(),
+        "{label}: SMM011 fired — divergence {:.4} over tolerance {DEFAULT_SIM_TOLERANCE}",
+        report.divergence()
+    );
+    report.divergence()
+}
+
+#[test]
+fn simulation_agrees_with_the_analytic_model_across_the_golden_matrix() {
+    let mut worst: (f64, String) = (0.0, String::new());
+    let mut checked = 0usize;
+    for (spec, label) in all_cells() {
+        let d = check_cell(&spec, &label);
+        if d > worst.0 {
+            worst = (d, label);
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 36);
+    println!(
+        "worst divergence over the matrix: {:.4} ({})",
+        worst.0, worst.1
+    );
+    // The documented bound must not be slack by an order of magnitude:
+    // if the simulator improves this much, tighten DEFAULT_SIM_TOLERANCE.
+    assert!(
+        worst.0 > DEFAULT_SIM_TOLERANCE / 50.0,
+        "worst divergence {:.4} is far below the documented tolerance — tighten it",
+        worst.0
+    );
+}
+
+#[test]
+fn derate_increases_latency_but_not_traffic_everywhere() {
+    // The acceptance criterion: a 2× bandwidth derate strictly
+    // increases simulated latency while leaving byte counts unchanged.
+    for net in zoo::all_networks() {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+        let spec = PlanSpec::new(
+            NetworkRef::Zoo(net.name.clone()),
+            acc,
+            ManagerConfig::new(Objective::Accesses),
+            PlanScheme::Heterogeneous,
+        );
+        let plan = spec.run(&CancelToken::none()).unwrap();
+        let clean = simulate_plan(&plan, &net, &acc, &SimConfig::default()).unwrap();
+        let derated = simulate_plan(
+            &plan,
+            &net,
+            &acc,
+            &SimConfig {
+                bw_derate: 2.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            derated.totals.cycles > clean.totals.cycles,
+            "{}: 2x derate must strictly increase latency",
+            net.name
+        );
+        assert_eq!(
+            derated.totals.traffic, clean.totals.traffic,
+            "{}: derate must not move a single byte",
+            net.name
+        );
+        assert_eq!(
+            derated.traffic_bytes(&acc),
+            clean.traffic_bytes(&acc),
+            "{}: byte volume invariant",
+            net.name
+        );
+    }
+}

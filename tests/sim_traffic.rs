@@ -1,0 +1,96 @@
+//! Property tests: the discrete-event simulator's traffic accounting is
+//! byte-exact against the replay engine on arbitrary valid topologies —
+//! the simulator adds *time*, never *traffic*.
+
+use proptest::prelude::*;
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::exec::Program;
+use scratchpad_mm::model::LayerShape;
+use scratchpad_mm::policy::{estimate, PolicyKind};
+use scratchpad_mm::sim::{simulate_program, SimConfig};
+
+fn arb_shape() -> impl Strategy<Value = LayerShape> {
+    (
+        2u32..20, // ifmap_h
+        2u32..20, // ifmap_w
+        1u32..6,  // in_channels
+        1u32..4,  // filter (square)
+        2u32..10, // num_filters
+        1u32..3,  // stride
+        0u32..2,  // padding
+        any::<bool>(),
+    )
+        .prop_map(|(ih, iw, ci, k, nf, s, p, dw)| LayerShape {
+            ifmap_h: ih,
+            ifmap_w: iw,
+            in_channels: ci,
+            filter_h: k,
+            filter_w: k,
+            num_filters: if dw { ci } else { nf },
+            stride: s,
+            padding: p,
+            depthwise: dw,
+        })
+        .prop_filter("shape must validate", |s| s.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simulating a lowered program reports exactly the replay engine's
+    /// DRAM traffic, for every policy and both prefetch variants.
+    #[test]
+    fn simulated_traffic_equals_the_replay(shape in arb_shape(), kb in 1u64..64) {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(kb));
+        for kind in PolicyKind::ALL {
+            for prefetch in [false, true] {
+                let Some(est) = estimate(kind, &shape, &acc, prefetch) else { continue };
+                let program = Program::lower(&shape, &est)
+                    .unwrap_or_else(|e| panic!("{kind:?} on {shape:?}: {e}"));
+                let want = program.replay.as_access_counts();
+                let stats = simulate_program(&program, &shape, &est, &acc, &SimConfig::default())
+                    .unwrap_or_else(|e| panic!("{kind:?} on {shape:?}: {e}"));
+                prop_assert_eq!(
+                    stats.traffic, want,
+                    "{:?} pf={} on {:?}", kind, prefetch, &shape
+                );
+                prop_assert_eq!(stats.physical_elems, want.total());
+                // Estimates the planner would reject (too big for this
+                // GLB) legitimately overflow the ledger; feasible ones
+                // never may.
+                if est.fits(&acc) {
+                    prop_assert_eq!(stats.occupancy_violations, 0);
+                }
+                // The simulated layer can never beat the overlap model's
+                // lower bound.
+                prop_assert!(stats.cycles >= est.latency.cycles.min(est.latency.compute_cycles));
+            }
+        }
+    }
+
+    /// Scenario knobs stretch time only: under derate, jitter, drops,
+    /// and contention together, logical traffic stays byte-identical.
+    #[test]
+    fn faults_never_move_bytes(shape in arb_shape(), seed in 0u64..1000) {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(64));
+        let faulty = SimConfig {
+            bw_derate: 1.7,
+            jitter_max_cycles: 5,
+            drop_rate: 0.2,
+            contenders: 2,
+            seed,
+            ..SimConfig::default()
+        };
+        for kind in PolicyKind::NAMED {
+            let Some(est) = estimate(kind, &shape, &acc, true) else { continue };
+            let program = Program::lower(&shape, &est).unwrap();
+            let want = program.replay.as_access_counts();
+            let clean = simulate_program(&program, &shape, &est, &acc, &SimConfig::default())
+                .unwrap();
+            let hit = simulate_program(&program, &shape, &est, &acc, &faulty).unwrap();
+            prop_assert_eq!(hit.traffic, want, "{:?} on {:?}", kind, &shape);
+            prop_assert_eq!(hit.physical_elems, clean.physical_elems);
+            prop_assert!(hit.cycles >= clean.cycles, "{:?}: faults cannot speed a layer up", kind);
+        }
+    }
+}
