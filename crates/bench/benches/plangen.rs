@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smm_arch::{AcceleratorConfig, ByteSize, GLB_SIZES_KB};
-use smm_core::{CancelToken, LayerMemo, Manager, ManagerConfig, Objective, Planner};
+use smm_core::{CancelToken, LayerMemo, Manager, ManagerConfig, Objective, Planner, SchedulerKind};
 use smm_model::zoo;
 use smm_systolic::schedule::trace_layer;
 use smm_systolic::{simulate_network, BaselineConfig, BufferSplit};
@@ -29,6 +29,54 @@ fn bench_plan_generation(c: &mut Criterion) {
             }
         });
     });
+}
+
+/// Greedy vs the global inter-layer DP scheduler: the DP explores the
+/// full per-layer candidate pool with handoff state, so its cost over
+/// greedy is the price of the §5.4-aware search. Measured on a deep
+/// CNN (MobileNetV2) and on the transformer nets, whose GEMM chains
+/// are the workload the global pass was built for.
+fn bench_global_vs_greedy(c: &mut Criterion) {
+    let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+    let open = CancelToken::none();
+    let mut group = c.benchmark_group("plangen/scheduler");
+    let nets = [zoo::mobilenetv2(), zoo::bert_tiny(), zoo::gemm_bench()];
+    for net in &nets {
+        for scheduler in [SchedulerKind::Greedy, SchedulerKind::Global] {
+            let cfg = ManagerConfig::new(Objective::Accesses).with_scheduler(scheduler);
+            let id = BenchmarkId::new(scheduler.label(), net.name.to_lowercase());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let planner = Planner::new(acc, cfg);
+                    black_box(planner.heterogeneous_with(net, &open).expect("plan"));
+                });
+            });
+        }
+    }
+    group.finish();
+
+    // Print the objective side of the trade so the runtime numbers above
+    // can be weighed against the traffic they buy.
+    for net in &nets {
+        let plan_with = |scheduler| {
+            Planner::new(
+                acc,
+                ManagerConfig::new(Objective::Accesses).with_scheduler(scheduler),
+            )
+            .heterogeneous_with(net, &open)
+            .expect("plan")
+        };
+        let greedy = plan_with(SchedulerKind::Greedy);
+        let global = plan_with(SchedulerKind::Global);
+        println!(
+            "plangen/scheduler: {} @ 256kB: greedy {} elems, global {} elems ({:+.2}%)",
+            net.name,
+            greedy.totals.accesses_elems,
+            global.totals.accesses_elems,
+            (global.totals.accesses_elems as f64 / greedy.totals.accesses_elems as f64 - 1.0)
+                * 100.0,
+        );
+    }
 }
 
 /// Algorithm 1 with and without the shape-keyed layer memo on one
@@ -166,6 +214,7 @@ fn bench_baseline_trace(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_plan_generation,
+    bench_global_vs_greedy,
     bench_memoized_plangen,
     bench_serve_shaped_workload,
     bench_baseline_analytic,

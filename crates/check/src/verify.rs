@@ -57,8 +57,16 @@ pub(crate) fn run(
     if let Scheme::Homogeneous(kind) = plan.scheme {
         for (i, d) in plan.decisions.iter().take(n).enumerate() {
             // Algorithm 1's homogeneous mode may still fall back to tiling
-            // when the named policy does not fit; anything else is foreign.
-            if d.estimate.kind != kind && d.estimate.kind != PolicyKind::Fallback {
+            // when the named policy does not fit, and the Section 5.4
+            // inter-layer pass may switch a handoff producer to a
+            // resident-ofmap policy; anything else is foreign.
+            let handoff_switch = d.ofmap_kept_on_chip
+                && matches!(
+                    d.estimate.kind,
+                    PolicyKind::IntraLayer | PolicyKind::P3PerChannel
+                );
+            if d.estimate.kind != kind && d.estimate.kind != PolicyKind::Fallback && !handoff_switch
+            {
                 diags.push(Diagnostic {
                     code: Code::MalformedPlan,
                     severity: Severity::Warning,

@@ -65,6 +65,38 @@ fn homogeneous_zoo_plans_are_clean() {
     }
 }
 
+/// With the inter-layer pass on, the Section 5.4 rewrite may switch a
+/// homogeneous plan's handoff producers to a resident-ofmap policy;
+/// the checker must recognize the switch instead of warning about a
+/// foreign policy kind.
+#[test]
+fn homogeneous_plans_with_reuse_are_clean() {
+    let mut switches = 0usize;
+    for net in zoo::all_networks() {
+        for &kb in &[256u64, 1024] {
+            let m = manager(kb, Objective::Accesses, true, true);
+            if let Ok(plan) = m.best_homogeneous(&net) {
+                let report = check_plan(&plan, &net, m.accelerator());
+                assert!(
+                    report.is_clean(),
+                    "{} hom+reuse @ {kb}kB: {:#?}",
+                    net.name,
+                    report.diagnostics
+                );
+                if let smm_core::Scheme::Homogeneous(kind) = plan.scheme {
+                    switches += plan
+                        .decisions
+                        .iter()
+                        .filter(|d| d.ofmap_kept_on_chip && d.estimate.kind != kind)
+                        .count();
+                }
+            }
+        }
+    }
+    // The exemption must actually be exercised, not vacuously pass.
+    assert!(switches > 0, "no hom plan produced a handoff switch");
+}
+
 /// The extended networks (AlexNet, VGG16, …) stress much larger layers.
 #[test]
 fn extended_network_plans_are_clean() {

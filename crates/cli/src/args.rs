@@ -2,7 +2,7 @@
 //! five flags).
 
 use smm_arch::DataWidth;
-use smm_core::Objective;
+use smm_core::{Objective, SchedulerKind};
 use smm_systolic::BufferSplit;
 
 /// Parsed command options.
@@ -17,6 +17,9 @@ pub struct Options {
     pub split: BufferSplit,
     pub prefetch: bool,
     pub inter_layer: bool,
+    /// Layer-decision scheduler: greedy per-layer (default) or the
+    /// global inter-layer DP pass.
+    pub scheduler: SchedulerKind,
     /// Emit machine-readable CSV instead of the text table.
     pub csv: bool,
     /// Emit the analyze plan as one deterministic JSON object.
@@ -44,6 +47,7 @@ impl Default for Options {
             split: BufferSplit::SA_50_50,
             prefetch: true,
             inter_layer: false,
+            scheduler: SchedulerKind::Greedy,
             csv: false,
             json: false,
             batch: 1,
@@ -91,6 +95,11 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     "hom" => false,
                     other => return Err(format!("unknown scheme {other:?}")),
                 };
+            }
+            "--scheduler" => {
+                let label = value("--scheduler")?;
+                opts.scheduler = SchedulerKind::from_label(&label)
+                    .ok_or(format!("unknown scheduler {label:?} (greedy | global)"))?;
             }
             "--split" => {
                 opts.split = match value("--split")?.as_str() {
@@ -312,13 +321,14 @@ mod tests {
         assert_eq!(o.width, DataWidth::W8);
         assert!(o.prefetch);
         assert!(!o.inter_layer);
+        assert_eq!(o.scheduler, SchedulerKind::Greedy);
     }
 
     #[test]
     fn all_flags() {
         let o = parse(&argv(
             "mobilenet --glb 64 --width 32 --objective latency --scheme hom \
-             --split 25_75 --no-prefetch --inter-layer",
+             --split 25_75 --no-prefetch --inter-layer --scheduler global",
         ))
         .unwrap();
         assert_eq!(o.glb_kb, 64);
@@ -328,6 +338,7 @@ mod tests {
         assert_eq!(o.split, BufferSplit::SA_25_75);
         assert!(!o.prefetch);
         assert!(o.inter_layer);
+        assert_eq!(o.scheduler, SchedulerKind::Global);
     }
 
     #[test]
@@ -383,6 +394,8 @@ mod tests {
         assert!(parse(&argv("a b c")).is_err());
         assert!(parse(&argv("--glb")).is_err());
         assert!(parse(&argv("--batch 0")).is_err());
+        assert!(parse(&argv("--scheduler quantum")).is_err());
+        assert!(parse(&argv("--scheduler")).is_err());
     }
 
     #[test]

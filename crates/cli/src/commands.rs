@@ -51,6 +51,7 @@ fn manager_config(opts: &Options) -> ManagerConfig {
     ManagerConfig::new(opts.objective)
         .with_prefetch(opts.prefetch)
         .with_inter_layer_reuse(opts.inter_layer)
+        .with_scheduler(opts.scheduler)
 }
 
 /// The [`PlanSpec`] the parsed command line describes: every planning
@@ -98,17 +99,41 @@ fn with_observability(
     result
 }
 
-/// `smm list-models`
+/// `smm list-models` — the full zoo (the paper's six, the extended
+/// CNNs, and the transformer/GEMM nets), with per-model layer counts
+/// and parameter/feature footprints at 8-bit data width.
 pub fn list_models() -> Result<(), String> {
-    let mut t = TextTable::new(&["Network", "Layers", "Types", "MACs (M)", "Max layer kB"]);
-    for net in zoo::all_networks() {
+    let mut t = TextTable::new(&[
+        "Network",
+        "Layers",
+        "Types",
+        "MACs (M)",
+        "Params kB",
+        "Peak feat kB",
+        "Max layer kB",
+    ]);
+    let groups = [
+        zoo::all_networks(),
+        zoo::extended_networks(),
+        zoo::transformer_networks(),
+    ];
+    for net in groups.into_iter().flatten() {
         let s = net.stats(smm_arch::DataWidth::W8);
         let kinds: Vec<&str> = s.kinds.iter().map(|k| k.code()).collect();
+        let footprints = net.footprints(smm_arch::DataWidth::W8);
+        let params_bytes: u64 = footprints.iter().map(|f| f.filters.bytes()).sum();
+        let peak_feat_bytes = footprints
+            .iter()
+            .map(|f| f.ifmap.bytes() + f.ofmap.bytes())
+            .max()
+            .unwrap_or(0);
         t.row(vec![
             net.name.clone(),
             s.layers.to_string(),
             kinds.join(", "),
             format!("{:.0}", s.total_macs as f64 / 1e6),
+            format!("{:.1}", ByteSize(params_bytes).kb()),
+            format!("{:.1}", ByteSize(peak_feat_bytes).kb()),
             format!("{:.1}", s.max_layer_footprint.kb()),
         ]);
     }
@@ -240,8 +265,9 @@ fn check_body(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// The acceptance matrix: every zoo model under both objectives, at the
-/// requested GLB size and scheme. One line (or JSON entry) per run.
+/// The acceptance matrix: every paper-zoo model plus the transformer
+/// nets, under both objectives, at the requested GLB size and scheme.
+/// One line (or JSON entry) per run.
 fn check_all(opts: &Options) -> Result<(), String> {
     use smm_core::{LayerMemo, Objective};
     use std::sync::Arc;
@@ -250,7 +276,10 @@ fn check_all(opts: &Options) -> Result<(), String> {
     // One memo for the whole matrix: identical shapes recur both within
     // a model and across related models, so later runs replan less.
     let memo = Arc::new(LayerMemo::default());
-    for net in zoo::all_networks() {
+    let nets = zoo::all_networks()
+        .into_iter()
+        .chain(zoo::transformer_networks());
+    for net in nets {
         for objective in [Objective::Accesses, Objective::Latency] {
             let o = Options {
                 objective,

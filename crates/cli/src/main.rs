@@ -15,7 +15,7 @@ USAGE:
     smm <COMMAND> [OPTIONS]
 
 COMMANDS:
-    list-models                       List the built-in model zoo (Table 2)
+    list-models                       List the full model zoo (paper, extended, transformer)
     analyze  <model|topology.csv>     Produce a per-layer execution plan
     check    <model|topology.csv|all> Statically verify a plan's GLB invariants
     explain  <model> <layer>          Show Algorithm 1's candidates for one layer
@@ -33,6 +33,7 @@ OPTIONS (analyze / check / baseline / sweep):
     --width <BITS>        Data width: 8, 16 or 32 (default 8)
     --objective <OBJ>     accesses | latency (default accesses)
     --scheme <S>          het | hom (default het)
+    --scheduler <S>       greedy | global inter-layer DP (default greedy)
     --split <S>           Baseline split: 25_75 | 50_50 | 75_25 (default 50_50)
     --no-prefetch         Disable the double-buffered policy variants
     --inter-layer         Enable the inter-layer reuse pass

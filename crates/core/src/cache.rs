@@ -120,6 +120,10 @@ impl PlanKey {
         });
         enc.u64(cfg.allow_prefetch as u64);
         enc.u64(cfg.inter_layer_reuse as u64);
+        enc.u64(match cfg.scheduler {
+            crate::SchedulerKind::Greedy => 0,
+            crate::SchedulerKind::Global => 1,
+        });
         enc.u64(match scheme {
             PlanScheme::Heterogeneous => 0,
             PlanScheme::BestHomogeneous => 1,
@@ -402,6 +406,16 @@ mod tests {
                 &cfg.with_inter_layer_reuse(true),
                 PlanScheme::Heterogeneous
             )
+        );
+        assert_ne!(
+            base,
+            PlanKey::new(
+                &net,
+                &a,
+                &cfg.with_scheduler(crate::SchedulerKind::Global),
+                PlanScheme::Heterogeneous
+            ),
+            "scheduler choice must be in the key"
         );
         assert_ne!(
             base,

@@ -1,0 +1,520 @@
+//! The `GlobalSchedule` pass: exact inter-layer scheduling by dynamic
+//! programming.
+//!
+//! The paper's pipeline is greedy twice over: Algorithm 1 picks each
+//! layer's policy in isolation, and the Section 5.4 pass then enables
+//! producer→consumer handoffs one transition at a time, never
+//! reconsidering a layer's policy in the light of a *later* opportunity.
+//! Joint approaches — Li et al. (arXiv:2311.18246) schedule, allocate,
+//! and replace tensors over the whole network; SoMa (arXiv:2501.12634)
+//! searches the DRAM communication schedule explicitly — show that the
+//! coupled decision space holds real traffic savings.
+//!
+//! This module searches that coupled space exactly for our execution
+//! model. Because a plan's objective decomposes per layer once you know
+//! (a) which policy the layer runs and (b) whether its ifmap is already
+//! resident / its ofmap stays resident, the whole space collapses to a
+//! dynamic program over layers with a two-value state: *was the
+//! previous layer's ofmap handed off on-chip?* For every layer the DP
+//! weighs each feasible policy candidate (Algorithm 1's full candidate
+//! list) against both states and both handoff decisions, subject to
+//! exactly the feasibility rules the greedy pass and the `smm-check`
+//! re-derivation enforce:
+//!
+//! 1. a handoff requires chaining shapes and a producer policy that
+//!    leaves the whole ofmap resident (SMM007);
+//! 2. a consumer's allocation must coexist with the retained ofmap:
+//!    `ofmap(i−1) + required(i) ≤ GLB` (SMM008).
+//!
+//! The candidate set is a superset of everything the greedy pipeline
+//! can reach (its handoff pass only ever switches producers to
+//! intra-layer or policy 3 — both already in the list), so the DP
+//! optimum can never lose to greedy. Still, the pass *proves* it: the
+//! greedy plan is always built first, and unless the DP plan is
+//! strictly better on the plan-level objective key the greedy plan is
+//! returned byte-identically (`global.fallbacks` counts these).
+//!
+//! Unlike the greedy pipeline, the DP always explores handoffs — the
+//! `inter_layer_reuse` knob gates only the §5.4 pass. Cost is
+//! `O(layers × candidates × 4)` transitions; exact search at these
+//! sizes is cheaper than one layer's tile-size fallback search.
+
+use crate::manager::PlanError;
+use crate::plan::{ExecutionPlan, LayerDecision, Scheme};
+use crate::planner::Planner;
+use crate::{CancelToken, Objective};
+use smm_arch::AcceleratorConfig;
+use smm_model::Network;
+use smm_policy::{estimate, PolicyEstimate, PolicyKind};
+
+/// Objective key of a whole plan, the quantity the DP minimizes and the
+/// fallback comparison uses.
+fn plan_key(plan: &ExecutionPlan, objective: Objective) -> (u64, u64) {
+    objective.key(plan.totals.accesses_elems, plan.totals.latency_cycles)
+}
+
+/// One layer's candidate pool for the DP.
+struct LayerCandidates {
+    /// Feasible estimates; indices `>= normal` are handoff-only
+    /// producers (see [`handoff_extras`]).
+    pool: Vec<PolicyEstimate>,
+    /// Number of leading candidates usable without a handoff.
+    normal: usize,
+}
+
+/// Resident-ofmap policies the greedy §5.4 pass may switch a producer
+/// to. Under a homogeneous constraint these fall outside the named
+/// policy's pool, so the DP admits them only when the layer actually
+/// hands its ofmap off — the same bargain the greedy pass strikes.
+fn handoff_extras(
+    pool: &[PolicyEstimate],
+    shape: &smm_model::LayerShape,
+    acc: &AcceleratorConfig,
+) -> Vec<PolicyEstimate> {
+    let mut out = Vec::new();
+    for kind in [PolicyKind::IntraLayer, PolicyKind::P3PerChannel] {
+        for prefetch in [false, true] {
+            if let Some(e) = estimate(kind, shape, acc, prefetch) {
+                if e.fits(acc) && !pool.contains(&e) && !out.contains(&e) {
+                    out.push(e);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The objective key one decision contributes, given its reuse flags.
+fn decision_key(
+    est: &PolicyEstimate,
+    ifmap_from_glb: bool,
+    ofmap_kept_on_chip: bool,
+    acc: &AcceleratorConfig,
+    objective: Objective,
+) -> (u64, u64) {
+    let mut d = LayerDecision::new(0, String::new(), est.clone());
+    d.ifmap_from_glb = ifmap_from_glb;
+    d.ofmap_kept_on_chip = ofmap_kept_on_chip;
+    objective.key(
+        d.effective_accesses().total(),
+        d.effective_latency(acc).cycles,
+    )
+}
+
+fn add_key(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+/// Run the DP and reconstruct the optimal decisions, or `None` when some
+/// layer has no feasible candidate (the greedy baseline will have
+/// reported the failure already).
+fn search(
+    planner: &Planner,
+    net: &Network,
+    constraint: Option<PolicyKind>,
+    cancel: &CancelToken,
+) -> Result<Option<Vec<LayerDecision>>, PlanError> {
+    let acc = *planner.accelerator();
+    let objective = planner.config().objective;
+    let glb = acc.glb_elements();
+    let n = net.layers.len();
+
+    // Per-layer candidate pools, in deterministic enumeration order.
+    let mut cands: Vec<LayerCandidates> = Vec::with_capacity(n);
+    for (i, layer) in net.layers.iter().enumerate() {
+        if cancel.is_cancelled() {
+            return Err(PlanError::Cancelled { layers_done: i });
+        }
+        let pool = planner
+            .layer_planner()
+            .feasible_candidates(&layer.shape, constraint);
+        if pool.is_empty() {
+            return Ok(None);
+        }
+        let normal = pool.len();
+        let mut pool = pool;
+        if constraint.is_some() {
+            let extras = handoff_extras(&pool, &layer.shape, &acc);
+            pool.extend(extras);
+        }
+        cands.push(LayerCandidates { pool, normal });
+    }
+
+    // Does the transition i → i+1 chain at all?
+    let chains: Vec<bool> = net
+        .layers
+        .windows(2)
+        .map(|w| crate::interlayer::shapes_chain(&w[0], &w[1]))
+        .collect();
+
+    // best[s] = minimal prefix key reaching the current layer with
+    // incoming state s (s = 1: previous ofmap retained on-chip).
+    // parent[i][s_in] = (previous state, candidate index at layer i−1)
+    // for the best path that enters layer i in state s_in.
+    let mut best: [Option<(u64, u64)>; 2] = [Some((0, 0)), None];
+    let mut parent: Vec<[Option<(u8, usize)>; 2]> = vec![[None; 2]; n + 1];
+    let mut transitions = 0u64;
+
+    for i in 0..n {
+        if cancel.is_cancelled() {
+            return Err(PlanError::Cancelled { layers_done: i });
+        }
+        let prev_ofmap = if i > 0 {
+            net.layers[i - 1].shape.ofmap_elems()
+        } else {
+            0
+        };
+        let mut next: [Option<(u64, u64)>; 2] = [None, None];
+        let mut next_parent: [Option<(u8, usize)>; 2] = [None; 2];
+        for s_in in 0..2usize {
+            let Some(prefix) = best[s_in] else { continue };
+            for (ci, est) in cands[i].pool.iter().enumerate() {
+                // SMM008: a consumer's allocation coexists with the
+                // retained producer ofmap.
+                if s_in == 1 && prev_ofmap + est.required_elems() > glb {
+                    continue;
+                }
+                let handoffs: &[bool] = if i + 1 < n && chains[i] && est.ofmap_resident_at_end {
+                    &[false, true]
+                } else {
+                    &[false]
+                };
+                for &h in handoffs {
+                    // Handoff-only producers must actually hand off.
+                    if !h && ci >= cands[i].normal {
+                        continue;
+                    }
+                    transitions += 1;
+                    let key = add_key(prefix, decision_key(est, s_in == 1, h, &acc, objective));
+                    let slot = usize::from(h);
+                    if next[slot].is_none_or(|cur| key < cur) {
+                        next[slot] = Some(key);
+                        next_parent[slot] = Some((s_in as u8, ci));
+                    }
+                }
+            }
+        }
+        best = next;
+        parent[i + 1] = next_parent;
+    }
+    if smm_obs::enabled() {
+        smm_obs::add(smm_obs::Counter::GlobalDpTransitions, transitions);
+    }
+
+    // The last layer has no consumer, so the run must end in state 0.
+    if best[0].is_none() {
+        return Ok(None);
+    }
+    let mut states = vec![0u8; n + 1];
+    for i in (1..=n).rev() {
+        let (prev, _) = parent[i][states[i] as usize].expect("reachable DP state has a parent");
+        states[i - 1] = prev;
+    }
+    let mut decisions = Vec::with_capacity(n);
+    for (i, layer) in net.layers.iter().enumerate() {
+        let (_, ci) = parent[i + 1][states[i + 1] as usize].expect("path covers every layer");
+        let mut d = LayerDecision::new(i, layer.name.clone(), cands[i].pool[ci].clone());
+        d.ifmap_from_glb = states[i] == 1;
+        d.ofmap_kept_on_chip = states[i + 1] == 1;
+        decisions.push(d);
+    }
+    Ok(Some(decisions))
+}
+
+/// Build the DP plan for `scheme`, then keep it only if it strictly
+/// beats the greedy baseline on the objective — otherwise return the
+/// greedy plan unchanged.
+fn beat_or_fall_back(
+    planner: &Planner,
+    net: &Network,
+    constraint: Option<PolicyKind>,
+    scheme: Scheme,
+    greedy: ExecutionPlan,
+    cancel: &CancelToken,
+) -> Result<ExecutionPlan, PlanError> {
+    let objective = planner.config().objective;
+    let Some(decisions) = search(planner, net, constraint, cancel)? else {
+        return Ok(greedy);
+    };
+    let global = ExecutionPlan::new(net.name.clone(), scheme, decisions, planner.accelerator());
+    if plan_key(&global, objective) < plan_key(&greedy, objective) {
+        Ok(global)
+    } else {
+        if smm_obs::enabled() {
+            smm_obs::add(smm_obs::Counter::GlobalFallbacks, 1);
+        }
+        Ok(greedy)
+    }
+}
+
+/// Globally-scheduled heterogeneous plan (the `Het` scheme under
+/// [`SchedulerKind::Global`](crate::SchedulerKind)).
+pub(crate) fn heterogeneous(
+    planner: &Planner,
+    net: &Network,
+    cancel: &CancelToken,
+) -> Result<ExecutionPlan, PlanError> {
+    let _span = smm_obs::span!("plan.network", "{} (het global)", net.name);
+    let greedy = planner.greedy_heterogeneous_with(net, cancel)?;
+    beat_or_fall_back(planner, net, None, Scheme::Heterogeneous, greedy, cancel)
+}
+
+/// Globally-scheduled homogeneous plan: every layer constrained to
+/// `kind` (handoff producers may still switch to a resident-ofmap
+/// policy, exactly as the greedy §5.4 pass may).
+pub(crate) fn homogeneous(
+    planner: &Planner,
+    net: &Network,
+    kind: PolicyKind,
+    cancel: &CancelToken,
+) -> Result<ExecutionPlan, PlanError> {
+    let _span = smm_obs::span!("plan.network", "{} (hom {:?} global)", net.name, kind);
+    let greedy = planner.greedy_homogeneous_with(net, kind, cancel)?;
+    beat_or_fall_back(
+        planner,
+        net,
+        Some(kind),
+        Scheme::Homogeneous(kind),
+        greedy,
+        cancel,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ManagerConfig, PlanScheme, SchedulerKind};
+    use smm_arch::ByteSize;
+    use smm_model::zoo;
+
+    fn planner(kb: u64, objective: Objective, scheduler: SchedulerKind) -> Planner {
+        Planner::new(
+            AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+            ManagerConfig::new(objective).with_scheduler(scheduler),
+        )
+    }
+
+    fn key(p: &ExecutionPlan, o: Objective) -> (u64, u64) {
+        plan_key(p, o)
+    }
+
+    #[test]
+    fn global_never_loses_to_greedy_across_zoo() {
+        let nets: Vec<_> = zoo::all_networks()
+            .into_iter()
+            .chain(zoo::transformer_networks())
+            .collect();
+        for objective in [Objective::Accesses, Objective::Latency] {
+            for kb in [64, 256, 1024] {
+                for net in &nets {
+                    for scheme in [PlanScheme::Heterogeneous, PlanScheme::BestHomogeneous] {
+                        let greedy = planner(kb, objective, SchedulerKind::Greedy)
+                            .plan(net, scheme, &CancelToken::none())
+                            .unwrap();
+                        let global = planner(kb, objective, SchedulerKind::Global)
+                            .plan(net, scheme, &CancelToken::none())
+                            .unwrap();
+                        assert!(
+                            key(&global, objective) <= key(&greedy, objective),
+                            "{} @ {kb}kB {objective:?} {scheme:?}: global {:?} > greedy {:?}",
+                            net.name,
+                            key(&global, objective),
+                            key(&greedy, objective),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_beats_or_matches_greedy_with_reuse_enabled() {
+        // The greedy baseline at its strongest: §5.4 handoffs on.
+        for net in zoo::all_networks() {
+            let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(1024));
+            let cfg = ManagerConfig::new(Objective::Accesses).with_inter_layer_reuse(true);
+            let greedy = Planner::new(acc, cfg)
+                .heterogeneous_with(&net, &CancelToken::none())
+                .unwrap();
+            let global = Planner::new(acc, cfg.with_scheduler(SchedulerKind::Global))
+                .heterogeneous_with(&net, &CancelToken::none())
+                .unwrap();
+            assert!(
+                global.totals.accesses_elems <= greedy.totals.accesses_elems,
+                "{}",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn global_strictly_beats_plain_greedy_somewhere() {
+        // Without the §5.4 pass the greedy plan leaves every handoff on
+        // the table; at 1 MB the DP must find at least one on a chained
+        // network.
+        let net = zoo::mnasnet();
+        let greedy = planner(1024, Objective::Accesses, SchedulerKind::Greedy)
+            .heterogeneous_with(&net, &CancelToken::none())
+            .unwrap();
+        let global = planner(1024, Objective::Accesses, SchedulerKind::Global)
+            .heterogeneous_with(&net, &CancelToken::none())
+            .unwrap();
+        assert!(global.totals.accesses_elems < greedy.totals.accesses_elems);
+        assert!(global.decisions.iter().any(|d| d.ifmap_from_glb));
+    }
+
+    #[test]
+    fn fallback_is_byte_identical() {
+        // A single-layer network has no inter-layer state to exploit:
+        // the DP ties greedy and must return the greedy plan unchanged.
+        let net =
+            smm_model::Network::new("single", vec![zoo::resnet18().layers[0].clone()]).unwrap();
+        let greedy = planner(256, Objective::Accesses, SchedulerKind::Greedy)
+            .heterogeneous_with(&net, &CancelToken::none())
+            .unwrap();
+        let global = planner(256, Objective::Accesses, SchedulerKind::Global)
+            .heterogeneous_with(&net, &CancelToken::none())
+            .unwrap();
+        assert_eq!(greedy, global);
+    }
+
+    #[test]
+    fn global_plans_satisfy_handoff_invariants() {
+        // The invariants smm-check re-derives (SMM007/SMM008).
+        for net in zoo::all_networks()
+            .into_iter()
+            .chain(zoo::transformer_networks())
+        {
+            let p = planner(1024, Objective::Accesses, SchedulerKind::Global);
+            let plan = p.heterogeneous_with(&net, &CancelToken::none()).unwrap();
+            let acc = p.accelerator();
+            let glb = acc.glb_elements();
+            for i in 0..plan.decisions.len() {
+                let d = &plan.decisions[i];
+                assert!(d.estimate.fits(acc), "{}/{}", net.name, d.layer_name);
+                if d.ofmap_kept_on_chip {
+                    assert!(d.estimate.ofmap_resident_at_end, "{}", d.layer_name);
+                    assert!(i + 1 < plan.decisions.len());
+                    assert!(plan.decisions[i + 1].ifmap_from_glb);
+                    assert!(crate::interlayer::shapes_chain(
+                        &net.layers[i],
+                        &net.layers[i + 1]
+                    ));
+                }
+                if d.ifmap_from_glb {
+                    assert!(i > 0);
+                    assert!(plan.decisions[i - 1].ofmap_kept_on_chip);
+                    assert!(
+                        net.layers[i - 1].shape.ofmap_elems() + d.estimate.required_elems() <= glb,
+                        "{}/{}",
+                        net.name,
+                        d.layer_name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_global_keeps_constraint_except_handoff_producers() {
+        let p = planner(1024, Objective::Accesses, SchedulerKind::Global);
+        let plan = p
+            .homogeneous_with(
+                &zoo::mobilenet(),
+                PolicyKind::P2FilterReuse,
+                &CancelToken::none(),
+            )
+            .unwrap();
+        for d in &plan.decisions {
+            let ok = d.estimate.kind == PolicyKind::P2FilterReuse
+                || d.estimate.kind == PolicyKind::Fallback
+                || (d.ofmap_kept_on_chip
+                    && matches!(
+                        d.estimate.kind,
+                        PolicyKind::IntraLayer | PolicyKind::P3PerChannel
+                    ));
+            assert!(ok, "{}: {:?}", d.layer_name, d.estimate.kind);
+        }
+    }
+
+    #[test]
+    fn cancellation_propagates() {
+        let p = planner(64, Objective::Accesses, SchedulerKind::Global);
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        assert!(matches!(
+            p.heterogeneous_with(&zoo::resnet18(), &expired),
+            Err(PlanError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn global_is_deterministic() {
+        let net = zoo::mobilenetv2();
+        let a = planner(256, Objective::Latency, SchedulerKind::Global)
+            .heterogeneous_with(&net, &CancelToken::none())
+            .unwrap();
+        let b = planner(256, Objective::Latency, SchedulerKind::Global)
+            .heterogeneous_with(&net, &CancelToken::none())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest::proptest! {
+        /// On arbitrary small networks — not just the curated zoo — the
+        /// global scheduler never produces a worse plan than greedy
+        /// under either objective.
+        #[test]
+        fn global_never_loses_to_greedy_on_random_networks(
+            layer_count in 1usize..6,
+            seed in 0u64..300,
+            kb in proptest::sample::select(&[64u64, 256][..]),
+        ) {
+            use smm_model::{Layer, LayerKind, LayerShape, Network};
+            let mut layers = Vec::new();
+            let mut ch = 1 + (seed % 16) as u32;
+            for i in 0..layer_count {
+                let r = seed
+                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d);
+                let pointwise = r & 1 == 0;
+                let k = if pointwise { 1 } else { 3 };
+                let nf = 1 + ((r >> 8) % 64) as u32;
+                let shape = LayerShape {
+                    ifmap_h: 4 + ((r >> 16) % 29) as u32,
+                    ifmap_w: 4 + ((r >> 24) % 29) as u32,
+                    in_channels: ch,
+                    filter_h: k,
+                    filter_w: k,
+                    num_filters: nf,
+                    stride: 1 + ((r >> 32) % 2) as u32,
+                    padding: k / 2,
+                    depthwise: false,
+                };
+                proptest::prop_assume!(shape.validate().is_ok());
+                let kind = if pointwise {
+                    LayerKind::PointwiseConv
+                } else {
+                    LayerKind::Conv
+                };
+                layers.push(Layer::new(format!("l{i}"), kind, shape).unwrap());
+                ch = nf;
+            }
+            let net = Network::new("prop", layers).unwrap();
+            for objective in [Objective::Accesses, Objective::Latency] {
+                let greedy = planner(kb, objective, SchedulerKind::Greedy)
+                    .plan(&net, PlanScheme::Heterogeneous, &CancelToken::none())
+                    .unwrap();
+                let global = planner(kb, objective, SchedulerKind::Global)
+                    .plan(&net, PlanScheme::Heterogeneous, &CancelToken::none())
+                    .unwrap();
+                proptest::prop_assert!(
+                    key(&global, objective) <= key(&greedy, objective),
+                    "{objective:?} @ {kb}kB: global {:?} > greedy {:?}",
+                    key(&global, objective),
+                    key(&greedy, objective),
+                );
+            }
+        }
+    }
+}

@@ -18,6 +18,12 @@
 //! - [`interlayer`] — the inter-layer reuse pass of Section 5.4: when a
 //!   layer's ofmap stays resident and the next layer consumes it, the
 //!   store and re-load are both elided.
+//! - [`global`] — the `GlobalSchedule` pass: an exact dynamic program
+//!   over per-layer policy choices *and* inter-layer handoff state,
+//!   selected via [`SchedulerKind`] in [`ManagerConfig`]. Beats or
+//!   matches the greedy plan on the objective, falling back to it
+//!   byte-identically when the search finds nothing strictly better
+//!   (see `docs/SCHEDULING.md`).
 //! - [`sweep`] — a Rayon-parallel experiment matrix runner for the
 //!   figure-scale sweeps (models × buffer sizes × schemes).
 //! - [`cache`] — an LRU cache of plans keyed by the canonical hash of
@@ -43,6 +49,7 @@ pub mod batch;
 pub mod cache;
 mod cancel;
 pub mod energy;
+pub mod global;
 pub mod interlayer;
 mod manager;
 mod plan;
@@ -55,7 +62,7 @@ pub mod tenancy;
 
 pub use cache::{CacheStats, PlanCache, PlanKey, PlanScheme};
 pub use cancel::CancelToken;
-pub use manager::{CandidateReport, Manager, ManagerConfig, Objective, PlanError};
+pub use manager::{CandidateReport, Manager, ManagerConfig, Objective, PlanError, SchedulerKind};
 pub use plan::{ExecutionPlan, LayerDecision, PlanTotals, Scheme};
 pub use planner::{LayerMemo, LayerPlanner, MemoStats, Planner};
 pub use spec::{NetworkRef, PlanSpec};

@@ -45,6 +45,45 @@ impl Objective {
     }
 }
 
+/// Which inter-layer scheduler assembles the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's pipeline: Algorithm 1 per layer, optionally followed
+    /// by the Section 5.4 greedy handoff pass.
+    Greedy,
+    /// The [`GlobalSchedule`](crate::global) pass: an exact dynamic
+    /// program over per-layer policy choices and inter-layer handoff
+    /// state. Guaranteed to beat or match the greedy plan on the
+    /// objective; falls back byte-identically to the greedy plan when
+    /// the search finds nothing strictly better.
+    Global,
+}
+
+impl SchedulerKind {
+    /// CLI / wire label (`greedy` / `global`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Greedy => "greedy",
+            SchedulerKind::Global => "global",
+        }
+    }
+
+    /// Parse a CLI / wire label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "greedy" => Some(SchedulerKind::Greedy),
+            "global" => Some(SchedulerKind::Global),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Knobs of the memory-management technique. Prefetching and inter-layer
 /// reuse can be disabled to reproduce the Figure 10 / Figure 11
 /// ablations.
@@ -55,17 +94,21 @@ pub struct ManagerConfig {
     pub allow_prefetch: bool,
     /// Enable the Section 5.4 inter-layer reuse pass.
     pub inter_layer_reuse: bool,
+    /// Which inter-layer scheduler assembles the plan.
+    pub scheduler: SchedulerKind,
 }
 
 impl ManagerConfig {
     /// Default configuration for an objective: prefetching allowed,
     /// inter-layer reuse off (the paper's base `Hom`/`Het` schemes;
-    /// Section 5.4 evaluates inter-layer reuse separately).
+    /// Section 5.4 evaluates inter-layer reuse separately), greedy
+    /// scheduling.
     pub fn new(objective: Objective) -> Self {
         ManagerConfig {
             objective,
             allow_prefetch: true,
             inter_layer_reuse: false,
+            scheduler: SchedulerKind::Greedy,
         }
     }
 
@@ -76,6 +119,11 @@ impl ManagerConfig {
 
     pub fn with_inter_layer_reuse(mut self, enable: bool) -> Self {
         self.inter_layer_reuse = enable;
+        self
+    }
+
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }

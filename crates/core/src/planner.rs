@@ -297,6 +297,43 @@ impl LayerPlanner {
         best
     }
 
+    /// Every feasible candidate for a layer, in deterministic
+    /// enumeration order — the search space the
+    /// [`global`](crate::global) scheduler's dynamic program ranges
+    /// over. Unconstrained, this is Algorithm 1's full candidate list
+    /// (`select` picks its objective-minimum); constrained, it mirrors
+    /// [`select_constrained`](Self::select_constrained): the named
+    /// policy's variants, or the fallback's only when nothing named
+    /// fits.
+    pub(crate) fn feasible_candidates(
+        &self,
+        shape: &LayerShape,
+        constraint: Option<PolicyKind>,
+    ) -> Vec<PolicyEstimate> {
+        let mut out = Vec::new();
+        let push_group = |kinds: &[PolicyKind], out: &mut Vec<PolicyEstimate>| {
+            for &kind in kinds {
+                for &prefetch in self.prefetch_options() {
+                    if let Some(e) = estimate(kind, shape, &self.acc, prefetch) {
+                        if e.fits(&self.acc) && !out.contains(&e) {
+                            out.push(e);
+                        }
+                    }
+                }
+            }
+        };
+        match constraint {
+            None => push_group(&PolicyKind::ALL, &mut out),
+            Some(kind) => {
+                push_group(&[kind], &mut out);
+                if out.is_empty() {
+                    push_group(&[PolicyKind::Fallback], &mut out);
+                }
+            }
+        }
+        out
+    }
+
     /// Explain Algorithm 1's choice for one layer: every candidate with
     /// its metrics, feasibility, and whether it won. Chosen = the same
     /// candidate [`select`](Self::select) would pick.
@@ -377,8 +414,25 @@ impl Planner {
     }
 
     /// The heterogeneous execution plan (`Het`): Algorithm 1 applied per
-    /// layer.
+    /// layer under the configured scheduler. With
+    /// [`SchedulerKind::Global`](crate::SchedulerKind) the greedy plan is
+    /// still built first — the global pass must beat it or fall back to
+    /// it byte-identically.
     pub fn heterogeneous_with(
+        &self,
+        net: &Network,
+        cancel: &CancelToken,
+    ) -> Result<ExecutionPlan, PlanError> {
+        match self.cfg.scheduler {
+            crate::SchedulerKind::Greedy => self.greedy_heterogeneous_with(net, cancel),
+            crate::SchedulerKind::Global => crate::global::heterogeneous(self, net, cancel),
+        }
+    }
+
+    /// The greedy heterogeneous pipeline (selection → inter-layer →
+    /// finish), regardless of the configured scheduler. The global pass
+    /// uses this as its fallback baseline.
+    pub(crate) fn greedy_heterogeneous_with(
         &self,
         net: &Network,
         cancel: &CancelToken,
@@ -388,8 +442,23 @@ impl Planner {
         Ok(self.finish_pass(net, Scheme::Heterogeneous, decisions))
     }
 
-    /// A homogeneous execution plan: every layer constrained to `kind`.
+    /// A homogeneous execution plan: every layer constrained to `kind`,
+    /// under the configured scheduler.
     pub fn homogeneous_with(
+        &self,
+        net: &Network,
+        kind: PolicyKind,
+        cancel: &CancelToken,
+    ) -> Result<ExecutionPlan, PlanError> {
+        match self.cfg.scheduler {
+            crate::SchedulerKind::Greedy => self.greedy_homogeneous_with(net, kind, cancel),
+            crate::SchedulerKind::Global => crate::global::homogeneous(self, net, kind, cancel),
+        }
+    }
+
+    /// The greedy homogeneous pipeline, regardless of the configured
+    /// scheduler. The global pass uses this as its fallback baseline.
+    pub(crate) fn greedy_homogeneous_with(
         &self,
         net: &Network,
         kind: PolicyKind,

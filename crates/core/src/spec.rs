@@ -208,6 +208,9 @@ mod tests {
         let mut other = s.clone();
         other.config = other.config.with_prefetch(false);
         assert_ne!(base, other.cache_key(&net));
+        let mut other = s.clone();
+        other.config = other.config.with_scheduler(crate::SchedulerKind::Global);
+        assert_ne!(base, other.cache_key(&net));
         let mut other = s;
         other.accelerator = other.accelerator.with_glb(ByteSize::from_kb(128));
         assert_ne!(base, other.cache_key(&net));

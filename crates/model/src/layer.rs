@@ -187,6 +187,17 @@ impl LayerShape {
             .checked_mul(ow)
             .and_then(|v| v.checked_mul(self.num_filters as u64))
             .ok_or(too_large("ofmap footprint"))?;
+        // Derived GEMM dimensions (im2col view, [`gemm_dims`](Self::gemm_dims)):
+        // M = O_H·O_W, K = F_H·F_W·(filter channels), N = F#. The planner,
+        // checker, and simulator all reason about layers through these
+        // operands, so a shape whose im2col matrix (M·K) or GEMM output
+        // (M·N) would wrap u64 is rejected here by name — before the MAC
+        // check, which would otherwise mask which operand overflowed.
+        let m = oh * ow; // each factor < 2^32, cannot wrap u64
+        m.checked_mul(single_filter)
+            .ok_or(too_large("im2col GEMM operand (M*K)"))?;
+        m.checked_mul(self.num_filters as u64)
+            .ok_or(too_large("GEMM output (M*N)"))?;
         ofmap
             .checked_mul(single_filter)
             .ok_or(too_large("MAC count"))?;
@@ -499,6 +510,29 @@ mod tests {
         s.ifmap_h = u32::MAX;
         s.padding = u32::MAX;
         assert!(s.validate().unwrap_err().to_string().contains("too large"));
+    }
+
+    #[test]
+    fn gemm_dimension_overflow_rejected_by_name() {
+        // M·K (the im2col matrix) wraps u64 while every individual
+        // footprint still fits: M ≈ 2^40 output pixels, K = 2^25 filter
+        // elements, single input channel, one filter.
+        let s = LayerShape {
+            ifmap_h: 1 << 20,
+            ifmap_w: 1 << 20,
+            in_channels: 1,
+            filter_h: 1 << 12,
+            filter_w: 1 << 13,
+            num_filters: 1,
+            stride: 1,
+            padding: 0,
+            depthwise: false,
+        };
+        assert_eq!(
+            s.validate(),
+            Err(ShapeError::TooLarge("im2col GEMM operand (M*K)"))
+        );
+        assert!(s.validate().unwrap_err().to_string().contains("M*K"));
     }
 
     #[test]

@@ -268,8 +268,31 @@ mod tests {
     }
 
     #[test]
+    fn gemm_dimension_overflow_reported_with_line_number() {
+        // Every field fits u32 and every raw footprint fits u64, but the
+        // derived im2col GEMM operand M·K wraps — the parser must reject
+        // the row, naming both the line and the overflowing operand.
+        let text = format!(
+            "ok, 8, 8, 3, 3, 4, 8, 1,\nhuge_gemm, {h}, {h}, {fh}, {fw}, 1, 1, 1,\n",
+            h = 1u32 << 20,
+            fh = 1u32 << 12,
+            fw = 1u32 << 13,
+        );
+        let err = parse("t", &text).unwrap_err();
+        assert!(
+            matches!(err, TopologyError::BadShape { line: 2, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("M*K"), "{err}");
+    }
+
+    #[test]
     fn zoo_networks_round_trip() {
-        for net in zoo::all_networks() {
+        let nets = zoo::all_networks()
+            .into_iter()
+            .chain(zoo::transformer_networks());
+        for net in nets {
             let text = write(&net);
             let parsed =
                 parse(net.name.clone(), &text).unwrap_or_else(|e| panic!("{}: {e}", net.name));

@@ -14,6 +14,13 @@
 //! - Pooling and element-wise layers hold no filter state and are not
 //!   memory-management decision points; they are folded into the spatial
 //!   dimensions of the surrounding layers (as SCALE-Sim topologies do).
+//!
+//! Beyond the paper's six, [`extended_networks`] adds classic CNNs with
+//! different pressure profiles and [`transformer_networks`] adds
+//! transformer/GEMM-heavy workloads ([`bert_tiny`], [`gemm_bench`])
+//! encoded as point-wise convolutions over degenerate `M×1` spatial
+//! extents — see `docs/WORKLOADS.md`. [`all_networks`] stays exactly the
+//! paper's six so reproduction targets never drift.
 
 mod efficientnetb0;
 mod extended;
@@ -22,6 +29,7 @@ mod mnasnet;
 mod mobilenet;
 mod mobilenetv2;
 mod resnet18;
+mod transformer;
 
 pub use efficientnetb0::efficientnetb0;
 pub use extended::{alexnet, extended_networks, resnet34, squeezenet, vgg16};
@@ -30,6 +38,7 @@ pub use mnasnet::mnasnet;
 pub use mobilenet::mobilenet;
 pub use mobilenetv2::mobilenetv2;
 pub use resnet18::resnet18;
+pub use transformer::{bert_tiny, gemm_bench, transformer_networks};
 
 use crate::{Layer, LayerKind, LayerShape, Network};
 
@@ -58,6 +67,8 @@ pub fn by_name(name: &str) -> Option<Network> {
         "vgg16" | "vgg-16" => Some(vgg16()),
         "alexnet" => Some(alexnet()),
         "squeezenet" => Some(squeezenet()),
+        "bert-tiny" | "bert_tiny" | "berttiny" => Some(bert_tiny()),
+        "gemm-bench" | "gemm_bench" | "gemmbench" => Some(gemm_bench()),
         _ => None,
     }
 }
@@ -256,6 +267,22 @@ mod tests {
         assert_eq!(by_name("efficientnet-b0").unwrap().name, "EfficientNetB0");
         assert!(by_name("vgg19").is_none());
         assert_eq!(by_name("vgg16").unwrap().name, "VGG16");
+        assert_eq!(by_name("bert-tiny").unwrap().name, "BERT-Tiny");
+        assert_eq!(by_name("BERT_tiny").unwrap().name, "BERT-Tiny");
+        assert_eq!(by_name("gemm-bench").unwrap().name, "GEMM-Bench");
+    }
+
+    #[test]
+    fn transformer_networks_validate_and_order() {
+        let names: Vec<String> = transformer_networks().into_iter().map(|n| n.name).collect();
+        assert_eq!(names, vec!["BERT-Tiny", "GEMM-Bench"]);
+        for net in transformer_networks() {
+            for l in &net.layers {
+                l.shape
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", net.name, l.name));
+            }
+        }
     }
 
     #[test]

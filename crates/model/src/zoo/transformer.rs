@@ -1,0 +1,158 @@
+//! Transformer / GEMM-heavy workloads.
+//!
+//! Transformer layers are (batched) GEMMs, and a GEMM maps onto the
+//! existing [`LayerShape`] vocabulary as a point-wise convolution over a
+//! degenerate `M×1` spatial extent: `ifmap_h = M`, `ifmap_w = 1`,
+//! `in_channels = K`, a `1×1` filter, and `num_filters = N` gives
+//! [`LayerShape::gemm_dims`] `(M, N, K)` exactly. Every analysis in the
+//! workspace — Algorithm 1 policy selection, inter-layer reuse, the
+//! checker's re-derivation, and the simulator — already reasons about
+//! layers through their footprints and GEMM view, so these networks flow
+//! through analyze/plan/serve/check/simulate unchanged.
+//!
+//! Mapping conventions (documented in `docs/WORKLOADS.md`):
+//! - Sequence length becomes the spatial `M` dimension; the model/feature
+//!   dimension becomes channels.
+//! - Multi-head attention score and context GEMMs are folded across heads
+//!   into single MAC-volume-exact GEMMs: scores are `M = S, K = d_model,
+//!   N = S` (per-head `h·S·S·d_head = S·S·d_model` MACs) and the context
+//!   product is `M = S, K = S, N = d_model`.
+//! - Softmax, layer-norm, and residual adds hold no filter state and are
+//!   not memory-management decision points; like pooling in the CNN zoo
+//!   they are folded away, and the branchy attention dataflow is
+//!   serialized into a flat layer order (so consecutive same-shape
+//!   projections appear chained to the inter-layer pass, the same
+//!   approximation the linearized residual networks already make).
+
+use super::fc;
+use crate::{Layer, LayerKind, LayerShape, Network};
+
+/// A GEMM `C[M×N] = A[M×K] · B[K×N]`, encoded as a point-wise convolution
+/// over an `M×1` spatial extent.
+fn gemm(name: impl Into<String>, m: u32, k: u32, n: u32) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::PointwiseConv,
+        LayerShape {
+            ifmap_h: m,
+            ifmap_w: 1,
+            in_channels: k,
+            filter_h: 1,
+            filter_w: 1,
+            num_filters: n,
+            stride: 1,
+            padding: 0,
+            depthwise: false,
+        },
+    )
+    .expect("zoo gemm layer must be valid")
+}
+
+/// BERT-Tiny-shaped encoder stack: 2 transformer blocks with
+/// `d_model = 128`, 2 heads, `d_ffn = 512`, sequence length 128, plus the
+/// pooler and a 2-way classifier head — 18 GEMM layers total.
+pub fn bert_tiny() -> Network {
+    const SEQ: u32 = 128; // sequence length (spatial M)
+    const D: u32 = 128; // d_model
+    const FFN: u32 = 512; // feed-forward inner dimension
+    let mut layers = Vec::new();
+    for b in 0..2 {
+        let n = |stage: &str| format!("blk{b}_{stage}");
+        layers.push(gemm(n("q_proj"), SEQ, D, D));
+        layers.push(gemm(n("k_proj"), SEQ, D, D));
+        layers.push(gemm(n("v_proj"), SEQ, D, D));
+        // Attention scores QKᵀ, folded across heads (MAC-volume exact).
+        layers.push(gemm(n("attn_scores"), SEQ, D, SEQ));
+        // Context = scores · V, folded across heads.
+        layers.push(gemm(n("attn_context"), SEQ, SEQ, D));
+        layers.push(gemm(n("out_proj"), SEQ, D, D));
+        layers.push(gemm(n("mlp_fc1"), SEQ, D, FFN));
+        layers.push(gemm(n("mlp_fc2"), SEQ, FFN, D));
+    }
+    layers.push(fc("pooler", D, D));
+    layers.push(fc("classifier", D, 2));
+    Network::new("BERT-Tiny", layers).expect("BERT-Tiny must validate")
+}
+
+/// Pure-GEMM microbenchmark net: six assorted `M×K×N` problems (square,
+/// tall-skinny, wide, and reduction-heavy) chosen so no two consecutive
+/// layers chain — each GEMM is planned in isolation.
+pub fn gemm_bench() -> Network {
+    let layers = vec![
+        gemm("square_128", 128, 128, 128),
+        gemm("square_256", 256, 256, 256),
+        gemm("square_512", 512, 512, 512),
+        gemm("tall_2048x256x64", 2048, 256, 64),
+        gemm("wide_64x512x2048", 64, 512, 2048),
+        gemm("kheavy_256x2048x256", 256, 2048, 256),
+    ];
+    Network::new("GEMM-Bench", layers).expect("GEMM-Bench must validate")
+}
+
+/// The transformer/GEMM additions to the zoo, in alphabetical order.
+pub fn transformer_networks() -> Vec<Network> {
+    vec![bert_tiny(), gemm_bench()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_arch::DataWidth;
+
+    #[test]
+    fn bert_tiny_structure() {
+        let net = bert_tiny();
+        assert_eq!(net.layers.len(), 18);
+        // 2 blocks of 8 GEMMs plus pooler and classifier.
+        assert_eq!(
+            net.layers
+                .iter()
+                .filter(|l| l.kind == LayerKind::PointwiseConv)
+                .count(),
+            16
+        );
+        assert_eq!(
+            net.layers
+                .iter()
+                .filter(|l| l.kind == LayerKind::FullyConnected)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn gemm_mapping_is_mac_volume_exact() {
+        // One encoder block of BERT-Tiny (S = 128, d = 128, ffn = 512):
+        // 4 d×d projections + scores + context + 2 MLP GEMMs.
+        let s = 128u64;
+        let d = 128u64;
+        let ffn = 512u64;
+        let block_macs = 4 * s * d * d + 2 * s * s * d + 2 * s * d * ffn;
+        let head_macs = d * d + d * 2; // pooler + classifier
+        let expected = 2 * block_macs + head_macs;
+        assert_eq!(bert_tiny().stats(DataWidth::W8).total_macs, expected);
+    }
+
+    #[test]
+    fn gemm_layers_expose_their_dims() {
+        let net = gemm_bench();
+        let l = net.layer("tall_2048x256x64").unwrap();
+        assert_eq!(l.shape.gemm_dims(), (2048, 64, 256));
+        let l = net.layer("square_512").unwrap();
+        assert_eq!(l.shape.gemm_dims(), (512, 512, 512));
+    }
+
+    #[test]
+    fn gemm_bench_layers_do_not_chain() {
+        // Each microbenchmark GEMM must be planned in isolation: no
+        // consecutive pair chains (producer ofmap shape ≠ consumer ifmap).
+        let net = gemm_bench();
+        for pair in net.layers.windows(2) {
+            let p = &pair[0].shape;
+            let c = &pair[1].shape;
+            let (oh, ow) = p.output_hw();
+            let chains = p.out_channels() == c.in_channels && (oh, ow) == (c.ifmap_h, c.ifmap_w);
+            assert!(!chains, "{} chains into {}", pair[0].name, pair[1].name);
+        }
+    }
+}

@@ -112,11 +112,15 @@ pub enum Counter {
     SimDmaRetries,
     /// Simulated cycles where GLB occupancy exceeded capacity.
     SimOccupancyViolations,
+    /// DP transitions evaluated by the global inter-layer scheduler.
+    GlobalDpTransitions,
+    /// Global-scheduler runs that fell back to the greedy plan.
+    GlobalFallbacks,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 28] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -143,6 +147,8 @@ impl Counter {
         Counter::SimStallCycles,
         Counter::SimDmaRetries,
         Counter::SimOccupancyViolations,
+        Counter::GlobalDpTransitions,
+        Counter::GlobalFallbacks,
     ];
 
     /// Stable dotted name (report rows, Chrome counter events).
@@ -174,6 +180,8 @@ impl Counter {
             Counter::SimStallCycles => "sim.stall_cycles",
             Counter::SimDmaRetries => "sim.dma_retries",
             Counter::SimOccupancyViolations => "sim.occupancy_violations",
+            Counter::GlobalDpTransitions => "global.dp_transitions",
+            Counter::GlobalFallbacks => "global.fallbacks",
         }
     }
 

@@ -20,6 +20,8 @@
 //! - `objective` — `"accesses"` (default) or `"latency"`.
 //! - `scheme` — `"het"` (default) or `"hom"` (best homogeneous).
 //! - `prefetch` / `reuse` — planner flags (defaults `true` / `false`).
+//! - `scheduler` — `"greedy"` (default) or `"global"` (the
+//!   `GlobalSchedule` DP pass; see `docs/SCHEDULING.md`).
 //! - `deadline_ms` — per-request deadline, enforced cooperatively.
 //! - `delay_ms` — testing aid: the worker sleeps this long before
 //!   planning, to make load-shedding deterministic in tests.
@@ -33,7 +35,7 @@
 //! compare plans byte-for-byte by slicing the line after `"plan":`.
 
 use smm_arch::{AcceleratorConfig, ByteSize};
-use smm_core::{ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec};
+use smm_core::{ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec, SchedulerKind};
 
 /// Maximum accepted `glb_kb` (1 GiB); guards the `ByteSize` arithmetic.
 pub const MAX_GLB_KB: u64 = 1 << 20;
@@ -78,6 +80,8 @@ pub struct Request {
     pub prefetch: bool,
     /// Enable the inter-layer reuse pass.
     pub reuse: bool,
+    /// Which inter-layer scheduler assembles the plan.
+    pub scheduler: SchedulerKind,
     /// Cooperative deadline for this request.
     pub deadline_ms: Option<u64>,
     /// Testing aid: artificial planning delay.
@@ -97,6 +101,7 @@ impl Default for Request {
             scheme: PlanScheme::Heterogeneous,
             prefetch: true,
             reuse: false,
+            scheduler: SchedulerKind::Greedy,
             deadline_ms: None,
             delay_ms: None,
         }
@@ -123,7 +128,8 @@ impl Request {
             AcceleratorConfig::paper_default(ByteSize::from_kb(self.glb_kb)),
             ManagerConfig::new(self.objective)
                 .with_prefetch(self.prefetch)
-                .with_inter_layer_reuse(self.reuse),
+                .with_inter_layer_reuse(self.reuse)
+                .with_scheduler(self.scheduler),
             self.scheme,
         )
     }
@@ -196,6 +202,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             "prefetch" => req.prefetch = as_bool(val, "prefetch")?,
             "reuse" => req.reuse = as_bool(val, "reuse")?,
+            "scheduler" => {
+                let label = as_str(val, "scheduler")?;
+                req.scheduler = SchedulerKind::from_label(&label)
+                    .ok_or_else(|| format!("unknown scheduler {label:?}"))?;
+            }
             "deadline_ms" => req.deadline_ms = Some(as_u64(val, "deadline_ms")?),
             "delay_ms" => req.delay_ms = Some(as_u64(val, "delay_ms")?),
             other => return Err(format!("unknown field {other:?}")),
@@ -350,6 +361,7 @@ mod tests {
         assert_eq!(r.scheme, PlanScheme::Heterogeneous);
         assert!(r.prefetch);
         assert!(!r.reuse);
+        assert_eq!(r.scheduler, SchedulerKind::Greedy);
     }
 
     #[test]
@@ -357,7 +369,7 @@ mod tests {
         let r = parse_request(
             r#"{"op":"plan","id":"x","model":"mobilenet","glb_kb":128,
                 "objective":"latency","scheme":"hom","prefetch":false,
-                "reuse":true,"deadline_ms":250,"delay_ms":5}"#,
+                "reuse":true,"scheduler":"global","deadline_ms":250,"delay_ms":5}"#,
         )
         .unwrap();
         assert_eq!(r.id.as_deref(), Some("x"));
@@ -366,6 +378,7 @@ mod tests {
         assert_eq!(r.scheme, PlanScheme::BestHomogeneous);
         assert!(!r.prefetch);
         assert!(r.reuse);
+        assert_eq!(r.scheduler, SchedulerKind::Global);
         assert_eq!(r.deadline_ms, Some(250));
         assert_eq!(r.delay_ms, Some(5));
     }
@@ -387,6 +400,7 @@ mod tests {
             r#"{"model":"m","topology":"x"}"#,
             r#"{"model":"m","deadline_ms":"soon"}"#,
             r#"{"model":"m","delay_ms":999999999}"#,
+            r#"{"model":"m","scheduler":"quantum"}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
         }
@@ -396,7 +410,7 @@ mod tests {
     fn request_derives_the_matching_spec() {
         let r = parse_request(
             r#"{"model":"mobilenet","glb_kb":128,"objective":"latency",
-                "scheme":"hom","prefetch":false,"reuse":true}"#,
+                "scheme":"hom","prefetch":false,"reuse":true,"scheduler":"global"}"#,
         )
         .unwrap();
         let spec = r.to_spec();
@@ -405,6 +419,7 @@ mod tests {
         assert_eq!(spec.config.objective, Objective::Latency);
         assert!(!spec.config.allow_prefetch);
         assert!(spec.config.inter_layer_reuse);
+        assert_eq!(spec.config.scheduler, SchedulerKind::Global);
         assert_eq!(spec.scheme, PlanScheme::BestHomogeneous);
         assert_eq!(spec.batch, 1);
 

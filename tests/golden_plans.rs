@@ -1,6 +1,9 @@
 //! Golden-plan fixtures: the heterogeneous and best-homogeneous plans
-//! for every zoo model at three GLB sizes, serialized with `plan_json`
-//! and pinned byte-for-byte under `tests/golden/`.
+//! for every zoo model (the paper's six plus the transformer/GEMM
+//! nets) at three GLB sizes, under both the greedy and the global
+//! inter-layer scheduler, serialized with `plan_json` and pinned
+//! byte-for-byte under `tests/golden/`. Global-scheduler cells carry a
+//! `_global` file suffix; greedy fixtures keep their original names.
 //!
 //! These fixtures are the repo's regression net for the planning
 //! pipeline: any change to the estimators, Algorithm 1's selection
@@ -16,6 +19,7 @@ use smm_arch::{AcceleratorConfig, ByteSize};
 use smm_core::report::plan_json;
 use smm_core::{
     CancelToken, LayerMemo, ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec,
+    SchedulerKind,
 };
 use smm_model::zoo;
 use std::path::PathBuf;
@@ -25,6 +29,10 @@ const GLB_KBS: [u64; 3] = [64, 256, 1024];
 const SCHEMES: [(PlanScheme, &str); 2] = [
     (PlanScheme::Heterogeneous, "het"),
     (PlanScheme::BestHomogeneous, "hom"),
+];
+const SCHEDULERS: [(SchedulerKind, &str); 2] = [
+    (SchedulerKind::Greedy, ""),
+    (SchedulerKind::Global, "_global"),
 ];
 
 fn golden_dir() -> PathBuf {
@@ -37,17 +45,22 @@ fn golden_dir() -> PathBuf {
 /// plus the fixture file name the cell pins.
 fn all_cells() -> Vec<(PlanSpec, String)> {
     let mut cells = Vec::new();
-    for net in zoo::all_networks() {
+    let nets = zoo::all_networks()
+        .into_iter()
+        .chain(zoo::transformer_networks());
+    for net in nets {
         for (scheme, tag) in SCHEMES {
             for kb in GLB_KBS {
-                let spec = PlanSpec::new(
-                    NetworkRef::Zoo(net.name.clone()),
-                    AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
-                    ManagerConfig::new(Objective::Accesses),
-                    scheme,
-                );
-                let file = format!("{}_{tag}_{kb}kb.json", net.name.to_lowercase());
-                cells.push((spec, file));
+                for (scheduler, suffix) in SCHEDULERS {
+                    let spec = PlanSpec::new(
+                        NetworkRef::Zoo(net.name.clone()),
+                        AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+                        ManagerConfig::new(Objective::Accesses).with_scheduler(scheduler),
+                        scheme,
+                    );
+                    let file = format!("{}_{tag}_{kb}kb{suffix}.json", net.name.to_lowercase());
+                    cells.push((spec, file));
+                }
             }
         }
     }
@@ -99,8 +112,8 @@ fn golden_plans_reproduce_byte_for_byte() {
         }
         checked += 1;
     }
-    // 6 models x 2 schemes x 3 GLB sizes.
-    assert_eq!(checked, 36);
+    // 8 models x 2 schemes x 3 GLB sizes x 2 schedulers.
+    assert_eq!(checked, 96);
     // The shared memo across all 36 cells must have actually memoized:
     // replans of the same spec hit for every layer.
     let stats = memo.stats();

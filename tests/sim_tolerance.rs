@@ -3,12 +3,15 @@
 //! the acceptance criteria pin (derate slows the clock but never moves
 //! a byte; clean plans never violate the occupancy ledger).
 //!
-//! The matrix mirrors `tests/golden_plans.rs` — same 6 models, same
-//! {het, hom} schemes, same {64, 256, 1024 kB} sizes, 36 cells.
+//! The matrix mirrors `tests/golden_plans.rs` — same 8 models (the
+//! paper's six plus the transformer/GEMM nets), same {het, hom}
+//! schemes, same {64, 256, 1024 kB} sizes, both schedulers, 96 cells.
 
 use smm_arch::{AcceleratorConfig, ByteSize};
 use smm_check::{check_sim_divergence, DEFAULT_SIM_TOLERANCE};
-use smm_core::{CancelToken, ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec};
+use smm_core::{
+    CancelToken, ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec, SchedulerKind,
+};
 use smm_model::zoo;
 use smm_sim::{simulate_plan, SimConfig};
 
@@ -17,19 +20,31 @@ const SCHEMES: [(PlanScheme, &str); 2] = [
     (PlanScheme::Heterogeneous, "het"),
     (PlanScheme::BestHomogeneous, "hom"),
 ];
+const SCHEDULERS: [(SchedulerKind, &str); 2] = [
+    (SchedulerKind::Greedy, ""),
+    (SchedulerKind::Global, "_global"),
+];
 
 fn all_cells() -> Vec<(PlanSpec, String)> {
     let mut cells = Vec::new();
-    for net in zoo::all_networks() {
+    let nets = zoo::all_networks()
+        .into_iter()
+        .chain(zoo::transformer_networks());
+    for net in nets {
         for (scheme, tag) in SCHEMES {
             for kb in GLB_KBS {
-                let spec = PlanSpec::new(
-                    NetworkRef::Zoo(net.name.clone()),
-                    AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
-                    ManagerConfig::new(Objective::Accesses),
-                    scheme,
-                );
-                cells.push((spec, format!("{}_{tag}_{kb}kb", net.name.to_lowercase())));
+                for (scheduler, suffix) in SCHEDULERS {
+                    let spec = PlanSpec::new(
+                        NetworkRef::Zoo(net.name.clone()),
+                        AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+                        ManagerConfig::new(Objective::Accesses).with_scheduler(scheduler),
+                        scheme,
+                    );
+                    cells.push((
+                        spec,
+                        format!("{}_{tag}_{kb}kb{suffix}", net.name.to_lowercase()),
+                    ));
+                }
             }
         }
     }
@@ -81,7 +96,7 @@ fn simulation_agrees_with_the_analytic_model_across_the_golden_matrix() {
         }
         checked += 1;
     }
-    assert_eq!(checked, 36);
+    assert_eq!(checked, 96);
     println!(
         "worst divergence over the matrix: {:.4} ({})",
         worst.0, worst.1

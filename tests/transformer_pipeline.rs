@@ -1,0 +1,152 @@
+//! Full-pipeline acceptance for the transformer/GEMM workloads and the
+//! global inter-layer scheduler: every plan must come back clean from
+//! the static verifier (no SMM001–SMM010) and, for the transformer
+//! nets, simulate within the SMM011 tolerance of its analytic estimate
+//! in a clean scenario.
+
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::check::{check_plan, check_sim_divergence, DEFAULT_SIM_TOLERANCE};
+use scratchpad_mm::core::{
+    CancelToken, ManagerConfig, Objective, PlanScheme, Planner, SchedulerKind,
+};
+use scratchpad_mm::model::zoo;
+use scratchpad_mm::sim::{simulate_plan, SimConfig};
+
+fn acc(kb: u64) -> AcceleratorConfig {
+    AcceleratorConfig::paper_default(ByteSize::from_kb(kb))
+}
+
+fn plan(
+    net: &scratchpad_mm::model::Network,
+    kb: u64,
+    objective: Objective,
+    scheduler: SchedulerKind,
+    scheme: PlanScheme,
+) -> scratchpad_mm::core::ExecutionPlan {
+    Planner::new(
+        acc(kb),
+        ManagerConfig::new(objective).with_scheduler(scheduler),
+    )
+    .plan(net, scheme, &CancelToken::none())
+    .unwrap_or_else(|e| panic!("{} @ {kb}kB {objective:?}: {e}", net.name))
+}
+
+#[test]
+fn transformer_plans_verify_clean_under_both_schedulers() {
+    for net in zoo::transformer_networks() {
+        for kb in [64u64, 256, 1024] {
+            for objective in [Objective::Accesses, Objective::Latency] {
+                for scheduler in [SchedulerKind::Greedy, SchedulerKind::Global] {
+                    for scheme in [PlanScheme::Heterogeneous, PlanScheme::BestHomogeneous] {
+                        let p = plan(&net, kb, objective, scheduler, scheme);
+                        let report = check_plan(&p, &net, &acc(kb));
+                        assert!(
+                            report.is_clean(),
+                            "{} @ {kb}kB {objective:?} {scheduler} {scheme:?}: {:?}",
+                            net.name,
+                            report.diagnostics
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn global_plans_verify_clean_across_the_cnn_zoo() {
+    // The global scheduler's handoff decisions must satisfy the same
+    // GLB invariants smm-check enforces on greedy plans.
+    for net in zoo::all_networks() {
+        for kb in [64u64, 256] {
+            let p = plan(
+                &net,
+                kb,
+                Objective::Accesses,
+                SchedulerKind::Global,
+                PlanScheme::Heterogeneous,
+            );
+            let report = check_plan(&p, &net, &acc(kb));
+            assert!(
+                report.is_clean(),
+                "{} @ {kb}kB: {:?}",
+                net.name,
+                report.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn transformer_plans_simulate_within_smm011_tolerance() {
+    for net in zoo::transformer_networks() {
+        for kb in [64u64, 256] {
+            for scheduler in [SchedulerKind::Greedy, SchedulerKind::Global] {
+                let p = plan(
+                    &net,
+                    kb,
+                    Objective::Accesses,
+                    scheduler,
+                    PlanScheme::Heterogeneous,
+                );
+                let report = simulate_plan(&p, &net, &acc(kb), &SimConfig::default())
+                    .unwrap_or_else(|e| panic!("{} @ {kb}kB {scheduler}: {e}", net.name));
+                assert_eq!(report.totals.occupancy_violations, 0, "{}", net.name);
+                assert!(
+                    check_sim_divergence(
+                        &p.network,
+                        report.totals.analytic_cycles,
+                        report.totals.cycles,
+                        DEFAULT_SIM_TOLERANCE,
+                    )
+                    .is_none(),
+                    "{} @ {kb}kB {scheduler}: {} simulated vs {} analytic",
+                    net.name,
+                    report.totals.cycles,
+                    report.totals.analytic_cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn global_beats_or_matches_greedy_on_every_zoo_model() {
+    // The ISSUE's acceptance bar, stated on plan totals: under the
+    // planning objective the global scheduler never loses to greedy.
+    let nets: Vec<_> = zoo::all_networks()
+        .into_iter()
+        .chain(zoo::transformer_networks())
+        .collect();
+    let mut strict_wins = 0usize;
+    for net in &nets {
+        for kb in [64u64, 256, 1024] {
+            let greedy = plan(
+                net,
+                kb,
+                Objective::Accesses,
+                SchedulerKind::Greedy,
+                PlanScheme::Heterogeneous,
+            );
+            let global = plan(
+                net,
+                kb,
+                Objective::Accesses,
+                SchedulerKind::Global,
+                PlanScheme::Heterogeneous,
+            );
+            assert!(
+                global.totals.accesses_elems <= greedy.totals.accesses_elems,
+                "{} @ {kb}kB: global {} > greedy {}",
+                net.name,
+                global.totals.accesses_elems,
+                greedy.totals.accesses_elems
+            );
+            strict_wins += usize::from(global.totals.accesses_elems < greedy.totals.accesses_elems);
+        }
+    }
+    assert!(
+        strict_wins > 0,
+        "global never strictly improved on greedy anywhere in the matrix"
+    );
+}
