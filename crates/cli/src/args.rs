@@ -298,11 +298,148 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenOptions, String> {
                         .map_err(|_| format!("--deadline-ms expects milliseconds, got {s:?}"))?,
                 );
             }
+            "--plan-delay-ms" => {
+                let s = value("--plan-delay-ms")?;
+                cfg.plan_delay_ms = Some(
+                    s.parse()
+                        .map_err(|_| format!("--plan-delay-ms expects milliseconds, got {s:?}"))?,
+                );
+            }
+            "--glb-set" => {
+                let s = value("--glb-set")?;
+                cfg.glb_set = s
+                    .split(',')
+                    .map(|v| {
+                        v.trim().parse().map_err(|_| {
+                            format!("--glb-set expects comma-separated kB sizes, got {v:?}")
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?;
+                if cfg.glb_set.is_empty() {
+                    return Err("--glb-set expects at least one size".into());
+                }
+            }
+            "--fleet" => cfg.fleet = true,
             "--shutdown" => cfg.shutdown = true,
             other => return Err(format!("unknown loadgen flag {other:?}")),
         }
     }
     Ok(LoadgenOptions { cfg })
+}
+
+/// Options for the `smm fleet` subcommands.
+#[derive(Debug, Clone)]
+pub enum FleetOptions {
+    /// `smm fleet route` — run the consistent-hash router.
+    Route {
+        /// Router configuration (addr, backends, health knobs).
+        cfg: smm_fleet::RouterConfig,
+        /// Write the bound port number here once listening.
+        port_file: Option<String>,
+    },
+    /// `smm fleet join` — add a node to a running router's fleet.
+    Join {
+        /// Router address.
+        addr: String,
+        /// Joining node address.
+        node: String,
+    },
+    /// `smm fleet leave` — remove a node from a running router's fleet.
+    Leave {
+        /// Router address.
+        addr: String,
+        /// Leaving node address.
+        node: String,
+    },
+}
+
+/// Parse `smm fleet <route|join|leave>` flags.
+pub fn parse_fleet(argv: &[String]) -> Result<FleetOptions, String> {
+    let Some(sub) = argv.first() else {
+        return Err("fleet needs a subcommand: route | join | leave".into());
+    };
+    let rest = &argv[1..];
+    match sub.as_str() {
+        "route" => parse_fleet_route(rest),
+        "join" | "leave" => {
+            let mut addr = "127.0.0.1:7879".to_string();
+            let mut node = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))
+                };
+                match arg.as_str() {
+                    "--addr" => addr = value("--addr")?,
+                    "--node" => node = Some(value("--node")?),
+                    other => return Err(format!("unknown fleet {sub} flag {other:?}")),
+                }
+            }
+            let node = node.ok_or_else(|| format!("fleet {sub} needs --node <HOST:PORT>"))?;
+            Ok(if sub == "join" {
+                FleetOptions::Join { addr, node }
+            } else {
+                FleetOptions::Leave { addr, node }
+            })
+        }
+        other => Err(format!("unknown fleet subcommand {other:?}")),
+    }
+}
+
+fn parse_fleet_route(argv: &[String]) -> Result<FleetOptions, String> {
+    let mut cfg = smm_fleet::RouterConfig::default();
+    let mut port: u16 = 7879;
+    let mut port_file = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        let number = |flag: &str, s: String| -> Result<u64, String> {
+            s.parse()
+                .map_err(|_| format!("{flag} expects a non-negative integer, got {s:?}"))
+        };
+        match arg.as_str() {
+            "--port" => {
+                let s = value("--port")?;
+                port = s
+                    .parse()
+                    .map_err(|_| format!("--port expects a port number, got {s:?}"))?;
+            }
+            "--backends" => {
+                cfg.backends = value("--backends")?
+                    .split(',')
+                    .map(|b| b.trim().to_string())
+                    .filter(|b| !b.is_empty())
+                    .collect();
+            }
+            "--vnodes" => cfg.vnodes = number("--vnodes", value("--vnodes")?)?.max(1) as u32,
+            "--retries" => cfg.retries = number("--retries", value("--retries")?)? as u32,
+            "--eject-after" => {
+                cfg.eject_after = number("--eject-after", value("--eject-after")?)?.max(1) as u32;
+            }
+            "--probe-ms" => {
+                cfg.probe_interval =
+                    std::time::Duration::from_millis(number("--probe-ms", value("--probe-ms")?)?);
+            }
+            "--timeout-ms" => {
+                cfg.forward_timeout = std::time::Duration::from_millis(
+                    number("--timeout-ms", value("--timeout-ms")?)?.max(1),
+                );
+            }
+            "--handoff-limit" => {
+                cfg.handoff_limit = number("--handoff-limit", value("--handoff-limit")?)?;
+            }
+            "--port-file" => port_file = Some(value("--port-file")?),
+            other => return Err(format!("unknown fleet route flag {other:?}")),
+        }
+    }
+    cfg.addr = format!("127.0.0.1:{port}");
+    Ok(FleetOptions::Route { cfg, port_file })
 }
 
 #[cfg(test)]

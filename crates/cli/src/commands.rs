@@ -666,6 +666,64 @@ pub fn serve(opts: &crate::args::ServeOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// `smm fleet <route|join|leave>` — run the consistent-hash router or
+/// change a running router's membership.
+pub fn fleet(opts: &crate::args::FleetOptions) -> Result<(), String> {
+    use crate::args::FleetOptions;
+    match opts {
+        FleetOptions::Route { cfg, port_file } => {
+            let backends = cfg.backends.clone();
+            let handle = smm_fleet::Router::spawn(cfg.clone())
+                .map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+            let addr = handle.local_addr();
+            println!(
+                "smm fleet route listening on {addr} ({} backends, {} vnodes, {} retries)",
+                backends.len(),
+                cfg.vnodes,
+                cfg.retries
+            );
+            for b in &backends {
+                println!("  backend {b}");
+            }
+            if let Some(path) = port_file {
+                std::fs::write(path, format!("{}\n", addr.port()))
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
+            handle.join();
+            println!("smm fleet route: shut down cleanly");
+            Ok(())
+        }
+        FleetOptions::Join { addr, node } => fleet_admin(addr, "fleet_join", node),
+        FleetOptions::Leave { addr, node } => fleet_admin(addr, "fleet_leave", node),
+    }
+}
+
+/// Send one `fleet_join` / `fleet_leave` admin line to a router and
+/// print its acknowledgement.
+fn fleet_admin(addr: &str, op: &str, node: &str) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let msg = format!(
+        "{{\"op\":\"{op}\",\"node\":\"{}\"}}\n",
+        smm_core::report::json_escape(node)
+    );
+    writer
+        .write_all(msg.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let line = line.trim();
+    println!("{line}");
+    if line.contains("\"status\":\"ok\"") {
+        Ok(())
+    } else {
+        Err(format!("router rejected {op}"))
+    }
+}
+
 /// `smm loadgen` — drive a running server and report throughput,
 /// latency percentiles, cache hit rate, and shed counts.
 pub fn loadgen(opts: &crate::args::LoadgenOptions) -> Result<(), String> {

@@ -26,7 +26,9 @@ COMMANDS:
     tenants  <modelA> <modelB>        Partition one GLB between two models
     topology <model>                  Emit a model as a topology CSV
     serve                             Run the concurrent planning server
-    loadgen                           Drive a running server, report latency/throughput
+    loadgen                           Drive a running server or fleet, report latency/throughput
+    fleet route                       Run the consistent-hash fleet router
+    fleet join|leave                  Add/remove a node on a running router (warm handoff)
 
 OPTIONS (analyze / check / baseline / sweep):
     --glb <KB>            GLB size in kB (default 256)
@@ -68,8 +70,26 @@ OPTIONS (loadgen):
     --concurrency <N>     Concurrent client connections (default 8)
     --models <A,B,...>    Models to request round-robin (default: full zoo)
     --glb <KB>            GLB size in kB for every request (default 64)
+    --glb-set <A,B,...>   Cycle these GLB sizes across requests (widens the key set)
     --deadline-ms <MS>    Per-request deadline
+    --plan-delay-ms <MS>  Simulated planning cost (server sleeps on cache misses)
+    --fleet               Report per-node hit rates and routing skew (router targets)
     --shutdown            Send a shutdown op to the server after the run
+
+OPTIONS (fleet route):
+    --port <P>            TCP port to bind; 0 picks an ephemeral port (default 7879)
+    --backends <A,B,...>  Initial backend node addresses (host:port)
+    --vnodes <N>          Virtual nodes per backend on the hash ring (default 128)
+    --retries <N>         Extra replicas tried after the owner fails (default 2)
+    --eject-after <N>     Consecutive failures before ejection (default 3)
+    --probe-ms <MS>       Probe interval for ejected backends (default 500)
+    --timeout-ms <MS>     Per-forward I/O timeout (default 30000)
+    --handoff-limit <N>   Max plans migrated per donor on join/leave; 0 = cold (default 256)
+    --port-file <FILE>    Write the bound port number to FILE once listening
+
+OPTIONS (fleet join / leave):
+    --addr <HOST:PORT>    Router address (default 127.0.0.1:7879)
+    --node <HOST:PORT>    Node to add or remove
 ";
 
 fn main() -> ExitCode {
@@ -103,6 +123,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "topology" => commands::topology(&args::parse(rest)?),
         "serve" => commands::serve(&args::parse_serve(rest)?),
         "loadgen" => commands::loadgen(&args::parse_loadgen(rest)?),
+        "fleet" => commands::fleet(&args::parse_fleet(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -41,6 +41,18 @@ pub enum PlanScheme {
     BestHomogeneous,
 }
 
+/// Version tag of the [`PlanKey::stable_bytes`] wire encoding.
+///
+/// The in-process FNV hash in [`PlanKey::hash64`] is an implementation
+/// detail that may change between builds; anything that crosses a
+/// process boundary — the consistent-hash ring in `smm-fleet`, the
+/// `migrate`/`dump` protocol verbs — must use the *stable* encoding,
+/// which is pinned by this version number and by golden-vector tests.
+/// Bump the version whenever the byte layout changes so a router and a
+/// node built from different revisions can never silently disagree
+/// about shard ownership.
+pub const KEY_HASH_VERSION: u32 = 1;
+
 /// Canonical cache key for one planning input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanKey {
@@ -135,6 +147,85 @@ impl PlanKey {
     pub fn hash64(&self) -> u64 {
         self.hash
     }
+
+    /// The versioned wire encoding of this key: [`KEY_HASH_VERSION`] as
+    /// a little-endian `u32`, followed by the canonical field encoding
+    /// (every integer little-endian, every string length-prefixed).
+    ///
+    /// This is the byte string the `migrate`/`dump` protocol verbs ship
+    /// between fleet nodes, and the input to
+    /// [`stable_hash64`](Self::stable_hash64), so its layout is part of the wire
+    /// protocol — see [`KEY_HASH_VERSION`].
+    pub fn stable_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.encoding.len());
+        out.extend_from_slice(&KEY_HASH_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.encoding);
+        out
+    }
+
+    /// The stable shard-ownership hash: FNV-1a 64 over
+    /// [`stable_bytes`](Self::stable_bytes). Every node and router in a
+    /// fleet computes ring placement from this value, so it is pinned
+    /// by golden-vector tests and versioned via [`KEY_HASH_VERSION`].
+    pub fn stable_hash64(&self) -> u64 {
+        fnv1a(&self.stable_bytes())
+    }
+
+    /// [`stable_bytes`](Self::stable_bytes) as lowercase hex, the form
+    /// used in the JSON protocol (`"key"` fields of `migrate`/`dump`).
+    pub fn stable_hex(&self) -> String {
+        let bytes = self.stable_bytes();
+        let mut out = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+
+    /// Reconstruct a key from its [`stable_bytes`](Self::stable_bytes)
+    /// form, rejecting unknown encoding versions.
+    pub fn from_stable_bytes(bytes: &[u8]) -> Result<PlanKey, String> {
+        if bytes.len() < 4 {
+            return Err("stable key too short for a version prefix".into());
+        }
+        let version = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        if version != KEY_HASH_VERSION {
+            return Err(format!(
+                "unsupported key encoding version {version} (this build speaks {KEY_HASH_VERSION})"
+            ));
+        }
+        let encoding = bytes[4..].to_vec();
+        let hash = fnv1a(&encoding);
+        Ok(PlanKey { encoding, hash })
+    }
+
+    /// Reconstruct a key from [`stable_hex`](Self::stable_hex).
+    pub fn from_stable_hex(hex: &str) -> Result<PlanKey, String> {
+        if !hex.len().is_multiple_of(2) {
+            return Err("stable key hex must have even length".into());
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let pair = hex
+                .get(i..i + 2)
+                .ok_or_else(|| "stable key hex is not ASCII".to_string())?;
+            bytes.push(
+                u8::from_str_radix(pair, 16)
+                    .map_err(|_| format!("stable key hex has a non-hex pair {pair:?}"))?,
+            );
+        }
+        Self::from_stable_bytes(&bytes)
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice — the same constants the
+/// [`Encoder`] uses incrementally.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash = (hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl Hash for PlanKey {
@@ -228,19 +319,25 @@ impl CacheStats {
     }
 }
 
-struct Entry {
-    plan: Arc<ExecutionPlan>,
+struct Entry<V> {
+    value: V,
     last_used: u64,
 }
 
-struct Inner {
-    map: HashMap<PlanKey, Entry, BuildHasherDefault<IdentityHasher>>,
+struct Inner<V> {
+    map: HashMap<PlanKey, Entry<V>, BuildHasherDefault<IdentityHasher>>,
     tick: u64,
 }
 
 /// A bounded, thread-safe, least-recently-used plan cache.
-pub struct PlanCache {
-    inner: Mutex<Inner>,
+///
+/// Generic over the cached value: the planner-facing default caches
+/// whole [`ExecutionPlan`]s, while the serving layer caches the
+/// *rendered plan JSON* (`Arc<String>`) so cached responses — including
+/// plans migrated in from another fleet node — are byte-identical to
+/// freshly planned ones.
+pub struct PlanCache<V = Arc<ExecutionPlan>> {
+    inner: Mutex<Inner<V>>,
     capacity: usize,
     // Statistics use Relaxed ordering throughout: they are monotone
     // counters read only for reporting, never used to publish data or
@@ -250,7 +347,7 @@ pub struct PlanCache {
     evictions: AtomicU64,
 }
 
-impl std::fmt::Debug for PlanCache {
+impl<V: Clone> std::fmt::Debug for PlanCache<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.stats();
         f.debug_struct("PlanCache")
@@ -263,7 +360,7 @@ impl std::fmt::Debug for PlanCache {
     }
 }
 
-impl PlanCache {
+impl<V: Clone> PlanCache<V> {
     /// A cache holding at most `capacity` plans. Capacity 0 disables
     /// caching (every lookup misses, inserts are dropped).
     pub fn new(capacity: usize) -> Self {
@@ -280,7 +377,7 @@ impl PlanCache {
     }
 
     /// Look a plan up, refreshing its LRU position on a hit.
-    pub fn get(&self, key: &PlanKey) -> Option<Arc<ExecutionPlan>> {
+    pub fn get(&self, key: &PlanKey) -> Option<V> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -288,7 +385,7 @@ impl PlanCache {
             e.last_used = tick;
             self.hits.fetch_add(1, Ordering::Relaxed);
             smm_obs::add(smm_obs::Counter::PlanCacheHits, 1);
-            Some(Arc::clone(&e.plan))
+            Some(e.value.clone())
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             smm_obs::add(smm_obs::Counter::PlanCacheMisses, 1);
@@ -299,7 +396,7 @@ impl PlanCache {
     /// Insert a plan, evicting the least-recently-used entry if the
     /// cache is full. Re-inserting an existing key refreshes its value
     /// and LRU position without evicting.
-    pub fn insert(&self, key: PlanKey, plan: Arc<ExecutionPlan>) {
+    pub fn insert(&self, key: PlanKey, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -321,10 +418,25 @@ impl PlanCache {
         inner.map.insert(
             key,
             Entry {
-                plan,
+                value,
                 last_used: tick,
             },
         );
+    }
+
+    /// The `n` most-recently-used entries, hottest first, without
+    /// touching LRU positions or hit/miss statistics. This is the
+    /// export side of warm-cache handoff: a node losing ring ownership
+    /// dumps its hottest plans so the new owner starts warm.
+    pub fn hottest(&self, n: usize) -> Vec<(PlanKey, V)> {
+        let inner = self.inner.lock();
+        let mut entries: Vec<(&PlanKey, &Entry<V>)> = inner.map.iter().collect();
+        entries.sort_by_key(|(_, e)| std::cmp::Reverse(e.last_used));
+        entries
+            .into_iter()
+            .take(n)
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect()
     }
 
     /// Current statistics.
@@ -426,6 +538,99 @@ mod tests {
                 PlanScheme::Heterogeneous
             )
         );
+    }
+
+    #[test]
+    fn stable_bytes_round_trips_and_rejects_bad_versions() {
+        let net = zoo::resnet18();
+        let k = key(&net, 256);
+        let bytes = k.stable_bytes();
+        assert_eq!(&bytes[..4], &KEY_HASH_VERSION.to_le_bytes());
+        let back = PlanKey::from_stable_bytes(&bytes).unwrap();
+        assert_eq!(back, k);
+        assert_eq!(back.hash64(), k.hash64());
+        assert_eq!(back.stable_hash64(), k.stable_hash64());
+        assert_eq!(PlanKey::from_stable_hex(&k.stable_hex()).unwrap(), k);
+
+        // Unknown version, truncated input, and garbage hex all error.
+        let mut wrong = bytes.clone();
+        wrong[0] = 99;
+        assert!(PlanKey::from_stable_bytes(&wrong).is_err());
+        assert!(PlanKey::from_stable_bytes(&bytes[..3]).is_err());
+        assert!(PlanKey::from_stable_hex("zz").is_err());
+        assert!(PlanKey::from_stable_hex("abc").is_err());
+    }
+
+    /// Golden vectors for the versioned wire encoding. These constants
+    /// pin the byte layout across builds: a router and a node that
+    /// disagree on any of them would silently disagree on shard
+    /// ownership, so a failure here means [`KEY_HASH_VERSION`] must be
+    /// bumped and every fleet component rebuilt together.
+    #[test]
+    fn stable_encoding_golden_vectors() {
+        // A minimal hand-built network, so the expected bytes can be
+        // derived from the documented encoding by hand.
+        let layer = smm_model::Layer::new(
+            "l0".to_string(),
+            smm_model::LayerKind::Conv,
+            smm_model::LayerShape {
+                ifmap_h: 8,
+                ifmap_w: 8,
+                in_channels: 3,
+                filter_h: 3,
+                filter_w: 3,
+                num_filters: 4,
+                stride: 1,
+                padding: 0,
+                depthwise: false,
+            },
+        )
+        .unwrap();
+        let net = Network::new("t", vec![layer]).unwrap();
+        let k = key(&net, 64);
+        let hex = k.stable_hex();
+        // version 1 LE · len("t")=1 LE · "t" · layer count 1 LE ·
+        // len("l0")=2 LE · "l0" — every integer little-endian u64,
+        // every string length-prefixed.
+        assert!(
+            hex.starts_with("01000000010000000000000074010000000000000002000000000000006c30"),
+            "prefix changed: {hex}"
+        );
+        assert_eq!(k.stable_hash64(), GOLDEN_TINY_HASH, "hash: {hex}");
+
+        // Two full-zoo keys, pinning the network/accelerator encoding.
+        assert_eq!(
+            key(&zoo::resnet18(), 64).stable_hash64(),
+            GOLDEN_RESNET18_64_HASH
+        );
+        assert_eq!(
+            key(&zoo::mobilenetv2(), 256).stable_hash64(),
+            GOLDEN_MOBILENETV2_256_HASH
+        );
+    }
+
+    const GOLDEN_TINY_HASH: u64 = 0x7a4a_a8ed_e812_1d1f;
+    const GOLDEN_RESNET18_64_HASH: u64 = 0xdecf_f1e2_ad01_b666;
+    const GOLDEN_MOBILENETV2_256_HASH: u64 = 0x1d60_71bd_ec8f_fc49;
+
+    #[test]
+    fn hottest_returns_most_recent_first_without_touching_stats() {
+        let cache: PlanCache<Arc<String>> = PlanCache::new(8);
+        let nets = [zoo::resnet18(), zoo::mobilenet(), zoo::mobilenetv2()];
+        for (i, n) in nets.iter().enumerate() {
+            cache.insert(key(n, 256), Arc::new(format!("plan-{i}")));
+        }
+        // Touch the oldest so it becomes hottest.
+        assert!(cache.get(&key(&nets[0], 256)).is_some());
+        let before = cache.stats();
+        let hot = cache.hottest(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, key(&nets[0], 256));
+        assert_eq!(*hot[0].1, "plan-0");
+        assert_eq!(hot[1].0, key(&nets[2], 256));
+        let after = cache.stats();
+        assert_eq!(before, after, "hottest must not perturb statistics");
+        assert_eq!(cache.hottest(100).len(), 3);
     }
 
     #[test]

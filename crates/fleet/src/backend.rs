@@ -1,0 +1,245 @@
+//! One planning node as seen from the router: a pooled TCP connection
+//! set plus health state.
+//!
+//! Health is a consecutive-failure counter: `eject_after` failures in a
+//! row mark the backend unhealthy and routing skips it until the
+//! router's probe thread gets a `pong` back and re-admits it. Successes
+//! reset the counter, so a backend only gets ejected by a *streak* of
+//! failures, not by occasional timeouts under load.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Cap on idle pooled connections per backend; extras are dropped on
+/// check-in rather than held open.
+const POOL_CAP: usize = 16;
+
+/// A single downstream planning node.
+pub struct Backend {
+    addr: String,
+    pool: Mutex<Vec<TcpStream>>,
+    consecutive_failures: AtomicU32,
+    healthy: AtomicBool,
+    /// Requests routed here (successful forwards).
+    routed: AtomicU64,
+    /// Forwards whose response reported `"cache_hit":true`.
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend")
+            .field("addr", &self.addr)
+            .field("healthy", &self.is_healthy())
+            .field("consecutive_failures", &self.consecutive_failures())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Backend {
+    /// A new, healthy backend with an empty connection pool.
+    pub fn new(addr: impl Into<String>) -> Backend {
+        Backend {
+            addr: addr.into(),
+            pool: Mutex::new(Vec::new()),
+            consecutive_failures: AtomicU32::new(0),
+            healthy: AtomicBool::new(true),
+            routed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The node's `host:port` address (also its ring identity).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether routing currently considers this backend usable.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Current failure streak length.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::Relaxed)
+    }
+
+    /// Successful forwards routed here so far.
+    pub fn routed_count(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// Forwards here that were served from the node's plan cache.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Record a successful forward for the per-node routing report.
+    pub fn tally(&self, cache_hit: bool) {
+        self.routed.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Send one request line and read one response line, reusing a
+    /// pooled connection when available.
+    ///
+    /// A pooled connection that fails is retried once on a fresh one —
+    /// the pooled stream may simply have been closed by the backend's
+    /// idle side between requests, which is not a health signal. A
+    /// failure on a *fresh* connection is reported to the caller, who
+    /// decides whether it tips the backend into ejection.
+    pub fn forward(&self, line: &str, timeout: Duration) -> Result<String, String> {
+        if let Some(stream) = self.checkout() {
+            // A stale pooled conn falls through to a fresh connection.
+            if let Ok((resp, stream)) = Self::roundtrip(stream, line, timeout) {
+                self.checkin(stream);
+                return Ok(resp);
+            }
+        }
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        match Self::roundtrip(stream, line, timeout) {
+            Ok((resp, stream)) => {
+                self.checkin(stream);
+                Ok(resp)
+            }
+            Err(e) => Err(format!("forward to {}: {e}", self.addr)),
+        }
+    }
+
+    /// Write `line`, read one line back. Consumes the stream and returns
+    /// it only on success so failed streams never re-enter the pool.
+    fn roundtrip(
+        stream: TcpStream,
+        line: &str,
+        timeout: Duration,
+    ) -> Result<(String, TcpStream), String> {
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| e.to_string())?;
+        // One write per line with Nagle off: the split payload/"\n"
+        // write pattern stalls ~40 ms against the node's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut msg = String::with_capacity(line.len() + 1);
+        msg.push_str(line);
+        msg.push('\n');
+        writer
+            .write_all(msg.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        let n = reader.read_line(&mut resp).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed before response".into());
+        }
+        while resp.ends_with('\n') || resp.ends_with('\r') {
+            resp.pop();
+        }
+        Ok((resp, reader.into_inner()))
+    }
+
+    /// Note a successful exchange: the failure streak resets.
+    pub fn on_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
+    /// Note a failed exchange. Returns `true` when this failure crossed
+    /// `eject_after` and flipped the backend from healthy to ejected
+    /// (so the caller counts the ejection exactly once).
+    pub fn on_failure(&self, eject_after: u32) -> bool {
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= eject_after {
+            self.healthy.swap(false, Ordering::Relaxed)
+        } else {
+            false
+        }
+    }
+
+    /// Re-admit after a successful probe: healthy again, streak cleared,
+    /// stale pooled connections dropped. Returns `true` if the backend
+    /// was actually unhealthy (so re-admissions are counted once).
+    pub fn readmit(&self) -> bool {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.pool.lock().clear();
+        !self.healthy.swap(true, Ordering::Relaxed)
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        self.pool.lock().pop()
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < POOL_CAP {
+            pool.push(stream);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    /// A one-shot echo server that answers each line with a fixed reply.
+    fn echo_server(reply: &'static str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut line = String::new();
+                    let mut stream = stream;
+                    while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+                        writeln!(stream, "{reply}").unwrap();
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn forward_reuses_pooled_connections() {
+        let addr = echo_server("{\"status\":\"ok\"}");
+        let backend = Backend::new(addr);
+        let t = Duration::from_secs(2);
+        for _ in 0..3 {
+            let resp = backend.forward("{\"op\":\"ping\"}", t).unwrap();
+            assert_eq!(resp, "{\"status\":\"ok\"}");
+        }
+        assert_eq!(backend.pool.lock().len(), 1, "one pooled conn reused");
+    }
+
+    #[test]
+    fn failure_streak_ejects_and_readmit_recovers() {
+        let backend = Backend::new("127.0.0.1:1"); // nothing listens here
+        assert!(backend
+            .forward("{\"op\":\"ping\"}", Duration::from_millis(200))
+            .is_err());
+        assert!(!backend.on_failure(3));
+        assert!(!backend.on_failure(3));
+        assert!(backend.on_failure(3), "third strike flips to ejected");
+        assert!(!backend.is_healthy());
+        assert!(!backend.on_failure(3), "already ejected: no double count");
+        assert!(backend.readmit());
+        assert!(backend.is_healthy());
+        assert_eq!(backend.consecutive_failures(), 0);
+        assert!(!backend.readmit(), "already healthy: no double count");
+    }
+}

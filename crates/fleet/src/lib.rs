@@ -1,0 +1,34 @@
+//! # smm-fleet — sharded multi-node planning
+//!
+//! A planning fleet is N independent `smm serve` nodes behind one
+//! router. The router shards requests by the versioned
+//! [`smm_core::PlanKey`] wire hash on a consistent-hash [`HashRing`],
+//! so each node's plan cache holds a distinct `1/N` slice of the
+//! keyspace — aggregate cache capacity scales with the fleet instead of
+//! being replicated N times.
+//!
+//! The pieces:
+//!
+//! - [`ring::HashRing`] — virtual-node consistent hashing; ownership
+//!   placement is part of the wire contract (golden-vector pinned).
+//! - [`backend::Backend`] — one downstream node: pooled connections
+//!   plus consecutive-failure health state.
+//! - [`router::Router`] — the JSON-lines front-end: key-affine
+//!   forwarding, bounded retry on the next replica, ejection and
+//!   probe-based re-admission, and warm-cache handoff on membership
+//!   changes (`fleet_join` / `fleet_leave`).
+//!
+//! Because nodes cache *rendered* plan JSON and plans migrate as exact
+//! byte strings, a fleet answers every request with bytes identical to
+//! what a single node would have produced. `docs/FLEET.md` walks
+//! through the protocol and the operational model.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod ring;
+pub mod router;
+
+pub use backend::Backend;
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{FleetCountersSnapshot, Router, RouterConfig, RouterHandle};

@@ -1,0 +1,232 @@
+//! The consistent-hash ring that assigns `PlanKey` ownership to nodes.
+//!
+//! Each node is expanded into `vnodes` virtual points on a 64-bit ring;
+//! a key (hashed with [`smm_core::PlanKey::stable_hash64`], the
+//! versioned wire hash) is owned by the first point clockwise from the
+//! key's hash. Virtual nodes smooth the per-node share toward `1/N`,
+//! and adding or removing one node only remaps the arcs that touch its
+//! points — about `1/N` of the keyspace — which is what makes
+//! warm-cache handoff affordable.
+//!
+//! # Wire contract
+//!
+//! Point placement is part of the fleet's wire contract: every router
+//! and every tool that reasons about ownership must place node
+//! `(id, vnode)` at `fmix64(FNV-1a64(len(id) as u64 LE ‖ id bytes ‖
+//! vnode as u32 LE))`, where `fmix64` is the MurmurHash3 finalizer —
+//! raw FNV-1a clusters badly over near-identical short inputs, and the
+//! finalizer restores uniform point spacing. Key hashes come from
+//! [`smm_core::PlanKey::stable_hash64`], which is itself pinned by
+//! [`smm_core::KEY_HASH_VERSION`] and golden-vector tests. Change
+//! either and rolling upgrades would silently split ownership; bump
+//! the key-hash version instead.
+
+/// Default virtual nodes per physical node. 128 keeps the max/mean
+/// load ratio within ~1.3 for small fleets (see `tests/ring_props.rs`).
+pub const DEFAULT_VNODES: u32 = 128;
+
+/// An immutable consistent-hash ring over node identifiers.
+///
+/// Membership changes produce a *new* ring ([`with_node`](Self::with_node)
+/// / [`without_node`](Self::without_node)); the router swaps rings
+/// atomically only after warm handoff completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    vnodes: u32,
+    /// Sorted, deduplicated node ids.
+    nodes: Vec<String>,
+    /// `(point hash, index into nodes)`, sorted by hash.
+    points: Vec<(u64, u32)>,
+}
+
+/// FNV-1a 64 — same constants as the `PlanKey` encoder, applied to the
+/// ring's point encoding.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash = (hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The MurmurHash3 64-bit finalizer: full-avalanche bit mixing, so
+/// points from near-identical inputs spread uniformly around the ring.
+fn fmix64(mut z: u64) -> u64 {
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^ (z >> 33)
+}
+
+/// The documented point placement: length-prefixed node id, then the
+/// vnode index, all little-endian, FNV-hashed and finalized.
+fn point_hash(node: &str, vnode: u32) -> u64 {
+    let mut buf = Vec::with_capacity(8 + node.len() + 4);
+    buf.extend_from_slice(&(node.len() as u64).to_le_bytes());
+    buf.extend_from_slice(node.as_bytes());
+    buf.extend_from_slice(&vnode.to_le_bytes());
+    fmix64(fnv1a(&buf))
+}
+
+impl HashRing {
+    /// Build a ring over `nodes` with `vnodes` virtual points each.
+    /// Node ids are deduplicated; `vnodes` is clamped to at least 1.
+    pub fn new<I, S>(nodes: I, vnodes: u32) -> HashRing
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut ids: Vec<String> = nodes.into_iter().map(Into::into).collect();
+        ids.sort();
+        ids.dedup();
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(ids.len() * vnodes as usize);
+        for (i, id) in ids.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((point_hash(id, v), i as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            vnodes,
+            nodes: ids,
+            points,
+        }
+    }
+
+    /// The member node ids, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Virtual points per node.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: &str) -> bool {
+        self.nodes.iter().any(|n| n == node)
+    }
+
+    /// A new ring with `node` added (no-op clone if already present).
+    pub fn with_node(&self, node: &str) -> HashRing {
+        HashRing::new(
+            self.nodes.iter().map(String::as_str).chain([node]),
+            self.vnodes,
+        )
+    }
+
+    /// A new ring with `node` removed (no-op clone if absent).
+    pub fn without_node(&self, node: &str) -> HashRing {
+        HashRing::new(
+            self.nodes.iter().filter(|n| *n != node).map(String::as_str),
+            self.vnodes,
+        )
+    }
+
+    /// The node owning `key_hash`, or `None` on an empty ring.
+    pub fn owner(&self, key_hash: u64) -> Option<&str> {
+        self.replica_start(key_hash)
+            .map(|i| self.nodes[self.points[i].1 as usize].as_str())
+    }
+
+    /// All distinct nodes in ring order starting at the owner: the
+    /// retry sequence for `key_hash`. The owner comes first; each
+    /// subsequent entry is the next distinct node clockwise, so a
+    /// failed forward retries on the node that would own the key if
+    /// its predecessors left.
+    pub fn replicas(&self, key_hash: u64) -> Vec<&str> {
+        let Some(start) = self.replica_start(key_hash) else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for off in 0..self.points.len() {
+            let (_, node_idx) = self.points[(start + off) % self.points.len()];
+            if !seen[node_idx as usize] {
+                seen[node_idx as usize] = true;
+                out.push(self.nodes[node_idx as usize].as_str());
+                if out.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Index into `points` of the first point clockwise from `key_hash`.
+    fn replica_start(&self, key_hash: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = self.points.partition_point(|(h, _)| *h < key_hash);
+        Some(if i == self.points.len() { 0 } else { i })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_deterministic_and_order_independent() {
+        let a = HashRing::new(["n1", "n2", "n3"], 64);
+        let b = HashRing::new(["n3", "n1", "n2", "n1"], 64);
+        assert_eq!(a, b, "construction order and duplicates must not matter");
+        for k in 0..1000u64 {
+            let h = k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert_eq!(a.owner(h), b.owner(h));
+        }
+    }
+
+    #[test]
+    fn replicas_start_at_owner_and_cover_all_nodes_distinctly() {
+        let ring = HashRing::new(["n1", "n2", "n3"], 64);
+        for k in 0..100u64 {
+            let h = k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let reps = ring.replicas(h);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], ring.owner(h).unwrap());
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_node_rings() {
+        let empty = HashRing::new(Vec::<String>::new(), 128);
+        assert_eq!(empty.owner(42), None);
+        assert!(empty.replicas(42).is_empty());
+        let one = HashRing::new(["solo"], 128);
+        assert_eq!(one.owner(42), Some("solo"));
+        assert_eq!(one.replicas(42), vec!["solo"]);
+    }
+
+    #[test]
+    fn membership_ops_add_and_remove() {
+        let ring = HashRing::new(["n1", "n2"], 32);
+        let grown = ring.with_node("n3");
+        assert!(grown.contains("n3"));
+        assert_eq!(grown.nodes().len(), 3);
+        let shrunk = grown.without_node("n1");
+        assert!(!shrunk.contains("n1"));
+        assert_eq!(shrunk.nodes().len(), 2);
+        // Adding an existing node or removing an absent one is a no-op.
+        assert_eq!(ring.with_node("n2"), ring);
+        assert_eq!(ring.without_node("nx"), ring);
+    }
+
+    #[test]
+    fn point_placement_is_pinned() {
+        // Golden vector for the ring's half of the wire contract (the
+        // key half lives in smm-core's golden-vector test). If this
+        // constant moves, rolling upgrades would split ownership.
+        assert_eq!(point_hash("node-a", 7), GOLDEN_POINT_NODE_A_7);
+    }
+
+    const GOLDEN_POINT_NODE_A_7: u64 = 0x023a_60de_d87c_39b0;
+}

@@ -1,0 +1,768 @@
+//! The fleet router: a JSON-lines front-end that shards plan requests
+//! across backend planning nodes by consistent hash.
+//!
+//! The router speaks the *same* protocol as a single `smm serve` node
+//! on both sides: clients talk to it exactly as they would to one node,
+//! and it forwards the original request line verbatim to the chosen
+//! backend. Two admin verbs exist only at the router:
+//!
+//! - `{"op":"fleet_join","node":"host:port"}` — probe the new node,
+//!   warm its cache by migrating the plans it is about to own (pulled
+//!   with `dump` from current owners, pushed with `migrate`), then
+//!   flip the ring. Clients never see a cold-miss spike.
+//! - `{"op":"fleet_leave","node":"host:port"}` — drain the leaving
+//!   node's hottest plans to their new owners, then flip the ring and
+//!   drop the node.
+//!
+//! Routing is key-affine: a request's [`smm_core::PlanKey`] is hashed
+//! with the versioned wire hash and the owner comes from the
+//! [`HashRing`]. On forward failure the router retries on the next
+//! distinct replica (bounded by [`RouterConfig::retries`]); a backend
+//! that fails [`RouterConfig::eject_after`] times in a row is ejected
+//! and probed back to health by a background thread.
+
+use crate::backend::Backend;
+use crate::ring::HashRing;
+use smm_core::report::json_escape;
+use smm_core::PlanKey;
+use smm_obs::Counter;
+use smm_serve::protocol::{self, Op};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long [`RouterHandle::join`] waits for connection handlers.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Bound on the request→key-hash memo before it is cleared wholesale.
+const KEY_MEMO_CAP: usize = 4096;
+
+/// Router construction parameters.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Initial backend node addresses (`host:port`). The address is
+    /// also the node's ring identity.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: u32,
+    /// Extra replicas tried after the owner fails (`2` → up to three
+    /// distinct nodes see the request before it is shed).
+    pub retries: u32,
+    /// Consecutive forward failures before a backend is ejected.
+    pub eject_after: u32,
+    /// How often the probe thread pings ejected backends.
+    pub probe_interval: Duration,
+    /// Per-forward I/O timeout (connect, write, and read).
+    pub forward_timeout: Duration,
+    /// Max plans pulled per `dump` during membership handoff;
+    /// `0` disables warm handoff entirely (cold joins/leaves).
+    pub handoff_limit: u64,
+    /// Enable the process-global observability collector on spawn.
+    pub obs: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            vnodes: crate::ring::DEFAULT_VNODES,
+            retries: 2,
+            eject_after: 3,
+            probe_interval: Duration::from_millis(500),
+            forward_timeout: Duration::from_secs(30),
+            handoff_limit: 256,
+            obs: true,
+        }
+    }
+}
+
+/// Router-level counters: local mirrors of the `fleet.*` obs counters
+/// so the `stats` op reports them even with the collector disabled.
+#[derive(Debug, Default)]
+struct FleetCounters {
+    routed: AtomicU64,
+    retries: AtomicU64,
+    shed: AtomicU64,
+    ejections: AtomicU64,
+    readmissions: AtomicU64,
+    migrated_plans: AtomicU64,
+    migrated_bytes: AtomicU64,
+}
+
+/// Tick a local counter mirror and its `fleet.*` obs counter together.
+fn bump(local: &AtomicU64, counter: Counter, n: u64) {
+    local.fetch_add(n, Ordering::Relaxed);
+    smm_obs::add(counter, n);
+}
+
+/// A point-in-time copy of the router's fleet counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCountersSnapshot {
+    /// Successful forwards.
+    pub routed: u64,
+    /// Forward attempts beyond the first replica.
+    pub retries: u64,
+    /// Requests shed because every replica was unavailable.
+    pub shed: u64,
+    /// Backends ejected by a failure streak.
+    pub ejections: u64,
+    /// Ejected backends re-admitted by the probe thread.
+    pub readmissions: u64,
+    /// Plans migrated during membership handoff.
+    pub migrated_plans: u64,
+    /// Bytes of rendered plan JSON migrated during handoff.
+    pub migrated_bytes: u64,
+}
+
+struct RouterShared {
+    cfg: RouterConfig,
+    ring: parking_lot::RwLock<HashRing>,
+    backends: parking_lot::RwLock<HashMap<String, Arc<Backend>>>,
+    /// Serializes membership changes so two concurrent joins cannot
+    /// interleave their handoffs and ring flips.
+    membership: parking_lot::Mutex<()>,
+    /// Request-fields → key-hash memo, so repeat zoo-model requests skip
+    /// network resolution on the routing hot path.
+    key_memo: parking_lot::Mutex<HashMap<String, u64>>,
+    counters: FleetCounters,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+}
+
+/// A running router. Dropping the handle does **not** stop it; call
+/// [`stop`](Self::stop) and/or [`join`](Self::join).
+pub struct RouterHandle {
+    local_addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    acceptor: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+/// The fleet router; see the module docs for the protocol.
+pub struct Router;
+
+impl Router {
+    /// Bind and start routing. Returns once the listener is live.
+    pub fn spawn(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
+        if cfg.obs {
+            smm_obs::set_enabled(true);
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let ring = HashRing::new(cfg.backends.iter().map(String::as_str), cfg.vnodes);
+        let backends = cfg
+            .backends
+            .iter()
+            .map(|a| (a.clone(), Arc::new(Backend::new(a.clone()))))
+            .collect();
+        let shared = Arc::new(RouterShared {
+            cfg,
+            ring: parking_lot::RwLock::new(ring),
+            backends: parking_lot::RwLock::new(backends),
+            membership: parking_lot::Mutex::new(()),
+            key_memo: parking_lot::Mutex::new(HashMap::new()),
+            counters: FleetCounters::default(),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("smm-fleet-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+        let prober = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("smm-fleet-prober".into())
+                .spawn(move || prober_loop(&shared))
+                .expect("spawn prober thread")
+        };
+
+        Ok(RouterHandle {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            prober: Some(prober),
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signal shutdown. Non-blocking; pair with [`join`](Self::join).
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Block until shutdown is signalled, then drain handler threads.
+    pub fn join(mut self) {
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            thread::sleep(POLL_INTERVAL);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+        let start = std::time::Instant::now();
+        while self.shared.connections.load(Ordering::Acquire) > 0 && start.elapsed() < DRAIN_TIMEOUT
+        {
+            thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    /// The ring's current member node addresses, sorted.
+    pub fn nodes(&self) -> Vec<String> {
+        self.shared.ring.read().nodes().to_vec()
+    }
+
+    /// Add `node` to the fleet with warm handoff (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// If the node is already a member or does not answer a probe ping.
+    pub fn join_node(&self, node: &str) -> Result<(u64, u64), String> {
+        fleet_join(&self.shared, node)
+    }
+
+    /// Remove `node` from the fleet, draining its hottest plans to
+    /// their new owners first.
+    ///
+    /// # Errors
+    ///
+    /// If the node is not a member.
+    pub fn leave_node(&self, node: &str) -> Result<(u64, u64), String> {
+        fleet_leave(&self.shared, node)
+    }
+
+    /// A snapshot of the router's fleet counters.
+    pub fn fleet_counters(&self) -> FleetCountersSnapshot {
+        let c = &self.shared.counters;
+        FleetCountersSnapshot {
+            routed: c.routed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            ejections: c.ejections.load(Ordering::Relaxed),
+            readmissions: c.readmissions.load(Ordering::Relaxed),
+            migrated_plans: c.migrated_plans.load(Ordering::Relaxed),
+            migrated_bytes: c.migrated_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let spawned =
+                    thread::Builder::new()
+                        .name("smm-fleet-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &conn_shared);
+                            conn_shared.connections.fetch_sub(1, Ordering::Release);
+                        });
+                if spawned.is_err() {
+                    shared.connections.fetch_sub(1, Ordering::Release);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn prober_loop(shared: &Arc<RouterShared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        thread::sleep(shared.cfg.probe_interval.min(Duration::from_millis(250)));
+        // Snapshot the ejected set outside the lock so probes (which
+        // block on I/O) never hold it.
+        let ejected: Vec<Arc<Backend>> = shared
+            .backends
+            .read()
+            .values()
+            .filter(|b| !b.is_healthy())
+            .cloned()
+            .collect();
+        for backend in ejected {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let resp = backend.forward("{\"op\":\"ping\"}", shared.cfg.forward_timeout);
+            if resp.is_ok_and(|r| r.contains("\"status\":\"ok\"")) && backend.readmit() {
+                bump(&shared.counters.readmissions, Counter::FleetReadmissions, 1);
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // Same Nagle/delayed-ACK discipline as the serve node: one
+    // write_all per response line, newline included.
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (mut response, shutdown) = handle_line(trimmed, shared);
+        response.push('\n');
+        if writer.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if shutdown {
+            shared.shutdown.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// Dispatch one request line; returns `(response, shutdown_router)`.
+fn handle_line(line: &str, shared: &Arc<RouterShared>) -> (String, bool) {
+    // Admin verbs are router-only and unknown to the node protocol, so
+    // they are recognized on the raw JSON before the strict parse.
+    if let Ok(v) = smm_obs::json::parse(line) {
+        let op = match v.get("op") {
+            Some(smm_obs::json::Value::String(s)) => s.clone(),
+            _ => String::new(),
+        };
+        if op == "fleet_join" || op == "fleet_leave" {
+            return (handle_admin(&op, &v, shared), false);
+        }
+    }
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err(msg) => return (protocol::error_response(&None, &msg), false),
+    };
+    match req.op {
+        Op::Ping => (protocol::pong_response(&req.id), false),
+        Op::Shutdown => (protocol::shutdown_response(&req.id), true),
+        Op::Stats => (fleet_stats(req.id.as_deref(), shared), false),
+        Op::Dump => (
+            protocol::error_response(
+                &req.id,
+                "dump is a node-level op; send it to a backend directly",
+            ),
+            false,
+        ),
+        Op::Migrate => (route_migrate(line, &req, shared), false),
+        Op::Plan => (route_plan(line, &req, shared), false),
+    }
+}
+
+/// Route a plan request to its owner, retrying on the next distinct
+/// replicas; shed only when every attempt fails.
+fn route_plan(line: &str, req: &protocol::Request, shared: &Arc<RouterShared>) -> String {
+    let key_hash = match key_hash_for(req, shared) {
+        Ok(h) => h,
+        Err(msg) => return protocol::error_response(&req.id, &msg),
+    };
+    let replicas: Vec<String> = {
+        let ring = shared.ring.read();
+        ring.replicas(key_hash)
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    };
+    let max_attempts = shared.cfg.retries as usize + 1;
+    let mut attempt = 0usize;
+    for addr in replicas {
+        if attempt >= max_attempts {
+            break;
+        }
+        let Some(backend) = shared.backends.read().get(&addr).cloned() else {
+            continue;
+        };
+        if !backend.is_healthy() {
+            continue;
+        }
+        if attempt > 0 {
+            bump(&shared.counters.retries, Counter::FleetRetries, 1);
+        }
+        attempt += 1;
+        match backend.forward(line, shared.cfg.forward_timeout) {
+            Ok(resp) => {
+                backend.on_success();
+                backend.tally(resp.contains("\"cache_hit\":true"));
+                bump(&shared.counters.routed, Counter::FleetRouted, 1);
+                return tag_node(&resp, backend.addr());
+            }
+            Err(_) => {
+                if backend.on_failure(shared.cfg.eject_after) {
+                    bump(&shared.counters.ejections, Counter::FleetEjections, 1);
+                }
+            }
+        }
+    }
+    bump(&shared.counters.shed, Counter::FleetShed, 1);
+    protocol::shed_response(&req.id)
+}
+
+/// Route a `migrate` to the key's owner (used by external tooling that
+/// wants to seed a fleet through the router).
+fn route_migrate(line: &str, req: &protocol::Request, shared: &Arc<RouterShared>) -> String {
+    let key_hex = req.key.as_deref().unwrap_or_default();
+    let key = match PlanKey::from_stable_hex(key_hex) {
+        Ok(k) => k,
+        Err(msg) => return protocol::error_response(&req.id, &msg),
+    };
+    let owner = {
+        let ring = shared.ring.read();
+        ring.owner(key.stable_hash64()).map(str::to_owned)
+    };
+    let Some(owner) = owner else {
+        return protocol::error_response(&req.id, "fleet has no members");
+    };
+    let Some(backend) = shared.backends.read().get(&owner).cloned() else {
+        return protocol::error_response(&req.id, "ring/backend map out of sync");
+    };
+    match backend.forward(line, shared.cfg.forward_timeout) {
+        Ok(resp) => {
+            backend.on_success();
+            resp
+        }
+        Err(msg) => {
+            if backend.on_failure(shared.cfg.eject_after) {
+                bump(&shared.counters.ejections, Counter::FleetEjections, 1);
+            }
+            protocol::error_response(&req.id, &msg)
+        }
+    }
+}
+
+/// Inject `"node":"<addr>"` right after the opening brace so clients
+/// can attribute the response. The plan stays last, so byte-identity
+/// checks that slice the `"plan":` suffix still hold.
+fn tag_node(resp: &str, addr: &str) -> String {
+    match resp.strip_prefix('{') {
+        Some(rest) => format!("{{\"node\":\"{}\",{rest}", json_escape(addr)),
+        None => resp.to_owned(),
+    }
+}
+
+/// The versioned wire hash of the request's plan key, memoized on the
+/// request's identifying fields so repeat requests skip network
+/// resolution.
+fn key_hash_for(req: &protocol::Request, shared: &Arc<RouterShared>) -> Result<u64, String> {
+    let memo_key = req.model.as_ref().map(|model| {
+        format!(
+            "{model}|{}|{:?}|{:?}|{}|{}|{:?}",
+            req.glb_kb, req.objective, req.scheme, req.prefetch, req.reuse, req.scheduler
+        )
+    });
+    if let Some(k) = &memo_key {
+        if let Some(h) = shared.key_memo.lock().get(k) {
+            return Ok(*h);
+        }
+    }
+    let spec = req.to_spec();
+    let net = spec.resolve().map_err(|e| e.to_string())?;
+    let hash = spec.cache_key(&net).stable_hash64();
+    if let Some(k) = memo_key {
+        let mut memo = shared.key_memo.lock();
+        if memo.len() >= KEY_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(k, hash);
+    }
+    Ok(hash)
+}
+
+/// Answer `stats` with the fleet aggregate in the node shape, plus
+/// `fleet` and `per_node` sections.
+fn fleet_stats(id: Option<&str>, shared: &Arc<RouterShared>) -> String {
+    let backends: Vec<Arc<Backend>> = shared.backends.read().values().cloned().collect();
+    let mut agg = protocol::NodeStats::default();
+    let mut per_node = String::new();
+    let mut healthy = 0usize;
+    let mut sorted: Vec<&Arc<Backend>> = backends.iter().collect();
+    sorted.sort_by_key(|b| b.addr().to_owned());
+    for (i, backend) in sorted.iter().enumerate() {
+        let mut node_ok = false;
+        if backend.is_healthy() {
+            if let Ok(resp) = backend.forward("{\"op\":\"stats\"}", shared.cfg.forward_timeout) {
+                if let Some(stats) = parse_node_stats(&resp) {
+                    accumulate(&mut agg, &stats);
+                    node_ok = true;
+                }
+            }
+        }
+        if node_ok {
+            healthy += 1;
+        }
+        if i > 0 {
+            per_node.push(',');
+        }
+        per_node.push_str(&format!(
+            "{{\"node\":\"{}\",\"healthy\":{},\"routed\":{},\"hits\":{}}}",
+            json_escape(backend.addr()),
+            node_ok,
+            backend.routed_count(),
+            backend.hit_count()
+        ));
+    }
+    let c = &shared.counters;
+    agg.shed += c.shed.load(Ordering::Relaxed);
+    format!(
+        "{{{}\"status\":\"ok\",\"op\":\"stats\",{},\"fleet\":{{\"nodes\":{},\"healthy\":{},\
+         \"routed\":{},\"retries\":{},\"shed\":{},\"ejections\":{},\"readmissions\":{},\
+         \"migrated_plans\":{},\"migrated_bytes\":{}}},\"per_node\":[{per_node}]}}",
+        id_field(id),
+        protocol::stats_body(&agg),
+        backends.len(),
+        healthy,
+        c.routed.load(Ordering::Relaxed),
+        c.retries.load(Ordering::Relaxed),
+        c.shed.load(Ordering::Relaxed),
+        c.ejections.load(Ordering::Relaxed),
+        c.readmissions.load(Ordering::Relaxed),
+        c.migrated_plans.load(Ordering::Relaxed),
+        c.migrated_bytes.load(Ordering::Relaxed),
+    )
+}
+
+fn id_field(id: Option<&str>) -> String {
+    match id {
+        Some(id) => format!("\"id\":\"{}\",", json_escape(id)),
+        None => String::new(),
+    }
+}
+
+/// Parse a backend's `stats` response back into a [`protocol::NodeStats`].
+fn parse_node_stats(resp: &str) -> Option<protocol::NodeStats> {
+    let v = smm_obs::json::parse(resp).ok()?;
+    let num = |v: &smm_obs::json::Value| -> u64 {
+        match v {
+            smm_obs::json::Value::Number(n) if *n >= 0.0 => *n as u64,
+            _ => 0,
+        }
+    };
+    let cache = v.get("cache")?;
+    let memo = v.get("memo")?;
+    Some(protocol::NodeStats {
+        cache: smm_core::CacheStats {
+            hits: cache.get("hits").map_or(0, &num),
+            misses: cache.get("misses").map_or(0, &num),
+            evictions: cache.get("evictions").map_or(0, &num),
+            len: cache.get("len").map_or(0, &num) as usize,
+            capacity: cache.get("capacity").map_or(0, &num) as usize,
+        },
+        queued: v.get("queued").map_or(0, &num) as usize,
+        shed: v.get("shed").map_or(0, &num),
+        verify_failed: v.get("verify_failed").map_or(0, &num),
+        memo_hits: memo.get("hits").map_or(0, &num),
+        memo_misses: memo.get("misses").map_or(0, &num),
+    })
+}
+
+fn accumulate(agg: &mut protocol::NodeStats, s: &protocol::NodeStats) {
+    agg.cache.hits += s.cache.hits;
+    agg.cache.misses += s.cache.misses;
+    agg.cache.evictions += s.cache.evictions;
+    agg.cache.len += s.cache.len;
+    agg.cache.capacity += s.cache.capacity;
+    agg.queued += s.queued;
+    agg.shed += s.shed;
+    agg.verify_failed += s.verify_failed;
+    agg.memo_hits += s.memo_hits;
+    agg.memo_misses += s.memo_misses;
+}
+
+/// Handle a `fleet_join` / `fleet_leave` admin line.
+fn handle_admin(op: &str, v: &smm_obs::json::Value, shared: &Arc<RouterShared>) -> String {
+    let id = match v.get("id") {
+        Some(smm_obs::json::Value::String(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let node = match v.get("node") {
+        Some(smm_obs::json::Value::String(s)) => s.clone(),
+        _ => {
+            return protocol::error_response(&id, &format!("{op} request needs \"node\""));
+        }
+    };
+    let result = if op == "fleet_join" {
+        fleet_join(shared, &node)
+    } else {
+        fleet_leave(shared, &node)
+    };
+    match result {
+        Ok((plans, bytes)) => format!(
+            "{{{}\"status\":\"ok\",\"op\":\"{op}\",\"node\":\"{}\",\
+             \"migrated_plans\":{plans},\"migrated_bytes\":{bytes}}}",
+            id_field(id.as_deref()),
+            json_escape(&node)
+        ),
+        Err(msg) => protocol::error_response(&id, &msg),
+    }
+}
+
+/// Warm-join: probe, migrate the joiner's future keyspace to it, then
+/// flip the ring. Returns `(migrated_plans, migrated_bytes)`.
+fn fleet_join(shared: &Arc<RouterShared>, node: &str) -> Result<(u64, u64), String> {
+    let _guard = shared.membership.lock();
+    if shared.ring.read().contains(node) {
+        return Err(format!("node {node} is already a fleet member"));
+    }
+    let joiner = Arc::new(Backend::new(node.to_owned()));
+    let pong = joiner
+        .forward("{\"op\":\"ping\"}", shared.cfg.forward_timeout)
+        .map_err(|e| format!("probe of joining node failed: {e}"))?;
+    if !pong.contains("\"status\":\"ok\"") {
+        return Err(format!("joining node answered probe with: {pong}"));
+    }
+
+    let new_ring = shared.ring.read().with_node(node);
+    let mut migrated = (0u64, 0u64);
+    if shared.cfg.handoff_limit > 0 {
+        let donors: Vec<Arc<Backend>> = shared.backends.read().values().cloned().collect();
+        for donor in donors.iter().filter(|b| b.is_healthy()) {
+            let entries = dump_entries(donor, shared.cfg.handoff_limit, shared.cfg.forward_timeout);
+            for (key, plan_json) in entries {
+                if new_ring.owner(key.stable_hash64()) == Some(node)
+                    && migrate_entry(&joiner, &key, &plan_json, shared.cfg.forward_timeout)
+                {
+                    migrated.0 += 1;
+                    migrated.1 += plan_json.len() as u64;
+                }
+            }
+        }
+    }
+    bump(
+        &shared.counters.migrated_plans,
+        Counter::FleetMigratedPlans,
+        migrated.0,
+    );
+    bump(
+        &shared.counters.migrated_bytes,
+        Counter::FleetMigratedBytes,
+        migrated.1,
+    );
+
+    shared
+        .backends
+        .write()
+        .insert(node.to_owned(), Arc::clone(&joiner));
+    *shared.ring.write() = new_ring;
+    Ok(migrated)
+}
+
+/// Warm-leave: drain the leaver's hottest plans to their new owners,
+/// then flip the ring and drop the node.
+fn fleet_leave(shared: &Arc<RouterShared>, node: &str) -> Result<(u64, u64), String> {
+    let _guard = shared.membership.lock();
+    if !shared.ring.read().contains(node) {
+        return Err(format!("node {node} is not a fleet member"));
+    }
+    let new_ring = shared.ring.read().without_node(node);
+    let leaver = shared.backends.read().get(node).cloned();
+    let mut migrated = (0u64, 0u64);
+    if shared.cfg.handoff_limit > 0 {
+        if let Some(leaver) = leaver.filter(|b| b.is_healthy()) {
+            let entries = dump_entries(
+                &leaver,
+                shared.cfg.handoff_limit,
+                shared.cfg.forward_timeout,
+            );
+            let backends = shared.backends.read().clone();
+            for (key, plan_json) in entries {
+                let Some(owner) = new_ring.owner(key.stable_hash64()) else {
+                    break; // last node leaving: nowhere to drain to
+                };
+                if let Some(target) = backends.get(owner) {
+                    if migrate_entry(target, &key, &plan_json, shared.cfg.forward_timeout) {
+                        migrated.0 += 1;
+                        migrated.1 += plan_json.len() as u64;
+                    }
+                }
+            }
+        }
+    }
+    bump(
+        &shared.counters.migrated_plans,
+        Counter::FleetMigratedPlans,
+        migrated.0,
+    );
+    bump(
+        &shared.counters.migrated_bytes,
+        Counter::FleetMigratedBytes,
+        migrated.1,
+    );
+
+    *shared.ring.write() = new_ring;
+    shared.backends.write().remove(node);
+    Ok(migrated)
+}
+
+/// Pull up to `limit` hottest `(key, plan_json)` entries from `donor`.
+/// Failures degrade to an empty handoff rather than failing the
+/// membership change.
+fn dump_entries(donor: &Backend, limit: u64, timeout: Duration) -> Vec<(PlanKey, String)> {
+    let line = format!("{{\"op\":\"dump\",\"limit\":{limit}}}");
+    let Ok(resp) = donor.forward(&line, timeout) else {
+        return Vec::new();
+    };
+    let Ok(v) = smm_obs::json::parse(&resp) else {
+        return Vec::new();
+    };
+    let Some(smm_obs::json::Value::Array(entries)) = v.get("entries") else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|e| {
+            let Some(smm_obs::json::Value::String(key_hex)) = e.get("key") else {
+                return None;
+            };
+            let Some(smm_obs::json::Value::String(plan)) = e.get("plan_json") else {
+                return None;
+            };
+            PlanKey::from_stable_hex(key_hex)
+                .ok()
+                .map(|k| (k, plan.clone()))
+        })
+        .collect()
+}
+
+/// Push one plan to `target` with `migrate`; `true` on an ok ack.
+fn migrate_entry(target: &Backend, key: &PlanKey, plan_json: &str, timeout: Duration) -> bool {
+    let line = format!(
+        "{{\"op\":\"migrate\",\"key\":\"{}\",\"plan_json\":\"{}\"}}",
+        key.stable_hex(),
+        json_escape(plan_json)
+    );
+    target
+        .forward(&line, timeout)
+        .is_ok_and(|r| r.contains("\"status\":\"ok\""))
+}

@@ -1,0 +1,109 @@
+//! Property tests for the consistent-hash ring: load balance at ≥128
+//! virtual nodes, and minimal remapping on membership change.
+
+use proptest::prelude::*;
+use smm_fleet::HashRing;
+
+/// A deterministic pseudo-random key stream (SplitMix64 step).
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn node_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{}:7878", i + 1)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With ≥128 vnodes, no node's share of a large key sample exceeds
+    /// twice the fair share (in practice it stays within ~1.4×; 2× is
+    /// the hard promise the router's capacity planning can rely on).
+    #[test]
+    fn load_is_balanced_at_128_vnodes(n_nodes in 2usize..9, seed in 0u64..1000) {
+        let nodes = node_names(n_nodes);
+        let ring = HashRing::new(nodes.iter().map(String::as_str), 128);
+        let sample = keys(4096, seed);
+        let mut counts = std::collections::HashMap::new();
+        for k in &sample {
+            *counts.entry(ring.owner(*k).unwrap().to_owned()).or_insert(0u64) += 1;
+        }
+        let fair = sample.len() as f64 / n_nodes as f64;
+        for (node, count) in &counts {
+            prop_assert!(
+                (*count as f64) < 2.0 * fair,
+                "{node} owns {count} of {} keys (fair share {fair:.0}, {n_nodes} nodes)",
+                sample.len()
+            );
+        }
+    }
+
+    /// Joining a node only moves keys *to* the joiner: every key either
+    /// keeps its owner or is now owned by the new node, and the moved
+    /// fraction stays near 1/(N+1).
+    #[test]
+    fn join_remaps_only_the_joiners_share(n_nodes in 2usize..8, seed in 0u64..1000) {
+        let nodes = node_names(n_nodes);
+        let before = HashRing::new(nodes.iter().map(String::as_str), 128);
+        let joiner = "10.0.1.99:7878";
+        let after = before.with_node(joiner);
+        let sample = keys(4096, seed);
+        let mut moved = 0usize;
+        for k in &sample {
+            let old = before.owner(*k).unwrap();
+            let new = after.owner(*k).unwrap();
+            if old != new {
+                prop_assert_eq!(
+                    new, joiner,
+                    "key {} moved {} -> {} instead of to the joiner", k, old, new
+                );
+                moved += 1;
+            }
+        }
+        let expected = sample.len() as f64 / (n_nodes + 1) as f64;
+        prop_assert!(
+            (moved as f64) < 2.0 * expected,
+            "join moved {moved} keys, expected ~{expected:.0}"
+        );
+        prop_assert!(moved > 0, "join moved nothing — ring ignored the new node");
+    }
+
+    /// Removing a node only moves the keys it owned: everything else
+    /// keeps its owner, so ~1/N of the keyspace remaps on leave.
+    #[test]
+    fn leave_remaps_only_the_leavers_share(n_nodes in 2usize..8, seed in 0u64..1000) {
+        let nodes = node_names(n_nodes);
+        let before = HashRing::new(nodes.iter().map(String::as_str), 128);
+        let leaver = nodes[0].as_str();
+        let after = before.without_node(leaver);
+        let sample = keys(4096, seed);
+        let mut moved = 0usize;
+        for k in &sample {
+            let old = before.owner(*k).unwrap();
+            let new = after.owner(*k).unwrap();
+            if old == leaver {
+                prop_assert!(new != leaver, "leaver still owns key {}", k);
+                moved += 1;
+            } else {
+                prop_assert_eq!(
+                    old, new,
+                    "key {} moved {} -> {} though its owner stayed", k, old, new
+                );
+            }
+        }
+        let expected = sample.len() as f64 / n_nodes as f64;
+        prop_assert!(
+            (moved as f64) < 2.0 * expected,
+            "leave moved {moved} keys, expected ~{expected:.0}"
+        );
+    }
+}

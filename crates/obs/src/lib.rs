@@ -116,11 +116,25 @@ pub enum Counter {
     GlobalDpTransitions,
     /// Global-scheduler runs that fell back to the greedy plan.
     GlobalFallbacks,
+    /// Plan requests the fleet router forwarded to a backend.
+    FleetRouted,
+    /// Forward attempts retried on the next ring replica.
+    FleetRetries,
+    /// Requests the router shed because no healthy replica answered.
+    FleetShed,
+    /// Backends ejected after consecutive forward failures.
+    FleetEjections,
+    /// Ejected backends re-admitted by a successful health probe.
+    FleetReadmissions,
+    /// Cached plans migrated between nodes during membership changes.
+    FleetMigratedPlans,
+    /// Plan bytes moved by warm-cache handoff.
+    FleetMigratedBytes,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 35] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -149,6 +163,13 @@ impl Counter {
         Counter::SimOccupancyViolations,
         Counter::GlobalDpTransitions,
         Counter::GlobalFallbacks,
+        Counter::FleetRouted,
+        Counter::FleetRetries,
+        Counter::FleetShed,
+        Counter::FleetEjections,
+        Counter::FleetReadmissions,
+        Counter::FleetMigratedPlans,
+        Counter::FleetMigratedBytes,
     ];
 
     /// Stable dotted name (report rows, Chrome counter events).
@@ -182,6 +203,13 @@ impl Counter {
             Counter::SimOccupancyViolations => "sim.occupancy_violations",
             Counter::GlobalDpTransitions => "global.dp_transitions",
             Counter::GlobalFallbacks => "global.fallbacks",
+            Counter::FleetRouted => "fleet.routed",
+            Counter::FleetRetries => "fleet.retries",
+            Counter::FleetShed => "fleet.shed",
+            Counter::FleetEjections => "fleet.ejections",
+            Counter::FleetReadmissions => "fleet.readmissions",
+            Counter::FleetMigratedPlans => "fleet.migrated_plans",
+            Counter::FleetMigratedBytes => "fleet.migrated_bytes",
         }
     }
 

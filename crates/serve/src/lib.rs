@@ -43,7 +43,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadgenConfig, LoadgenReport, NodeTally, ServerStats};
 pub use protocol::{Op, Request};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,12 +1,24 @@
-//! A closed-loop load generator for the planning server.
+//! A closed-loop load generator for the planning server — and for a
+//! whole fleet behind a router.
 //!
 //! Spawns `concurrency` client threads, each with one connection,
-//! issuing plan requests round-robin over a model list and recording
+//! issuing plan requests round-robin over a model list (optionally
+//! crossed with a GLB-size set to widen the working set) and recording
 //! per-request latency and response status. The report aggregates
 //! throughput, latency percentiles (p50/p95/p99), the cache hit rate,
 //! shed and deadline counts — and cross-checks that every plan served
 //! for the same input is **byte-identical** (cached plans must match
-//! cold ones exactly).
+//! cold ones exactly; through a router, plans from *any* node must
+//! match).
+//!
+//! The hit rate is computed from per-response `cache_hit` metadata, not
+//! from one server's `CacheStats` — so it is correct against a router
+//! fanning out to many backends, where no single node's counters
+//! describe the run. In fleet mode the generator additionally
+//! attributes each response to the node that served it (the router's
+//! `node` tag), reporting per-node hit rates and routing skew, and
+//! fetches a `stats` snapshot after the run to surface shed,
+//! verify-failure, and memo counters.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -25,12 +37,24 @@ pub struct LoadgenConfig {
     pub concurrency: usize,
     /// Models to request, round-robin. Must be non-empty.
     pub models: Vec<String>,
-    /// GLB capacity in KiB for every request.
+    /// GLB capacity in KiB for every request (ignored when `glb_set`
+    /// is non-empty).
     pub glb_kb: u64,
+    /// GLB capacities cycled across requests; crossing the model list
+    /// with several sizes widens the key working set, which is how the
+    /// fleet demos exceed one node's cache capacity.
+    pub glb_set: Vec<u64>,
     /// Optional per-request deadline.
     pub deadline_ms: Option<u64>,
+    /// Simulated planning cost attached to every request (the server
+    /// sleeps this long on cache misses only): benchmarks an expensive
+    /// planner without needing one.
+    pub plan_delay_ms: Option<u64>,
     /// Send a `shutdown` op after the run.
     pub shutdown: bool,
+    /// Fleet mode: report per-node attribution and routing skew from
+    /// the router's `node` response tags.
+    pub fleet: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -48,10 +72,41 @@ impl Default for LoadgenConfig {
                 "resnet18".into(),
             ],
             glb_kb: 64,
+            glb_set: Vec::new(),
             deadline_ms: None,
+            plan_delay_ms: None,
             shutdown: false,
+            fleet: false,
         }
     }
+}
+
+/// What one node (or the single server) did during a run, as seen from
+/// the client side.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeTally {
+    /// Node address (from the router's `node` tag), or `"-"` when the
+    /// server did not attribute responses.
+    pub node: String,
+    /// `ok` responses served by this node.
+    pub ok: u64,
+    /// Of those, cache hits.
+    pub cache_hits: u64,
+}
+
+/// End-of-run server counters, fetched with one `stats` request. Works
+/// against a single node and against a router (which answers in the
+/// same shape with fleet-wide aggregates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests shed server-side.
+    pub shed: u64,
+    /// Fresh plans rejected by the verify gate.
+    pub verify_failed: u64,
+    /// Layer-memo hits.
+    pub memo_hits: u64,
+    /// Layer-memo misses.
+    pub memo_misses: u64,
 }
 
 /// Aggregated results of one load-generation run.
@@ -80,6 +135,14 @@ pub struct LoadgenReport {
     pub p95_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: u64,
+    /// Fleet mode was requested (copied from the config so `render`
+    /// can flag a fleet run whose target never attributed responses).
+    pub fleet: bool,
+    /// Per-node attribution (sorted by address); non-empty only when
+    /// responses carried the router's `node` tag.
+    pub per_node: Vec<NodeTally>,
+    /// End-of-run server counters (`None` if the `stats` fetch failed).
+    pub server: Option<ServerStats>,
 }
 
 impl LoadgenReport {
@@ -102,9 +165,25 @@ impl LoadgenReport {
         }
     }
 
+    /// Routing skew: max/mean `ok` responses per node (1.0 = perfectly
+    /// balanced; 0.0 when there is no per-node attribution).
+    pub fn routing_skew(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        let max = self.per_node.iter().map(|n| n.ok).max().unwrap_or(0);
+        let mean =
+            self.per_node.iter().map(|n| n.ok).sum::<u64>() as f64 / self.per_node.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max as f64 / mean
+        }
+    }
+
     /// Human-readable summary.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "requests:   {} in {:.3}s ({:.1} req/s)\n\
              ok:         {} ({} cache hits, {:.1}% hit rate)\n\
              shed:       {}\n\
@@ -125,7 +204,39 @@ impl LoadgenReport {
             self.p50_us,
             self.p95_us,
             self.p99_us,
-        )
+        );
+        if let Some(s) = &self.server {
+            out.push_str(&format!(
+                "\nserver:     shed {}, verify_failed {}, memo {}/{} hits",
+                s.shed,
+                s.verify_failed,
+                s.memo_hits,
+                s.memo_hits + s.memo_misses,
+            ));
+        }
+        if !self.per_node.is_empty() {
+            for n in &self.per_node {
+                let rate = if n.ok == 0 {
+                    0.0
+                } else {
+                    n.cache_hits as f64 / n.ok as f64
+                };
+                out.push_str(&format!(
+                    "\nnode:       {} ok={} hits={} ({:.1}% hit rate)",
+                    n.node,
+                    n.ok,
+                    n.cache_hits,
+                    rate * 100.0
+                ));
+            }
+            out.push_str(&format!(
+                "\nskew:       {:.2} (max/mean requests per node)",
+                self.routing_skew()
+            ));
+        } else if self.fleet {
+            out.push_str("\nnode:       no per-node attribution (is the target a fleet router?)");
+        }
+        out
     }
 }
 
@@ -153,11 +264,13 @@ struct WorkerTally {
     errors: u64,
     mismatches: u64,
     latencies_us: Vec<u64>,
+    /// node address → (ok, cache_hits), from the router's `node` tag.
+    per_node: HashMap<String, (u64, u64)>,
 }
 
 fn classify(
     line: &str,
-    model: &str,
+    input_key: &str,
     reference_plans: &Mutex<HashMap<String, String>>,
     tally: &mut WorkerTally,
 ) {
@@ -174,18 +287,28 @@ fn classify(
     match status {
         "ok" => {
             tally.ok += 1;
-            if matches!(v.get("cache_hit"), Some(smm_obs::json::Value::Bool(true))) {
+            let hit = matches!(v.get("cache_hit"), Some(smm_obs::json::Value::Bool(true)));
+            if hit {
                 tally.cache_hits += 1;
             }
-            // Byte-identity: every plan for the same model must match
-            // the first one seen, cached or not.
+            // Per-connection aggregation of the router's attribution
+            // tag: this, not any one server's CacheStats, is what the
+            // fleet-wide hit rate and skew are computed from.
+            if let Some(smm_obs::json::Value::String(node)) = v.get("node") {
+                let entry = tally.per_node.entry(node.clone()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += u64::from(hit);
+            }
+            // Byte-identity: every plan for the same input (model ×
+            // GLB size) must match the first one seen — cached, cold,
+            // or served by a different fleet node after migration.
             if let Some(plan) = plan_payload(line) {
                 let mut seen = reference_plans.lock().unwrap();
-                match seen.get(model) {
+                match seen.get(input_key) {
                     Some(reference) if reference != plan => tally.mismatches += 1,
                     Some(_) => {}
                     None => {
-                        seen.insert(model.to_string(), plan.to_string());
+                        seen.insert(input_key.to_string(), plan.to_string());
                     }
                 }
             } else {
@@ -196,6 +319,33 @@ fn classify(
         "deadline" => tally.deadline += 1,
         _ => tally.errors += 1,
     }
+}
+
+/// Fetch one `stats` snapshot and pull out the counters the report
+/// surfaces. Best-effort: `None` on any transport or parse failure.
+fn fetch_server_stats(addr: &str) -> Option<ServerStats> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(b"{\"op\":\"stats\"}\n").ok()?;
+    writer.flush().ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let v = smm_obs::json::parse(line.trim()).ok()?;
+    let num = |v: Option<&smm_obs::json::Value>| -> u64 {
+        match v {
+            Some(smm_obs::json::Value::Number(n)) if *n >= 0.0 => *n as u64,
+            _ => 0,
+        }
+    };
+    let memo = v.get("memo")?;
+    Some(ServerStats {
+        shed: num(v.get("shed")),
+        verify_failed: num(v.get("verify_failed")),
+        memo_hits: num(memo.get("hits")),
+        memo_misses: num(memo.get("misses")),
+    })
 }
 
 /// Run the load generator. Transport-level failures count as `errors`
@@ -224,11 +374,15 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                 errors: 0,
                 mismatches: 0,
                 latencies_us: Vec::with_capacity(my_requests.len()),
+                per_node: HashMap::new(),
             };
             let Ok(stream) = TcpStream::connect(&cfg.addr) else {
                 tally.errors += my_requests.len() as u64;
                 return tally;
             };
+            // Without this, Nagle holds the request line back against
+            // the server's delayed ACK — a ~40 ms stall per request.
+            let _ = stream.set_nodelay(true);
             let Ok(read_half) = stream.try_clone() else {
                 tally.errors += my_requests.len() as u64;
                 return tally;
@@ -238,16 +392,28 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             let mut line = String::new();
             for i in my_requests {
                 let model = &cfg.models[i % cfg.models.len()];
+                // Crossing models with a GLB set widens the working
+                // set: distinct sizes are distinct PlanKeys. Stride by
+                // the model count so the cross product is covered.
+                let glb = if cfg.glb_set.is_empty() {
+                    cfg.glb_kb
+                } else {
+                    cfg.glb_set[(i / cfg.models.len()) % cfg.glb_set.len()]
+                };
                 let deadline = cfg
                     .deadline_ms
                     .map(|ms| format!(",\"deadline_ms\":{ms}"))
                     .unwrap_or_default();
-                let request = format!(
-                    "{{\"model\":\"{model}\",\"glb_kb\":{}{deadline}}}",
-                    cfg.glb_kb
-                );
+                let delay = cfg
+                    .plan_delay_ms
+                    .map(|ms| format!(",\"delay_ms\":{ms}"))
+                    .unwrap_or_default();
+                let request =
+                    format!("{{\"model\":\"{model}\",\"glb_kb\":{glb}{deadline}{delay}}}\n");
+                let input_key = format!("{model}@{glb}");
                 let sent_at = Instant::now();
-                if writeln!(writer, "{request}")
+                if writer
+                    .write_all(request.as_bytes())
                     .and_then(|()| writer.flush())
                     .is_err()
                 {
@@ -260,7 +426,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                         tally
                             .latencies_us
                             .push(sent_at.elapsed().as_micros() as u64);
-                        classify(line.trim(), model, &reference_plans, &mut tally);
+                        classify(line.trim(), &input_key, &reference_plans, &mut tally);
                     }
                     _ => tally.errors += 1,
                 }
@@ -271,9 +437,11 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
 
     let mut report = LoadgenReport {
         sent: cfg.requests as u64,
+        fleet: cfg.fleet,
         ..LoadgenReport::default()
     };
     let mut latencies = Vec::with_capacity(cfg.requests);
+    let mut per_node: HashMap<String, (u64, u64)> = HashMap::new();
     for h in handles {
         let tally = h.join().expect("loadgen worker panicked");
         report.ok += tally.ok;
@@ -283,12 +451,29 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         report.errors += tally.errors;
         report.plan_mismatches += tally.mismatches;
         latencies.extend(tally.latencies_us);
+        for (node, (ok, hits)) in tally.per_node {
+            let entry = per_node.entry(node).or_insert((0, 0));
+            entry.0 += ok;
+            entry.1 += hits;
+        }
     }
     report.elapsed = start.elapsed();
     latencies.sort_unstable();
     report.p50_us = percentile(&latencies, 50);
     report.p95_us = percentile(&latencies, 95);
     report.p99_us = percentile(&latencies, 99);
+    report.per_node = per_node
+        .into_iter()
+        .map(|(node, (ok, cache_hits))| NodeTally {
+            node,
+            ok,
+            cache_hits,
+        })
+        .collect();
+    report.per_node.sort_by(|a, b| a.node.cmp(&b.node));
+    // One stats fetch covers single node and fleet alike (the router
+    // answers in the node shape with fleet-wide aggregates).
+    report.server = fetch_server_stats(&cfg.addr);
 
     if cfg.shutdown {
         if let Ok(mut stream) = TcpStream::connect(&cfg.addr) {

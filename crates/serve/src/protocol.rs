@@ -12,7 +12,11 @@
 //!  "scheme":"het","prefetch":true,"reuse":false,"deadline_ms":250,"id":"r1"}
 //! ```
 //!
-//! - `op` — `"plan"` (default), `"ping"`, `"stats"`, or `"shutdown"`.
+//! - `op` — `"plan"` (default), `"ping"`, `"stats"`, `"shutdown"`,
+//!   `"migrate"` (install a plan under its stable key: `key` +
+//!   `plan_json` fields), or `"dump"` (export the hottest cached plans,
+//!   bounded by `limit`). The last two are the warm-cache handoff verbs
+//!   the fleet router uses during membership changes (`docs/FLEET.md`).
 //! - `model` — a zoo model name, **or** `topology` — an inline
 //!   SCALE-Sim CSV (with optional `name`). Exactly one must be present
 //!   for `plan` requests.
@@ -23,8 +27,10 @@
 //! - `scheduler` — `"greedy"` (default) or `"global"` (the
 //!   `GlobalSchedule` DP pass; see `docs/SCHEDULING.md`).
 //! - `deadline_ms` — per-request deadline, enforced cooperatively.
-//! - `delay_ms` — testing aid: the worker sleeps this long before
-//!   planning, to make load-shedding deterministic in tests.
+//! - `delay_ms` — simulated planning cost: the worker sleeps this long
+//!   before planning a cache *miss* (hits skip it). Makes
+//!   load-shedding deterministic in tests and models an expensive
+//!   planner in fleet benchmarks.
 //! - `id` — opaque string echoed back in the response.
 //!
 //! # Response
@@ -44,6 +50,9 @@ pub const MAX_GLB_KB: u64 = 1 << 20;
 /// worker for minutes.
 pub const MAX_DELAY_MS: u64 = 10_000;
 
+/// Default `dump` entry bound when the request names no `limit`.
+pub const DEFAULT_DUMP_LIMIT: u64 = 64;
+
 /// The operation a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -55,6 +64,13 @@ pub enum Op {
     Stats,
     /// Graceful shutdown: drain in-flight requests, then exit.
     Shutdown,
+    /// Warm-cache handoff, push side: install one already-rendered plan
+    /// under its stable key (`key` + `plan_json` fields). Sent by the
+    /// fleet router during membership changes; see `docs/FLEET.md`.
+    Migrate,
+    /// Warm-cache handoff, pull side: export the hottest cached plans
+    /// (bounded by `limit`) as `(key, plan_json)` entries.
+    Dump,
 }
 
 /// A parsed request line.
@@ -86,6 +102,12 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
     /// Testing aid: artificial planning delay.
     pub delay_ms: Option<u64>,
+    /// Stable key hex ([`smm_core::PlanKey::stable_hex`]) for `migrate`.
+    pub key: Option<String>,
+    /// Rendered plan JSON (as a string value) for `migrate`.
+    pub plan_json: Option<String>,
+    /// Entry bound for `dump` (default [`DEFAULT_DUMP_LIMIT`]).
+    pub limit: Option<u64>,
 }
 
 impl Default for Request {
@@ -104,6 +126,9 @@ impl Default for Request {
             scheduler: SchedulerKind::Greedy,
             deadline_ms: None,
             delay_ms: None,
+            key: None,
+            plan_json: None,
+            limit: None,
         }
     }
 }
@@ -178,6 +203,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     "ping" => Op::Ping,
                     "stats" => Op::Stats,
                     "shutdown" => Op::Shutdown,
+                    "migrate" => Op::Migrate,
+                    "dump" => Op::Dump,
                     other => return Err(format!("unknown op {other:?}")),
                 }
             }
@@ -209,6 +236,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             "deadline_ms" => req.deadline_ms = Some(as_u64(val, "deadline_ms")?),
             "delay_ms" => req.delay_ms = Some(as_u64(val, "delay_ms")?),
+            "key" => req.key = Some(as_str(val, "key")?),
+            "plan_json" => req.plan_json = Some(as_str(val, "plan_json")?),
+            "limit" => req.limit = Some(as_u64(val, "limit")?),
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -229,6 +259,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         if req.delay_ms.is_some_and(|d| d > MAX_DELAY_MS) {
             return Err(format!("delay_ms must be at most {MAX_DELAY_MS}"));
         }
+    }
+    if req.op == Op::Migrate && (req.key.is_none() || req.plan_json.is_none()) {
+        return Err("migrate request needs \"key\" and \"plan_json\"".into());
     }
     Ok(req)
 }
@@ -332,19 +365,94 @@ pub fn shutdown_response(id: &Option<String>) -> String {
     )
 }
 
-/// The `stats` response: cache statistics plus queue depth.
-pub fn stats_response(id: &Option<String>, cache: &smm_core::CacheStats, queued: usize) -> String {
+/// One node's full statistics snapshot, as carried by the `stats`
+/// response: plan-cache counters, queue depth, shed and verify-failure
+/// totals, and layer-memo hit/miss counts. The fleet router sums these
+/// across backends and answers `stats` with the same shape, so clients
+/// (including `smm loadgen`) read one node and a whole fleet
+/// identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Plan-cache statistics.
+    pub cache: smm_core::CacheStats,
+    /// Requests currently queued.
+    pub queued: usize,
+    /// Requests shed because the queue (or, at the router, every
+    /// replica) was unavailable.
+    pub shed: u64,
+    /// Fresh plans rejected by the `--verify` gate.
+    pub verify_failed: u64,
+    /// Layer-memo hits.
+    pub memo_hits: u64,
+    /// Layer-memo misses.
+    pub memo_misses: u64,
+}
+
+/// Render the body fields shared by node and router `stats` responses
+/// (everything between the opening metadata and the closing brace).
+pub fn stats_body(s: &NodeStats) -> String {
     format!(
-        "{{{}\"status\":\"ok\",\"op\":\"stats\",\"cache\":{{\"hits\":{},\"misses\":{},\
-         \"evictions\":{},\"len\":{},\"capacity\":{},\"hit_rate\":{:.4}}},\"queued\":{queued}}}",
-        id_field(id.as_deref()),
-        cache.hits,
-        cache.misses,
-        cache.evictions,
-        cache.len,
-        cache.capacity,
-        cache.hit_rate()
+        "\"cache\":{{\"hits\":{},\"misses\":{},\
+         \"evictions\":{},\"len\":{},\"capacity\":{},\"hit_rate\":{:.4}}},\"queued\":{},\
+         \"shed\":{},\"verify_failed\":{},\"memo\":{{\"hits\":{},\"misses\":{}}}",
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.evictions,
+        s.cache.len,
+        s.cache.capacity,
+        s.cache.hit_rate(),
+        s.queued,
+        s.shed,
+        s.verify_failed,
+        s.memo_hits,
+        s.memo_misses,
     )
+}
+
+/// The `stats` response: cache statistics, queue depth, shed /
+/// verify-failure totals, and memo hit/miss counts.
+pub fn stats_response(id: &Option<String>, stats: &NodeStats) -> String {
+    format!(
+        "{{{}\"status\":\"ok\",\"op\":\"stats\",{}}}",
+        id_field(id.as_deref()),
+        stats_body(stats)
+    )
+}
+
+/// The `migrate` acknowledgement.
+pub fn migrate_response(id: &Option<String>) -> String {
+    format!(
+        "{{{}\"status\":\"ok\",\"op\":\"migrate\"}}",
+        id_field(id.as_deref())
+    )
+}
+
+/// The `dump` response: the hottest cached plans as `(key, plan_json)`
+/// entries, hottest first. Plans travel as JSON *string* values (the
+/// rendered plan escaped), so the receiving side recovers the exact
+/// bytes the origin node would have served — the byte-identity
+/// guarantee survives migration.
+pub fn dump_response(
+    id: &Option<String>,
+    entries: &[(smm_core::PlanKey, std::sync::Arc<String>)],
+) -> String {
+    let mut out = format!(
+        "{{{}\"status\":\"ok\",\"op\":\"dump\",\"count\":{},\"entries\":[",
+        id_field(id.as_deref()),
+        entries.len()
+    );
+    for (i, (key, plan)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"key\":\"{}\",\"plan_json\":\"{}\"}}",
+            key.stable_hex(),
+            json_escape(plan)
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 #[cfg(test)]
@@ -444,6 +552,45 @@ mod tests {
     }
 
     #[test]
+    fn migrate_and_dump_requests_parse() {
+        let m = parse_request(r#"{"op":"migrate","key":"0100","plan_json":"{\"a\":1}","id":"m"}"#)
+            .unwrap();
+        assert_eq!(m.op, Op::Migrate);
+        assert_eq!(m.key.as_deref(), Some("0100"));
+        assert_eq!(m.plan_json.as_deref(), Some(r#"{"a":1}"#));
+        let d = parse_request(r#"{"op":"dump","limit":5}"#).unwrap();
+        assert_eq!(d.op, Op::Dump);
+        assert_eq!(d.limit, Some(5));
+        assert_eq!(parse_request(r#"{"op":"dump"}"#).unwrap().limit, None);
+        // Migrate without both fields is rejected.
+        assert!(parse_request(r#"{"op":"migrate","key":"01"}"#).is_err());
+        assert!(parse_request(r#"{"op":"migrate","plan_json":"{}"}"#).is_err());
+    }
+
+    #[test]
+    fn dump_entries_round_trip_byte_identically() {
+        let spec = parse_request(r#"{"model":"resnet18"}"#).unwrap().to_spec();
+        let net = spec.resolve().unwrap();
+        let key = spec.cache_key(&net);
+        // A plan payload exercising every escape class.
+        let plan = "{\"network\":\"x\",\"note\":\"quote \\\" slash \\\\ tab \\t\"}".to_string();
+        let line = dump_response(&None, &[(key.clone(), std::sync::Arc::new(plan.clone()))]);
+        let v = smm_obs::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        let Some(smm_obs::json::Value::Array(entries)) = v.get("entries") else {
+            panic!("no entries in {line}");
+        };
+        assert_eq!(entries.len(), 1);
+        let Some(smm_obs::json::Value::String(hex)) = entries[0].get("key") else {
+            panic!("no key");
+        };
+        assert_eq!(smm_core::PlanKey::from_stable_hex(hex).unwrap(), key);
+        let Some(smm_obs::json::Value::String(recovered)) = entries[0].get("plan_json") else {
+            panic!("no plan_json");
+        };
+        assert_eq!(recovered, &plan, "escape/unescape must be exact");
+    }
+
+    #[test]
     fn responses_are_valid_json_with_plan_last() {
         let id = Some("req-1".to_string());
         let m = RequestMetrics {
@@ -461,7 +608,19 @@ mod tests {
             error_response(&id, "line 2: bad \"thing\""),
             pong_response(&None),
             shutdown_response(&id),
-            stats_response(&None, &smm_core::CacheStats::default(), 4),
+            stats_response(
+                &None,
+                &NodeStats {
+                    queued: 4,
+                    shed: 2,
+                    verify_failed: 1,
+                    memo_hits: 10,
+                    memo_misses: 3,
+                    ..NodeStats::default()
+                },
+            ),
+            migrate_response(&id),
+            dump_response(&None, &[]),
         ] {
             smm_obs::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }

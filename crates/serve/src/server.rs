@@ -53,7 +53,7 @@ use smm_core::{CacheStats, CancelToken, LayerMemo, PlanCache, PlanError};
 use smm_obs::{Counter, CounterSnapshot};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -109,7 +109,11 @@ struct Job {
 /// Everything the handler and worker threads share.
 struct Shared {
     queue: BoundedQueue<Job>,
-    cache: PlanCache,
+    /// Plan cache, keyed by [`smm_core::PlanKey`] and holding the
+    /// *rendered* plan JSON: what a hit serves is the exact byte string
+    /// a cold plan produced, and a plan migrated in from another fleet
+    /// node (the `migrate` verb) is indistinguishable from a local one.
+    cache: PlanCache<Arc<String>>,
     /// Shape-keyed layer-decision memo, shared across all workers and
     /// requests: two concurrent requests for models with overlapping
     /// layer shapes (or the same model at the same GLB size missing the
@@ -120,6 +124,26 @@ struct Shared {
     shutdown: AtomicBool,
     connections: AtomicUsize,
     verify_plans: bool,
+    // Local mirrors of the serve.shed / serve.verify_failed obs
+    // counters, so the `stats` op reports them even when the
+    // process-global collector is disabled. Relaxed: monotone
+    // statistics, never used to publish data.
+    shed: AtomicU64,
+    verify_failed: AtomicU64,
+}
+
+impl Shared {
+    fn node_stats(&self) -> protocol::NodeStats {
+        let memo = self.memo.stats();
+        protocol::NodeStats {
+            cache: self.cache.stats(),
+            queued: self.queue.len(),
+            shed: self.shed.load(Ordering::Relaxed),
+            verify_failed: self.verify_failed.load(Ordering::Relaxed),
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+        }
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -151,6 +175,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             verify_plans: cfg.verify_plans,
+            shed: AtomicU64::new(0),
+            verify_failed: AtomicU64::new(0),
         });
 
         let workers = (0..cfg.workers.max(1))
@@ -264,6 +290,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Nagle + the peer's delayed ACK turns a response written as
+    // payload-then-"\n" into a ~40 ms stall per line; disable Nagle and
+    // write each line (newline included) in one write_all.
+    let _ = stream.set_nodelay(true);
     // A short read timeout lets the handler notice shutdown between
     // requests without dropping bytes: on timeout the partial line
     // stays in `buf` and the next read_line call appends to it.
@@ -280,8 +310,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 if line.is_empty() {
                     continue;
                 }
-                let (response, shutdown_requested) = handle_line(line, shared);
-                if writeln!(writer, "{response}")
+                let (mut response, shutdown_requested) = handle_line(line, shared);
+                response.push('\n');
+                if writer
+                    .write_all(response.as_bytes())
                     .and_then(|()| writer.flush())
                     .is_err()
                 {
@@ -312,10 +344,18 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
     match req.op {
         Op::Ping => (protocol::pong_response(&req.id), false),
         Op::Stats => (
-            protocol::stats_response(&req.id, &shared.cache.stats(), shared.queue.len()),
+            protocol::stats_response(&req.id, &shared.node_stats()),
             false,
         ),
         Op::Shutdown => (protocol::shutdown_response(&req.id), true),
+        // Handoff verbs are answered inline like `stats`: they touch
+        // only the cache, never the planning queue.
+        Op::Migrate => (serve_migrate(&req, shared), false),
+        Op::Dump => {
+            let limit = req.limit.unwrap_or(protocol::DEFAULT_DUMP_LIMIT) as usize;
+            let entries = shared.cache.hottest(limit);
+            (protocol::dump_response(&req.id, &entries), false)
+        }
         Op::Plan => {
             let (reply, rx) = mpsc::channel();
             let deadline = req
@@ -336,6 +376,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                 },
                 Err(PushError::Full(_)) => {
                     smm_obs::add(Counter::ServeShed, 1);
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
                     (protocol::shed_response(&id), false)
                 }
                 Err(PushError::Closed(_)) => (
@@ -345,6 +386,30 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
             }
         }
     }
+}
+
+/// Install one migrated plan under its stable key. The plan was
+/// planned (and, if the origin ran `--verify`, verified) by another
+/// fleet node; this node only checks that the key decodes under the
+/// current [`smm_core::KEY_HASH_VERSION`] and that the payload is a
+/// JSON object, then caches the bytes verbatim.
+fn serve_migrate(req: &Request, shared: &Arc<Shared>) -> String {
+    let (Some(key_hex), Some(plan_json)) = (&req.key, &req.plan_json) else {
+        return protocol::error_response(&req.id, "migrate needs \"key\" and \"plan_json\"");
+    };
+    let key = match smm_core::PlanKey::from_stable_hex(key_hex) {
+        Ok(key) => key,
+        Err(e) => return protocol::error_response(&req.id, &format!("bad migrate key: {e}")),
+    };
+    match smm_obs::json::parse(plan_json) {
+        Ok(smm_obs::json::Value::Object(_)) => {}
+        Ok(_) => {
+            return protocol::error_response(&req.id, "migrate plan_json must be a JSON object")
+        }
+        Err(e) => return protocol::error_response(&req.id, &format!("bad migrate plan_json: {e}")),
+    }
+    shared.cache.insert(key, Arc::new(plan_json.clone()));
+    protocol::migrate_response(&req.id)
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -365,10 +430,6 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
         smm_obs::add(Counter::ServeDeadlineExceeded, 1);
         return protocol::deadline_response(&req.id, 0);
     }
-    if let Some(ms) = req.delay_ms {
-        thread::sleep(Duration::from_millis(ms.min(protocol::MAX_DELAY_MS)));
-    }
-
     let start = Instant::now();
     let before = CounterSnapshot::capture();
     // One spec describes the whole job; the network, the cache key, and
@@ -383,7 +444,14 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
 
     if let Some(plan) = shared.cache.get(&key) {
         let metrics = request_metrics(start, &before);
-        return protocol::ok_plan_response(&req.id, true, &metrics, &plan_json(&plan, &acc));
+        return protocol::ok_plan_response(&req.id, true, &metrics, &plan);
+    }
+
+    // The simulated planning cost sits on the miss path, after the
+    // cache lookup: `delay_ms` models an expensive planner, and a
+    // cache hit does not plan.
+    if let Some(ms) = req.delay_ms {
+        thread::sleep(Duration::from_millis(ms.min(protocol::MAX_DELAY_MS)));
     }
 
     let cancel = match job.deadline {
@@ -400,6 +468,7 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
                 let report = smm_check::check_plan(&plan, &net, &acc);
                 if report.error_count() > 0 {
                     smm_obs::add(Counter::ServeVerifyFailed, 1);
+                    shared.verify_failed.fetch_add(1, Ordering::Relaxed);
                     let codes: Vec<&str> =
                         report.diagnostics.iter().map(|d| d.code.as_str()).collect();
                     return protocol::error_response(
@@ -412,10 +481,13 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
                     );
                 }
             }
-            let plan = Arc::new(plan);
-            shared.cache.insert(key, Arc::clone(&plan));
+            // The rendered JSON — not the plan object — is what gets
+            // cached: hits, cold plans, and migrated plans all serve
+            // the identical byte string.
+            let json = Arc::new(plan_json(&plan, &acc));
+            shared.cache.insert(key, Arc::clone(&json));
             let metrics = request_metrics(start, &before);
-            protocol::ok_plan_response(&req.id, false, &metrics, &plan_json(&plan, &acc))
+            protocol::ok_plan_response(&req.id, false, &metrics, &json)
         }
         Err(PlanError::Cancelled { layers_done }) => {
             smm_obs::add(Counter::ServeDeadlineExceeded, 1);
@@ -514,6 +586,88 @@ mod tests {
         // The offending topology line number is surfaced to the client.
         let line = round_trip(addr, r#"{"topology":"a, 8, 8, 3, 3, 4, 8, 1,\nb, 1, 2,"}"#);
         assert!(line.contains("line 2"), "{line}");
+        handle.stop();
+        handle.join();
+    }
+
+    #[test]
+    fn dump_and_migrate_hand_plans_between_nodes_byte_identically() {
+        let origin = Server::spawn(ServerConfig::default()).unwrap();
+        let target = Server::spawn(ServerConfig::default()).unwrap();
+
+        // Plan on the origin node, then export its cache.
+        let cold = round_trip(origin.local_addr(), r#"{"model":"resnet18","glb_kb":128}"#);
+        assert_eq!(status_of(&cold), "ok");
+        let dump = round_trip(origin.local_addr(), r#"{"op":"dump","limit":8}"#);
+        let v = smm_obs::json::parse(&dump).unwrap();
+        let Some(smm_obs::json::Value::Array(entries)) = v.get("entries") else {
+            panic!("no entries in {dump}");
+        };
+        assert_eq!(entries.len(), 1);
+        let (Some(smm_obs::json::Value::String(key)), Some(smm_obs::json::Value::String(plan))) =
+            (entries[0].get("key"), entries[0].get("plan_json"))
+        else {
+            panic!("bad entry in {dump}");
+        };
+
+        // Push it into the target node; the next request is a warm hit
+        // serving the exact bytes the origin planned.
+        let migrate = format!(
+            "{{\"op\":\"migrate\",\"key\":\"{key}\",\"plan_json\":\"{}\"}}",
+            protocol::json_escape(plan)
+        );
+        let ack = round_trip(target.local_addr(), &migrate);
+        assert_eq!(status_of(&ack), "ok", "{ack}");
+        let warm = round_trip(target.local_addr(), r#"{"model":"resnet18","glb_kb":128}"#);
+        assert_eq!(status_of(&warm), "ok");
+        assert!(warm.contains("\"cache_hit\":true"), "{warm}");
+        let suffix = |line: &str| {
+            let idx = line.find("\"plan\":").unwrap();
+            line[idx..].to_string()
+        };
+        assert_eq!(
+            suffix(&cold),
+            suffix(&warm),
+            "migrated plan must be byte-identical"
+        );
+
+        // Garbage migrate payloads are rejected, never cached.
+        for bad in [
+            r#"{"op":"migrate","key":"zz","plan_json":"{}"}"#,
+            r#"{"op":"migrate","key":"63000000","plan_json":"{}"}"#,
+            r#"{"op":"migrate","key":"01000000","plan_json":"not json"}"#,
+            r#"{"op":"migrate","key":"01000000","plan_json":"[1]"}"#,
+        ] {
+            let line = round_trip(target.local_addr(), bad);
+            assert_eq!(status_of(&line), "error", "{bad} -> {line}");
+        }
+
+        for h in [origin, target] {
+            h.stop();
+            h.join();
+        }
+    }
+
+    #[test]
+    fn stats_reports_shed_verify_and_memo_counts() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+        let _ = round_trip(addr, r#"{"model":"mobilenet"}"#);
+        let stats = round_trip(addr, r#"{"op":"stats"}"#);
+        let v = smm_obs::json::parse(&stats).unwrap_or_else(|e| panic!("{stats}: {e}"));
+        for field in ["shed", "verify_failed", "queued"] {
+            assert!(
+                matches!(v.get(field), Some(smm_obs::json::Value::Number(_))),
+                "{stats} missing {field}"
+            );
+        }
+        let Some(memo) = v.get("memo") else {
+            panic!("{stats} missing memo");
+        };
+        let Some(smm_obs::json::Value::Number(misses)) = memo.get("misses") else {
+            panic!("{stats} missing memo.misses");
+        };
+        assert!(*misses > 0.0, "planning must have missed the memo: {stats}");
         handle.stop();
         handle.join();
     }

@@ -21,6 +21,9 @@
 //! - [`sim`] — the discrete-event execution simulator: DMA prefetch
 //!   queue, DRAM channel contention, fault injection, SMM011
 //!   cross-checks against the analytic model.
+//! - [`fleet`] — sharded multi-node planning: a consistent-hash router
+//!   over serve nodes with backend health tracking and warm-cache
+//!   handoff on membership changes.
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub use smm_arch as arch;
 pub use smm_check as check;
 pub use smm_core as core;
 pub use smm_exec as exec;
+pub use smm_fleet as fleet;
 pub use smm_model as model;
 pub use smm_obs as obs;
 pub use smm_policy as policy;
