@@ -28,6 +28,21 @@
 //! | SMM009 | plan totals equal the sum of per-layer effective estimates |
 //! | SMM010 | plan structure mirrors the network (layer count/order/scheme) |
 //! | SMM011 | simulated latency (`smm-sim`) within tolerance of the analytic estimate |
+//!
+//! Codes SMM012–SMM018 belong to the command-stream linter (`smm-lint`,
+//! see `docs/LINTING.md`): they are defined here so every `SMM###` code
+//! lives in one registry, but they are emitted by `smm_lint::lint_plan`
+//! over lowered DMA streams, not by [`check_plan`]:
+//!
+//! | code   | invariant |
+//! |--------|-----------|
+//! | SMM012 | every final store's inputs were delivered first (no use-before-fill) |
+//! | SMM013 | no transfer re-fetches or re-streams provably-resident bytes |
+//! | SMM014 | per-command ledger (claimed traffic/residency) matches the dataflow |
+//! | SMM015 | stores only write scratchpad ranges that are resident (alloc'd) |
+//! | SMM016 | no ofmap bytes are left resident (allocated but never stored) |
+//! | SMM017 | derived peak occupancy equals the recorded peak and fits Eq. 1 |
+//! | SMM018 | statically derived per-operand traffic equals the recorded replay |
 
 mod derive;
 mod render;
@@ -86,11 +101,32 @@ pub enum Code {
     /// Simulated latency diverges from the analytic estimate beyond the
     /// configured tolerance.
     SimDivergence,
+    /// A store consumed input bytes that were never filled (smm-lint).
+    UseBeforeFill,
+    /// A transfer re-fetched or re-streamed provably-resident bytes
+    /// (smm-lint).
+    RedundantTransfer,
+    /// The per-command ledger (claimed DRAM traffic or residency)
+    /// diverges from the statically derived dataflow, or a command is
+    /// malformed (smm-lint).
+    LedgerDivergence,
+    /// A store wrote a scratchpad range that was not resident — no alloc
+    /// (or a shrunken one) preceded it (smm-lint).
+    StoreBeforeAlloc,
+    /// Ofmap bytes were allocated or reloaded but never stored — output
+    /// left resident at end of stream (smm-lint).
+    ResidencyLeak,
+    /// Derived peak occupancy disagrees with the recorded peak or
+    /// exceeds the plan's Eq. 1 working set (smm-lint).
+    OccupancyMismatch,
+    /// Statically derived per-operand traffic disagrees with the
+    /// recorded replay totals (smm-lint).
+    StreamTrafficMismatch,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 11] = [
+    pub const ALL: [Code; 18] = [
         Code::GlbCapacityExceeded,
         Code::ResidentMismatch,
         Code::BlockOutOfBounds,
@@ -102,6 +138,13 @@ impl Code {
         Code::TotalsMismatch,
         Code::MalformedPlan,
         Code::SimDivergence,
+        Code::UseBeforeFill,
+        Code::RedundantTransfer,
+        Code::LedgerDivergence,
+        Code::StoreBeforeAlloc,
+        Code::ResidencyLeak,
+        Code::OccupancyMismatch,
+        Code::StreamTrafficMismatch,
     ];
 
     /// The stable `SMM###` string form.
@@ -118,6 +161,13 @@ impl Code {
             Code::TotalsMismatch => "SMM009",
             Code::MalformedPlan => "SMM010",
             Code::SimDivergence => "SMM011",
+            Code::UseBeforeFill => "SMM012",
+            Code::RedundantTransfer => "SMM013",
+            Code::LedgerDivergence => "SMM014",
+            Code::StoreBeforeAlloc => "SMM015",
+            Code::ResidencyLeak => "SMM016",
+            Code::OccupancyMismatch => "SMM017",
+            Code::StreamTrafficMismatch => "SMM018",
         }
     }
 
@@ -135,6 +185,13 @@ impl Code {
             Code::TotalsMismatch => "plan totals mismatch",
             Code::MalformedPlan => "malformed plan structure",
             Code::SimDivergence => "simulated latency divergence",
+            Code::UseBeforeFill => "use before fill in command stream",
+            Code::RedundantTransfer => "redundant transfer of resident bytes",
+            Code::LedgerDivergence => "command ledger divergence",
+            Code::StoreBeforeAlloc => "store of non-resident range",
+            Code::ResidencyLeak => "ofmap residency leaked past end of stream",
+            Code::OccupancyMismatch => "peak occupancy proof mismatch",
+            Code::StreamTrafficMismatch => "derived stream traffic mismatch",
         }
     }
 }

@@ -345,8 +345,12 @@ fn divergent_simulation_is_flagged() {
 
 #[test]
 fn every_code_has_a_mutation_that_triggers_it() {
-    // Meta-test: the harness above covers the full catalogue. Keep this
-    // in sync when adding codes — an uncovered code is an untested claim.
+    // Meta-test: every code in the catalogue has a mutation test that
+    // triggers it. SMM001–SMM011 are covered by the harness above;
+    // SMM012–SMM018 are the command-stream linter's codes, covered by
+    // the parallel harness in `crates/lint/tests/mutations.rs`. Keep
+    // this in sync when adding codes — an uncovered code is an untested
+    // claim.
     let covered = [
         Code::GlbCapacityExceeded,
         Code::ResidentMismatch,
@@ -359,6 +363,13 @@ fn every_code_has_a_mutation_that_triggers_it() {
         Code::TotalsMismatch,
         Code::MalformedPlan,
         Code::SimDivergence,
+        Code::UseBeforeFill,
+        Code::RedundantTransfer,
+        Code::LedgerDivergence,
+        Code::StoreBeforeAlloc,
+        Code::ResidencyLeak,
+        Code::OccupancyMismatch,
+        Code::StreamTrafficMismatch,
     ];
     assert_eq!(covered.len(), Code::ALL.len());
     for code in Code::ALL {

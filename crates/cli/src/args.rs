@@ -22,6 +22,8 @@ pub struct Options {
     pub scheduler: SchedulerKind,
     /// Emit machine-readable CSV instead of the text table.
     pub csv: bool,
+    /// Also lint the lowered command streams (`smm check --lint`).
+    pub lint: bool,
     /// Emit the analyze plan as one deterministic JSON object.
     pub json: bool,
     /// Batch size for batched-execution estimates.
@@ -49,6 +51,7 @@ impl Default for Options {
             inter_layer: false,
             scheduler: SchedulerKind::Greedy,
             csv: false,
+            lint: false,
             json: false,
             batch: 1,
             target2: None,
@@ -146,6 +149,7 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             "--no-prefetch" => opts.prefetch = false,
             "--inter-layer" => opts.inter_layer = true,
             "--csv" => opts.csv = true,
+            "--lint" => opts.lint = true,
             "--json" => opts.json = true,
             "--profile" => opts.profile = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
@@ -496,6 +500,12 @@ mod tests {
         assert_eq!(o.target2.as_deref(), Some("mobilenet"));
         assert!(o.csv);
         assert_eq!(o.batch, 4);
+    }
+
+    #[test]
+    fn lint_flag() {
+        assert!(parse(&argv("resnet18 --lint")).unwrap().lint);
+        assert!(!parse(&argv("resnet18")).unwrap().lint);
     }
 
     #[test]

@@ -262,6 +262,125 @@ fn check_body(opts: &Options) -> Result<(), String> {
             report.error_count()
         ));
     }
+    // `--lint` composes the command-stream analysis onto the plan-level
+    // check: the plan passed SMM001–SMM011, now prove SMM012–SMM018.
+    if opts.lint {
+        let lrep = smm_lint::lint_plan(&plan, &net).map_err(|e| e.to_string())?;
+        if opts.json {
+            println!("{}", smm_lint::report_json(&lrep));
+        } else {
+            print!("{}", smm_lint::render_text(&lrep));
+        }
+        if lrep.error_count() > 0 {
+            return Err(format!(
+                "stream lint failed: {} error(s)",
+                lrep.error_count()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `smm lint <model|topology.csv|all>` — plan, lower every layer, and
+/// statically analyze the DMA command streams: hazard proofs, occupancy
+/// proofs, redundant-transfer detection (SMM012–SMM018).
+pub fn lint(opts: &Options) -> Result<(), String> {
+    with_observability(opts, || lint_body(opts))
+}
+
+fn lint_body(opts: &Options) -> Result<(), String> {
+    if opts.target.as_deref() == Some("all") {
+        return lint_all(opts);
+    }
+    let spec = plan_spec(opts)?;
+    let net = spec.resolve().map_err(|e| e.to_string())?;
+    let plan = spec
+        .planner()
+        .plan(&net, spec.scheme, &CancelToken::none())
+        .map_err(|e| e.to_string())?;
+    let report = smm_lint::lint_plan(&plan, &net).map_err(|e| e.to_string())?;
+    if opts.json {
+        println!("{}", smm_lint::report_json(&report));
+    } else {
+        print!("{}", smm_lint::render_text(&report));
+    }
+    if report.error_count() > 0 {
+        return Err(format!(
+            "stream lint failed: {} error(s)",
+            report.error_count()
+        ));
+    }
+    Ok(())
+}
+
+/// The lint acceptance matrix: every paper-zoo model plus the
+/// transformer nets, under both objectives, at the requested GLB size
+/// and scheme. One line (or JSON entry) per run.
+fn lint_all(opts: &Options) -> Result<(), String> {
+    use smm_core::{LayerMemo, Objective};
+    use std::sync::Arc;
+    let mut failures = 0usize;
+    let mut entries = Vec::new();
+    // One memo for the whole matrix: identical shapes recur both within
+    // a model and across related models, so later runs replan less.
+    let memo = Arc::new(LayerMemo::default());
+    let nets = zoo::all_networks()
+        .into_iter()
+        .chain(zoo::transformer_networks());
+    for net in nets {
+        for objective in [Objective::Accesses, Objective::Latency] {
+            let o = Options {
+                objective,
+                target: Some(net.name.clone()),
+                ..opts.clone()
+            };
+            let spec = plan_spec(&o)?;
+            let plan = spec
+                .planner()
+                .with_memo(Arc::clone(&memo))
+                .plan(&net, spec.scheme, &CancelToken::none())
+                .map_err(|e| format!("{} ({objective:?}): {e}", net.name))?;
+            let report = smm_lint::lint_plan(&plan, &net)
+                .map_err(|e| format!("{} ({objective:?}): {e}", net.name))?;
+            let errors = report.error_count();
+            failures += usize::from(errors > 0);
+            if opts.json {
+                entries.push(format!(
+                    "{{\"network\":\"{}\",\"objective\":\"{objective:?}\",\"clean\":{},\
+                     \"errors\":{errors},\"commands\":{},\"peak_occupancy_elems\":{},\
+                     \"redundant_elems\":{}}}",
+                    smm_core::report::json_escape(&net.name),
+                    report.is_clean(),
+                    report.commands(),
+                    report.peak_occupancy(),
+                    report.redundant_elems,
+                ));
+            } else {
+                let verdict = if report.is_clean() { "ok  " } else { "FAIL" };
+                println!(
+                    "{verdict} {:<16} {objective:?}: {} commands, peak {} elements, \
+                     {} redundant, {} diagnostics",
+                    net.name,
+                    report.commands(),
+                    report.peak_occupancy(),
+                    report.redundant_elems,
+                    report.diagnostics().count(),
+                );
+                for d in report.diagnostics() {
+                    println!("     {d}");
+                }
+            }
+        }
+    }
+    if opts.json {
+        println!("[{}]", entries.join(","));
+    }
+    if failures > 0 {
+        return Err(format!("{failures} stream(s) failed lint"));
+    }
+    if !opts.json {
+        println!("all streams hazard-free @ {}kB GLB", opts.glb_kb);
+    }
     Ok(())
 }
 
@@ -293,7 +412,22 @@ fn check_all(opts: &Options) -> Result<(), String> {
                 .plan(&net, spec.scheme, &CancelToken::none())
                 .map_err(|e| format!("{} ({objective:?}): {e}", net.name))?;
             let report = smm_check::check_plan(&plan, &net, &spec.accelerator);
-            let errors = report.error_count();
+            let mut errors = report.error_count();
+            // `--lint` folds the stream analysis into the same matrix:
+            // each cell must pass the plan check *and* lint clean.
+            let lint_errors = if opts.lint {
+                let lrep = smm_lint::lint_plan(&plan, &net)
+                    .map_err(|e| format!("{} ({objective:?}): {e}", net.name))?;
+                if !opts.json {
+                    for d in lrep.diagnostics() {
+                        println!("     {d}");
+                    }
+                }
+                lrep.error_count()
+            } else {
+                0
+            };
+            errors += lint_errors;
             failures += usize::from(errors > 0);
             if opts.json {
                 entries.push(format!(
@@ -301,19 +435,23 @@ fn check_all(opts: &Options) -> Result<(), String> {
                      \"errors\":{errors},\"warnings\":{},\"peak_occupancy_elems\":{},\
                      \"capacity_elems\":{}}}",
                     smm_core::report::json_escape(&net.name),
-                    report.is_clean(),
-                    report.diagnostics.len() - errors,
+                    errors == 0 && report.is_clean(),
+                    report.diagnostics.len() - report.error_count(),
                     report.peak_occupancy(),
                     report.capacity_elems,
                 ));
             } else {
-                let verdict = if report.is_clean() { "ok  " } else { "FAIL" };
+                let verdict = if report.is_clean() && lint_errors == 0 {
+                    "ok  "
+                } else {
+                    "FAIL"
+                };
                 println!(
                     "{verdict} {:<16} {objective:?}: peak {}/{} elements, {} diagnostics",
                     net.name,
                     report.peak_occupancy(),
                     report.capacity_elems,
-                    report.diagnostics.len(),
+                    report.diagnostics.len() + lint_errors,
                 );
                 for d in &report.diagnostics {
                     println!("     {d}");
@@ -436,6 +574,13 @@ fn lower_body(opts: &Options) -> Result<(), String> {
         .ok_or_else(|| format!("no policy fits {layer_name} in {}", acc.glb))?;
     let program =
         smm_exec::Program::lower(&layer.shape, &chosen.estimate).map_err(|e| e.to_string())?;
+    if opts.json {
+        println!(
+            "{}",
+            lower_json(&net.name, layer, &chosen.estimate, &program)
+        );
+        return Ok(());
+    }
     println!(
         "{}/{}: {}{} lowered to {} DMA commands (replayed: {} elements moved, peak {} resident)",
         net.name,
@@ -455,6 +600,74 @@ fn lower_body(opts: &Options) -> Result<(), String> {
         println!("  ... {} more commands", lines.len() - HEAD);
     }
     Ok(())
+}
+
+/// `smm lower --json`: the full command stream plus the per-command
+/// annotations the static analyzer derives (claimed vs derived traffic
+/// and residency, redundant elements).
+fn lower_json(
+    network: &str,
+    layer: &smm_model::Layer,
+    est: &smm_policy::PolicyEstimate,
+    program: &smm_exec::Program,
+) -> String {
+    use smm_core::report::json_escape;
+    use std::fmt::Write as _;
+    let lint = smm_lint::lint_program(program, &layer.shape, est);
+    let mut out = String::with_capacity(256 + 200 * program.commands.len());
+    let _ = write!(
+        out,
+        "{{\"network\":\"{}\",\"layer\":\"{}\",\"policy\":\"{}\",\"prefetch\":{},\
+         \"commands\":{},\"moved_elems\":{},\"peak_resident\":{},\"clean\":{},\
+         \"redundant_elems\":{},",
+        json_escape(network),
+        json_escape(&layer.name),
+        est.kind.label(),
+        est.prefetch,
+        program.commands.len(),
+        program.replay.total(),
+        program.replay.peak_resident,
+        lint.is_clean(),
+        lint.redundant_elems,
+    );
+    out.push_str("\"diagnostics\":[");
+    for (i, d) in lint.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"message\":\"{}\"}}",
+            d.code,
+            json_escape(&d.message)
+        );
+    }
+    out.push_str("],\"stream\":[");
+    for (i, a) in lint.annotations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"index\":{},\"text\":\"{}\",\"action\":\"{}\",\"operand\":\"{}\",\
+             \"start\":{},\"end\":{},\"claimed_dram\":{},\"derived_dram\":{},\
+             \"claimed_resident_after\":{},\"derived_resident_after\":{},\
+             \"redundant_elems\":{}}}",
+            a.index,
+            json_escape(&program.commands[a.index].to_string()),
+            a.action.label(),
+            a.operand.label(),
+            a.range.start,
+            a.range.end,
+            a.claimed_dram,
+            a.derived_dram,
+            a.claimed_resident_after,
+            a.derived_resident_after,
+            a.redundant_elems,
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// `smm simulate <model>` — plan, lower, and execute the plan in the

@@ -18,8 +18,10 @@ COMMANDS:
     list-models                       List the full model zoo (paper, extended, transformer)
     analyze  <model|topology.csv>     Produce a per-layer execution plan
     check    <model|topology.csv|all> Statically verify a plan's GLB invariants
+    lint     <model|topology.csv|all> Statically analyze the lowered DMA command streams
     explain  <model> <layer>          Show Algorithm 1's candidates for one layer
     lower    <model> <layer>          Emit the chosen policy's DMA command stream
+                                      (--json adds per-command lint annotations)
     baseline <model|topology.csv>     Run the SCALE-Sim-like baseline
     simulate <model|topology.csv>     Execute the plan in the discrete-event simulator
     sweep    <model|topology.csv>     Compare all schemes across buffer sizes
@@ -30,7 +32,7 @@ COMMANDS:
     fleet route                       Run the consistent-hash fleet router
     fleet join|leave                  Add/remove a node on a running router (warm handoff)
 
-OPTIONS (analyze / check / baseline / sweep):
+OPTIONS (analyze / check / lint / baseline / sweep):
     --glb <KB>            GLB size in kB (default 256)
     --width <BITS>        Data width: 8, 16 or 32 (default 8)
     --objective <OBJ>     accesses | latency (default accesses)
@@ -40,7 +42,8 @@ OPTIONS (analyze / check / baseline / sweep):
     --no-prefetch         Disable the double-buffered policy variants
     --inter-layer         Enable the inter-layer reuse pass
     --csv                 Emit the analyze plan as CSV
-    --json                Emit the analyze plan (or check report) as JSON
+    --json                Emit the analyze plan (or check/lint report) as JSON
+    --lint                After `smm check`, also lint the lowered command streams
     --batch <N>           Also report batched-execution totals
 
 OPTIONS (analyze / sweep / lower):
@@ -114,6 +117,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "list-models" => commands::list_models(),
         "analyze" => commands::analyze(&args::parse(rest)?),
         "check" => commands::check(&args::parse(rest)?),
+        "lint" => commands::lint(&args::parse(rest)?),
         "explain" => commands::explain(&args::parse(rest)?),
         "lower" => commands::lower(&args::parse(rest)?),
         "baseline" => commands::baseline(&args::parse(rest)?),

@@ -2,9 +2,10 @@
 //! attribution and peak-residency tracking.
 
 use crate::program::{Command, CommandMeta};
+use crate::resolver::AddressResolver;
 use smm_model::LayerShape;
 use smm_policy::{AccessCounts, PolicyEstimate};
-use smm_trace::{AddressMap, DramCounter, Scratchpad};
+use smm_trace::{DramCounter, Scratchpad};
 use std::fmt;
 use std::ops::Range;
 
@@ -68,10 +69,10 @@ impl Replay {
     }
 }
 
-/// The scheduling engine: one unified scratchpad (the GLB), a padded
-/// address map, and traffic attribution per operand.
+/// The scheduling engine: one unified scratchpad (the GLB), a checked
+/// address resolver, and traffic attribution per operand.
 pub struct Engine {
-    map: AddressMap,
+    map: AddressResolver,
     sp: Scratchpad,
     dram: DramCounter,
     shape: LayerShape,
@@ -83,18 +84,12 @@ pub struct Engine {
 impl Engine {
     /// Build an engine with a scratchpad of exactly `capacity` elements
     /// (the estimator's single-copy footprint).
+    ///
+    /// # Panics
+    /// If the layer's address space overflows `u64` — impossible for
+    /// shapes accepted by `LayerShape::validate`.
     pub fn new(shape: &LayerShape, capacity: u64) -> Self {
-        let (oh, ow) = shape.output_hw();
-        let map = AddressMap::new(
-            shape.padded_h() as u64,
-            shape.padded_w() as u64,
-            shape.in_channels as u64,
-            shape.single_filter_elems(),
-            shape.num_filters as u64,
-            oh as u64,
-            ow as u64,
-            shape.out_channels() as u64,
-        );
+        let map = AddressResolver::new(shape).expect("layer address space fits in u64");
         let dram = DramCounter::new();
         let sp = Scratchpad::new(capacity, dram.clone());
         Engine {
@@ -262,22 +257,13 @@ impl Engine {
         self.note(0, false);
     }
 
-    /// Address range of one channel slice of one filter (`F_H·F_W`
-    /// contiguous elements — filters are stored filter-major,
-    /// channel-minor).
-    fn filter_channel_range(&self, f: u64, c: u64) -> Range<u64> {
-        let per_channel = self.shape.filter_h as u64 * self.shape.filter_w as u64;
-        let base = self.map.filters(f..f + 1).start + c * per_channel;
-        base..base + per_channel
-    }
-
     /// Bring channel `c` of filter `f` on-chip.
     pub fn fill_filter_channel(&mut self, f: u64, c: u64) -> Result<(), ExecError> {
         self.push_cmd(Command::FillFilterChannel {
             filter: f,
             channel: c,
         });
-        let r = self.filter_channel_range(f, c);
+        let r = self.map.filter_channel(f, c);
         let n = self.charged_fill(r)?;
         self.replay.filter_loads += n;
         self.note(n, false);
@@ -290,7 +276,7 @@ impl Engine {
             filter: f,
             channel: c,
         });
-        let r = self.filter_channel_range(f, c);
+        let r = self.map.filter_channel(f, c);
         let n = r.end - r.start;
         self.replay.filter_loads += n;
         self.sp.stream(r);
@@ -303,15 +289,8 @@ impl Engine {
             filter: f,
             channel: c,
         });
-        self.sp.evict(self.filter_channel_range(f, c));
+        self.sp.evict(self.map.filter_channel(f, c));
         self.note(0, false);
-    }
-
-    /// Address range of ofmap rows `rows` of output channel `c`.
-    fn ofmap_rows_range(&self, c: u64, rows: Range<u64>) -> Range<u64> {
-        let ow = self.shape.output_hw().1 as u64;
-        let start = self.map.ofmap(c, rows.start, 0);
-        start..start + (rows.end - rows.start) * ow
     }
 
     /// Allocate space for ofmap rows of one channel (produced on-chip).
@@ -323,7 +302,7 @@ impl Engine {
             channel: c,
             rows: rows.clone(),
         });
-        let r = self.ofmap_rows_range(c, rows);
+        let r = self.map.ofmap_rows(c, rows);
         self.sp.allocate(r).map_err(|e| ExecError {
             message: e.to_string(),
         })?;
@@ -341,7 +320,7 @@ impl Engine {
             channel: c,
             rows: rows.clone(),
         });
-        let r = self.ofmap_rows_range(c, rows);
+        let r = self.map.ofmap_rows(c, rows);
         let n = r.end - r.start;
         self.replay.ofmap_writes += n;
         self.sp.writeback(r);
@@ -357,7 +336,7 @@ impl Engine {
             channel: c,
             rows: rows.clone(),
         });
-        let r = self.ofmap_rows_range(c, rows);
+        let r = self.map.ofmap_rows(c, rows);
         let before = self.dram.reads();
         self.sp.fill(r).map_err(|e| ExecError {
             message: e.to_string(),
@@ -372,6 +351,12 @@ impl Engine {
     /// The layer shape being replayed.
     pub fn shape(&self) -> &LayerShape {
         &self.shape
+    }
+
+    /// The address resolver mapping commands to element ranges (shared
+    /// with the static analyzer, so the two mappings cannot drift).
+    pub fn resolver(&self) -> &AddressResolver {
+        &self.map
     }
 }
 
@@ -439,8 +424,8 @@ mod tests {
     fn filter_channel_ranges_are_disjoint_per_filter() {
         let s = shape();
         let e = Engine::new(&s, 10_000);
-        let a = e.filter_channel_range(1, 0);
-        let b = e.filter_channel_range(1, 1);
+        let a = e.resolver().filter_channel(1, 0);
+        let b = e.resolver().filter_channel(1, 1);
         assert_eq!(a.end, b.start);
         assert_eq!(b.end - a.start, s.single_filter_elems());
     }

@@ -34,8 +34,10 @@
 
 mod engine;
 mod program;
+mod resolver;
 mod run;
 
 pub use engine::{Engine, ExecError, Replay};
 pub use program::{Command, CommandMeta, Program};
+pub use resolver::{Action, AddressResolver, Operand, ResolveError, ResolvedCommand};
 pub use run::replay;

@@ -171,7 +171,26 @@ impl Program {
 
     /// Encode the DRAM-touching commands as a binary trace (one record
     /// per command, sequence number as the cycle stamp).
+    ///
+    /// # Panics
+    /// If a command's range is inverted or spans more than `u32::MAX`
+    /// rows/filters (it cannot fit a trace record) — the panic names the
+    /// offending command index instead of silently wrapping the count.
     pub fn encode_trace(&self) -> bytes::Bytes {
+        // Checked width of `r`, anchored to command `i`: an inverted or
+        // absurdly wide range in a corrupt stream must not wrap into a
+        // small, plausible-looking record count.
+        fn span(i: usize, r: &Range<u64>) -> u32 {
+            r.end
+                .checked_sub(r.start)
+                .and_then(|n| u32::try_from(n).ok())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "command {i}: range {}..{} does not fit a u32 trace record",
+                        r.start, r.end
+                    )
+                })
+        }
         let mut w = TraceWriter::new();
         for (i, c) in self.commands.iter().enumerate() {
             if !c.touches_dram() {
@@ -179,30 +198,22 @@ impl Program {
             }
             let (addr, count, is_read) = match c {
                 Command::FillIfmapRows { channel, rows }
-                | Command::StreamIfmapRows { channel, rows } => (
-                    channel << 32 | rows.start,
-                    (rows.end - rows.start) as u32,
-                    true,
-                ),
-                Command::FillFilters { filters } | Command::StreamFilters { filters } => (
-                    1 << 48 | filters.start,
-                    (filters.end - filters.start) as u32,
-                    true,
-                ),
+                | Command::StreamIfmapRows { channel, rows } => {
+                    (channel << 32 | rows.start, span(i, rows), true)
+                }
+                Command::FillFilters { filters } | Command::StreamFilters { filters } => {
+                    (1 << 48 | filters.start, span(i, filters), true)
+                }
                 Command::FillFilterChannel { filter, channel }
                 | Command::StreamFilterChannel { filter, channel } => {
                     (1 << 48 | filter << 16 | channel, 1, true)
                 }
-                Command::StoreOfmapRows { channel, rows } => (
-                    2 << 48 | channel << 32 | rows.start,
-                    (rows.end - rows.start) as u32,
-                    false,
-                ),
-                Command::ReloadPsumRows { channel, rows } => (
-                    2 << 48 | channel << 32 | rows.start,
-                    (rows.end - rows.start) as u32,
-                    true,
-                ),
+                Command::StoreOfmapRows { channel, rows } => {
+                    (2 << 48 | channel << 32 | rows.start, span(i, rows), false)
+                }
+                Command::ReloadPsumRows { channel, rows } => {
+                    (2 << 48 | channel << 32 | rows.start, span(i, rows), true)
+                }
                 _ => unreachable!("touches_dram filtered the rest"),
             };
             w.push(TraceRecord {
@@ -320,6 +331,32 @@ mod tests {
         let dram_cmds = p.commands.iter().filter(|c| c.touches_dram()).count();
         assert_eq!(decoded.len(), dram_cmds);
         assert!(decoded.iter().any(|r| !r.is_read), "stores present");
+    }
+
+    #[test]
+    // The inverted range below is the corruption under test.
+    #[allow(clippy::reversed_empty_ranges)]
+    fn encode_trace_names_the_command_that_cannot_fit_a_record() {
+        let e = est(PolicyKind::IntraLayer);
+        let mut p = Program::lower(&small_layer(), &e).unwrap();
+        // A u64::MAX-adjacent width (and, below, an inverted range) must
+        // panic with the command index, not wrap into a small count.
+        p.commands[0] = Command::FillIfmapRows {
+            channel: 0,
+            rows: 0..u64::MAX - 1,
+        };
+        let err = std::panic::catch_unwind(move || p.encode_trace()).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("command 0"), "{msg}");
+        assert!(msg.contains("does not fit"), "{msg}");
+
+        let e = est(PolicyKind::IntraLayer);
+        let mut p = Program::lower(&small_layer(), &e).unwrap();
+        p.commands[1] = Command::StoreOfmapRows {
+            channel: 0,
+            rows: 5..2,
+        };
+        assert!(std::panic::catch_unwind(move || p.encode_trace()).is_err());
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! `smm-lint`: a static dataflow analyzer for lowered DMA command
+//! streams.
+//!
+//! The replay engine *executes* a [`smm_exec::Program`] and the
+//! discrete-event simulator *times* it; neither proves anything about a
+//! stream it has not run. This crate closes that gap: one forward pass
+//! over the command stream — no replay, no simulation — re-derives,
+//! from the commands alone,
+//!
+//! 1. **Liveness intervals** per buffer (which flat element ranges are
+//!    resident between which commands), mirroring the scratchpad's
+//!    residency semantics exactly;
+//! 2. **Hazard proofs** — every final store's inputs were delivered
+//!    first (RAW, `SMM012`), stores only write allocated ranges
+//!    (`SMM015`), no output is left resident (`SMM016`);
+//! 3. An exact **peak-occupancy proof** by interval analysis, diffed
+//!    against the recorded peak and the plan's Eq. 1 working set
+//!    (`SMM017`);
+//! 4. **Redundant-transfer detection** — refetches or re-streams of
+//!    provably-still-resident bytes, reported as reclaimable traffic
+//!    per layer (`SMM013`);
+//! 5. A full **ledger audit** — every command's claimed DRAM traffic
+//!    and post-command residency against the derived dataflow
+//!    (`SMM014`), and the per-operand traffic totals against the
+//!    recorded replay (`SMM018`).
+//!
+//! Diagnostics use the stable `SMM###` registry from [`smm_check`]
+//! (codes SMM012–SMM018 belong to this crate). See `docs/LINTING.md`
+//! for the diagnostic catalogue and the interval-analysis design.
+//!
+//! # Example
+//!
+//! ```
+//! use smm_arch::{AcceleratorConfig, ByteSize};
+//! use smm_core::{Manager, ManagerConfig, Objective};
+//! use smm_lint::lint_plan;
+//! use smm_model::zoo;
+//!
+//! let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(256));
+//! let net = zoo::resnet18();
+//! let plan = Manager::new(acc, ManagerConfig::new(Objective::Accesses))
+//!     .heterogeneous(&net)
+//!     .unwrap();
+//! let report = lint_plan(&plan, &net).unwrap();
+//! assert!(report.is_clean());
+//! assert_eq!(report.redundant_elems, 0);
+//! ```
+
+mod analysis;
+mod interval;
+mod report;
+
+pub use analysis::{lint_plan, lint_program, CommandAnnotation, LintError, ProgramLint};
+pub use interval::IntervalSet;
+pub use report::{render_text, report_json, LayerLint, LintReport};

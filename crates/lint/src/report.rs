@@ -1,0 +1,196 @@
+//! Per-plan lint reports and their text/JSON rendering, mirroring the
+//! `smm-check` report shape so tooling can consume both uniformly.
+
+use crate::analysis::ProgramLint;
+use smm_check::{Diagnostic, Severity};
+use smm_core::report::json_escape;
+use smm_policy::PolicyKind;
+use std::fmt::Write as _;
+
+/// The lint result for one layer's lowered command stream.
+#[derive(Debug, Clone)]
+pub struct LayerLint {
+    /// Layer index in execution order.
+    pub layer_index: usize,
+    /// Layer name.
+    pub layer_name: String,
+    /// Policy the stream was lowered from.
+    pub policy: PolicyKind,
+    /// Whether the double-buffered (prefetch) variant was lowered.
+    pub prefetch: bool,
+    /// Commands in the stream.
+    pub commands: usize,
+    /// The per-program analysis result.
+    pub lint: ProgramLint,
+}
+
+/// The full lint result for one plan: every layer's stream analyzed.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Network the plan targets.
+    pub network: String,
+    /// Per-layer results, in execution order.
+    pub layers: Vec<LayerLint>,
+    /// Total reclaimable redundant-transfer elements across all layers.
+    pub redundant_elems: u64,
+}
+
+impl LintReport {
+    /// Assemble a report from per-layer results.
+    pub fn assemble(network: &str, layers: Vec<LayerLint>) -> Self {
+        let redundant_elems = layers.iter().map(|l| l.lint.redundant_elems).sum();
+        LintReport {
+            network: network.to_string(),
+            layers,
+            redundant_elems,
+        }
+    }
+
+    /// All diagnostics, in layer order.
+    pub fn diagnostics(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.layers.iter().flat_map(|l| l.lint.diagnostics.iter())
+    }
+
+    /// True when no layer produced a diagnostic.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics().next().is_none()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Does any finding carry `code`?
+    pub fn has_code(&self, code: smm_check::Code) -> bool {
+        self.diagnostics().any(|d| d.code == code)
+    }
+
+    /// Total commands analyzed.
+    pub fn commands(&self) -> usize {
+        self.layers.iter().map(|l| l.commands).sum()
+    }
+
+    /// Peak derived occupancy over all layers (elements).
+    pub fn peak_occupancy(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.lint.derived_peak)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Render a report for the terminal: per-layer table, verdict, and one
+/// line per finding.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "lint {}: {} layers, {} commands",
+        report.network,
+        report.layers.len(),
+        report.commands()
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>14} {:>6} {:>10} {:>12} {:>10} {:>6}",
+        "layer", "policy", "cmds", "peak", "traffic", "redundant", "diags"
+    );
+    for l in &report.layers {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14} {:>6} {:>10} {:>12} {:>10} {:>6}",
+            l.layer_name,
+            l.policy.label(),
+            l.commands,
+            l.lint.derived_peak,
+            l.lint.derived_access_counts().total(),
+            l.lint.redundant_elems,
+            l.lint.diagnostics.len(),
+        );
+    }
+    if report.is_clean() {
+        let _ = writeln!(
+            out,
+            "OK: all streams hazard-free (0 diagnostics, {} redundant elements)",
+            report.redundant_elems
+        );
+        return out;
+    }
+    for d in report.diagnostics() {
+        let _ = writeln!(out, "{d}");
+    }
+    let errors = report.error_count();
+    let _ = writeln!(
+        out,
+        "FAIL: {errors} error(s), {} redundant elements",
+        report.redundant_elems
+    );
+    out
+}
+
+/// Render a report as a single deterministic JSON object (shape mirrors
+/// `smm check --json`: `network` / summary fields / `diagnostics` /
+/// `layers`).
+pub fn report_json(report: &LintReport) -> String {
+    let mut out = String::with_capacity(512 + 160 * report.layers.len());
+    let _ = write!(
+        out,
+        "{{\"network\":\"{}\",\"layers_analyzed\":{},\"commands\":{},\
+         \"peak_occupancy_elems\":{},\"redundant_elems\":{},\"clean\":{},\"errors\":{},",
+        json_escape(&report.network),
+        report.layers.len(),
+        report.commands(),
+        report.peak_occupancy(),
+        report.redundant_elems,
+        report.is_clean(),
+        report.error_count(),
+    );
+    out.push_str("\"diagnostics\":[");
+    for (i, d) in report.diagnostics().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"layer\":{},\"layer_name\":{},\"message\":\"{}\"}}",
+            d.code,
+            d.severity.label(),
+            d.layer.map_or_else(|| "null".into(), |l| l.to_string()),
+            d.layer_name
+                .as_deref()
+                .map_or_else(|| "null".into(), |s| format!("\"{}\"", json_escape(s))),
+            json_escape(&d.message),
+        );
+    }
+    out.push_str("],\"layers\":[");
+    for (i, l) in report.layers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let t = l.lint.derived_access_counts();
+        let _ = write!(
+            out,
+            "{{\"layer\":{},\"name\":\"{}\",\"policy\":\"{}\",\"prefetch\":{},\
+             \"commands\":{},\"peak_elems\":{},\"ifmap_loads\":{},\"filter_loads\":{},\
+             \"ofmap_stores\":{},\"psum_reloads\":{},\"redundant_elems\":{},\"diagnostics\":{}}}",
+            l.layer_index,
+            json_escape(&l.layer_name),
+            l.policy.label(),
+            l.prefetch,
+            l.commands,
+            l.lint.derived_peak,
+            t.ifmap_loads,
+            t.filter_loads,
+            t.ofmap_stores,
+            t.psum_spill_loads,
+            l.lint.redundant_elems,
+            l.lint.diagnostics.len(),
+        );
+    }
+    out.push_str("]}");
+    out
+}

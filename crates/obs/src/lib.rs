@@ -130,11 +130,18 @@ pub enum Counter {
     FleetMigratedPlans,
     /// Plan bytes moved by warm-cache handoff.
     FleetMigratedBytes,
+    /// Command streams analyzed by the `smm-lint` static linter.
+    LintPrograms,
+    /// Diagnostics emitted across all `smm-lint` runs.
+    LintDiagnostics,
+    /// Redundant-transfer elements (refetches of resident bytes) the
+    /// linter flagged as reclaimable traffic.
+    LintRedundantElems,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 38] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -170,6 +177,9 @@ impl Counter {
         Counter::FleetReadmissions,
         Counter::FleetMigratedPlans,
         Counter::FleetMigratedBytes,
+        Counter::LintPrograms,
+        Counter::LintDiagnostics,
+        Counter::LintRedundantElems,
     ];
 
     /// Stable dotted name (report rows, Chrome counter events).
@@ -210,6 +220,9 @@ impl Counter {
             Counter::FleetReadmissions => "fleet.readmissions",
             Counter::FleetMigratedPlans => "fleet.migrated_plans",
             Counter::FleetMigratedBytes => "fleet.migrated_bytes",
+            Counter::LintPrograms => "lint.programs",
+            Counter::LintDiagnostics => "lint.diagnostics",
+            Counter::LintRedundantElems => "lint.redundant_elems",
         }
     }
 

@@ -480,6 +480,33 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
                         ),
                     );
                 }
+                // Second gate: lower the plan and lint the command
+                // streams (SMM012–SMM018) before it enters the cache.
+                match smm_lint::lint_plan(&plan, &net) {
+                    Ok(lint) if lint.error_count() > 0 => {
+                        smm_obs::add(Counter::ServeVerifyFailed, 1);
+                        shared.verify_failed.fetch_add(1, Ordering::Relaxed);
+                        let codes: Vec<&str> =
+                            lint.diagnostics().map(|d| d.code.as_str()).collect();
+                        return protocol::error_response(
+                            &req.id,
+                            &format!(
+                                "plan failed stream lint ({} diagnostics: {})",
+                                codes.len(),
+                                codes.join(", ")
+                            ),
+                        );
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        smm_obs::add(Counter::ServeVerifyFailed, 1);
+                        shared.verify_failed.fetch_add(1, Ordering::Relaxed);
+                        return protocol::error_response(
+                            &req.id,
+                            &format!("plan failed stream lint: {e}"),
+                        );
+                    }
+                }
             }
             // The rendered JSON — not the plan object — is what gets
             // cached: hits, cold plans, and migrated plans all serve

@@ -21,6 +21,9 @@
 //! - [`sim`] — the discrete-event execution simulator: DMA prefetch
 //!   queue, DRAM channel contention, fault injection, SMM011
 //!   cross-checks against the analytic model.
+//! - [`lint`] — the static dataflow analyzer for lowered DMA command
+//!   streams behind `smm lint` and its SMM012–SMM018 diagnostics:
+//!   hazard proofs, occupancy proofs, redundant-transfer detection.
 //! - [`fleet`] — sharded multi-node planning: a consistent-hash router
 //!   over serve nodes with backend health tracking and warm-cache
 //!   handoff on membership changes.
@@ -54,6 +57,7 @@ pub use smm_check as check;
 pub use smm_core as core;
 pub use smm_exec as exec;
 pub use smm_fleet as fleet;
+pub use smm_lint as lint;
 pub use smm_model as model;
 pub use smm_obs as obs;
 pub use smm_policy as policy;

@@ -1,0 +1,139 @@
+//! Cross-validation of the `smm-lint` static analyzer against the
+//! dynamic oracles.
+//!
+//! Three independent implementations account for the same command
+//! streams: the replay engine (executes them), the discrete-event
+//! simulator (times them), and the linter (analyzes them statically).
+//! These tests pin all three to each other:
+//!
+//! 1. Every program lowered from the 96-cell golden plan matrix lints
+//!    clean — zero diagnostics, zero redundant-transfer elements.
+//! 2. The linter's statically derived per-layer traffic equals
+//!    `Replay::as_access_counts()` (and the simulator's traffic ledger)
+//!    on arbitrary valid topologies × policies × prefetch variants.
+
+use proptest::prelude::*;
+use scratchpad_mm::arch::{AcceleratorConfig, ByteSize};
+use scratchpad_mm::core::{
+    CancelToken, ManagerConfig, NetworkRef, Objective, PlanScheme, PlanSpec, SchedulerKind,
+};
+use scratchpad_mm::exec::Program;
+use scratchpad_mm::lint::{lint_plan, lint_program};
+use scratchpad_mm::model::{zoo, LayerShape};
+use scratchpad_mm::policy::{estimate, PolicyKind};
+use scratchpad_mm::sim::{simulate_program, SimConfig};
+
+const GLB_KBS: [u64; 3] = [64, 256, 1024];
+const SCHEMES: [PlanScheme; 2] = [PlanScheme::Heterogeneous, PlanScheme::BestHomogeneous];
+const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Greedy, SchedulerKind::Global];
+
+/// Every plan of the golden matrix — 8 models × 2 schemes × 3 GLB sizes
+/// × 2 schedulers — lowers to hazard-free streams with no reclaimable
+/// traffic. This is the headline acceptance property: both schedulers
+/// only emit programs the dataflow analysis can prove correct.
+#[test]
+fn golden_matrix_programs_lint_clean() {
+    let open = CancelToken::none();
+    let mut cells = 0usize;
+    for net in zoo::all_networks()
+        .into_iter()
+        .chain(zoo::transformer_networks())
+    {
+        for scheme in SCHEMES {
+            for kb in GLB_KBS {
+                for scheduler in SCHEDULERS {
+                    let spec = PlanSpec::new(
+                        NetworkRef::Zoo(net.name.clone()),
+                        AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+                        ManagerConfig::new(Objective::Accesses).with_scheduler(scheduler),
+                        scheme,
+                    );
+                    let plan = spec.planner().plan(&net, spec.scheme, &open).unwrap();
+                    let report = lint_plan(&plan, &net).unwrap();
+                    let cell = format!("{} {scheme:?} {kb}kB {scheduler:?}", net.name);
+                    assert!(
+                        report.is_clean(),
+                        "{cell}: {:?}",
+                        report.diagnostics().collect::<Vec<_>>()
+                    );
+                    assert_eq!(report.redundant_elems, 0, "{cell}");
+                    assert_eq!(report.layers.len(), net.layers.len(), "{cell}");
+                    // The static occupancy proof agrees with the replay.
+                    for (l, d) in report.layers.iter().zip(&plan.decisions) {
+                        assert_eq!(
+                            l.lint.derived_access_counts().total(),
+                            d.estimate.accesses.total(),
+                            "{cell} layer {}",
+                            l.layer_name
+                        );
+                    }
+                    cells += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(cells, 96);
+}
+
+fn arb_shape() -> impl Strategy<Value = LayerShape> {
+    (
+        2u32..20, // ifmap_h
+        2u32..20, // ifmap_w
+        1u32..6,  // in_channels
+        1u32..4,  // filter (square)
+        2u32..10, // num_filters
+        1u32..3,  // stride
+        0u32..2,  // padding
+        any::<bool>(),
+    )
+        .prop_map(|(ih, iw, ci, k, nf, s, p, dw)| LayerShape {
+            ifmap_h: ih,
+            ifmap_w: iw,
+            in_channels: ci,
+            filter_h: k,
+            filter_w: k,
+            num_filters: if dw { ci } else { nf },
+            stride: s,
+            padding: p,
+            depthwise: dw,
+        })
+        .prop_filter("shape must validate", |s| s.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The linter re-derives, from the commands alone, exactly the
+    /// traffic the replay engine measured while executing them — for
+    /// every policy and both prefetch variants on arbitrary shapes.
+    /// The simulator's ledger (already pinned to the replay by
+    /// `sim_traffic`) is spot-checked as the third witness.
+    #[test]
+    fn derived_traffic_equals_the_replay(shape in arb_shape(), kb in 1u64..64) {
+        let acc = AcceleratorConfig::paper_default(ByteSize::from_kb(kb));
+        for kind in PolicyKind::ALL {
+            for prefetch in [false, true] {
+                let Some(est) = estimate(kind, &shape, &acc, prefetch) else { continue };
+                let program = Program::lower(&shape, &est)
+                    .unwrap_or_else(|e| panic!("{kind:?} on {shape:?}: {e}"));
+                let lint = lint_program(&program, &shape, &est);
+                prop_assert!(
+                    lint.is_clean(),
+                    "{:?} pf={} on {:?}: {:?}", kind, prefetch, &shape, lint.diagnostics
+                );
+                prop_assert_eq!(lint.redundant_elems, 0);
+                let want = program.replay.as_access_counts();
+                prop_assert_eq!(
+                    lint.derived_access_counts(), want,
+                    "{:?} pf={} on {:?}", kind, prefetch, &shape
+                );
+                prop_assert_eq!(lint.derived_peak, program.replay.peak_resident);
+                // Third witness: the discrete-event simulator's traffic
+                // ledger for the same program.
+                let stats = simulate_program(&program, &shape, &est, &acc, &SimConfig::default())
+                    .unwrap_or_else(|e| panic!("{kind:?} on {shape:?}: {e}"));
+                prop_assert_eq!(lint.derived_access_counts(), stats.traffic);
+            }
+        }
+    }
+}
