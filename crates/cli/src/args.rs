@@ -183,10 +183,16 @@ pub struct ServeOptions {
     pub port: u16,
     /// Planning worker threads.
     pub workers: usize,
+    /// Reactor shards (event-loop threads); 0 = one per core.
+    pub shards: usize,
     /// Bounded request-queue capacity.
     pub queue_cap: usize,
     /// Plan-cache capacity in entries.
     pub cache_cap: usize,
+    /// Target queue-wait budget for the adaptive shed controller, ms.
+    pub shed_target_ms: u64,
+    /// Disable adaptive shedding (static queue cap only).
+    pub static_cap: bool,
     /// Write the bound port number to this file once listening (lets
     /// scripts using port 0 discover the ephemeral port).
     pub port_file: Option<String>,
@@ -201,8 +207,11 @@ impl Default for ServeOptions {
         ServeOptions {
             port: 7878,
             workers: d.workers,
+            shards: d.shards,
             queue_cap: d.queue_cap,
             cache_cap: d.cache_cap,
+            shed_target_ms: d.shed_target_ms,
+            static_cap: !d.adaptive_shed,
             port_file: None,
             verify: d.verify_plans,
         }
@@ -233,12 +242,20 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, String> {
             "--workers" => {
                 opts.workers = number("--workers", value("--workers")?)?.max(1);
             }
+            "--shards" => {
+                opts.shards = number("--shards", value("--shards")?)?;
+            }
             "--queue-cap" => {
                 opts.queue_cap = number("--queue-cap", value("--queue-cap")?)?.max(1);
             }
             "--cache-cap" => {
                 opts.cache_cap = number("--cache-cap", value("--cache-cap")?)?;
             }
+            "--shed-target-ms" => {
+                opts.shed_target_ms =
+                    number("--shed-target-ms", value("--shed-target-ms")?)?.max(1) as u64;
+            }
+            "--static-cap" => opts.static_cap = true,
             "--port-file" => opts.port_file = Some(value("--port-file")?),
             "--verify" => opts.verify = true,
             other => return Err(format!("unknown serve flag {other:?}")),
@@ -276,7 +293,14 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenOptions, String> {
                 let s = value("--concurrency")?;
                 cfg.concurrency = s
                     .parse::<usize>()
-                    .map_err(|_| format!("--concurrency expects a thread count, got {s:?}"))?
+                    .map_err(|_| format!("--concurrency expects a connection count, got {s:?}"))?
+                    .max(1);
+            }
+            "--connections" => {
+                let s = value("--connections")?;
+                cfg.connections = s
+                    .parse::<usize>()
+                    .map_err(|_| format!("--connections expects a connection count, got {s:?}"))?
                     .max(1);
             }
             "--models" => {
@@ -324,6 +348,7 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenOptions, String> {
                 }
             }
             "--fleet" => cfg.fleet = true,
+            "--shed-report" => cfg.shed_report = true,
             "--shutdown" => cfg.shutdown = true,
             other => return Err(format!("unknown loadgen flag {other:?}")),
         }
@@ -548,21 +573,28 @@ mod tests {
     #[test]
     fn serve_flags() {
         let o = parse_serve(&argv(
-            "--port 0 --workers 2 --queue-cap 8 --cache-cap 32 --port-file /tmp/p --verify",
+            "--port 0 --workers 2 --shards 3 --queue-cap 8 --cache-cap 32 \
+             --shed-target-ms 20 --static-cap --port-file /tmp/p --verify",
         ))
         .unwrap();
         assert_eq!(o.port, 0);
         assert_eq!(o.workers, 2);
+        assert_eq!(o.shards, 3);
         assert_eq!(o.queue_cap, 8);
         assert_eq!(o.cache_cap, 32);
+        assert_eq!(o.shed_target_ms, 20);
+        assert!(o.static_cap);
         assert_eq!(o.port_file.as_deref(), Some("/tmp/p"));
         assert!(o.verify);
         let d = parse_serve(&[]).unwrap();
         assert_eq!(d.port, 7878);
         assert!(!d.verify);
+        assert_eq!(d.shards, 0, "shards default to auto");
+        assert!(!d.static_cap, "adaptive shedding is on by default");
         assert!(parse_serve(&argv("--port nope")).is_err());
         assert!(parse_serve(&argv("--port 99999")).is_err());
         assert!(parse_serve(&argv("--workers")).is_err());
+        assert!(parse_serve(&argv("--shed-target-ms nope")).is_err());
         assert!(parse_serve(&argv("--bogus")).is_err());
         // Worker/queue floors: 0 is clamped to 1, not accepted.
         assert_eq!(parse_serve(&argv("--workers 0")).unwrap().workers, 1);
@@ -578,11 +610,17 @@ mod tests {
         assert_eq!(o.cfg.addr, "127.0.0.1:9");
         assert_eq!(o.cfg.requests, 10);
         assert_eq!(o.cfg.concurrency, 3);
+        assert_eq!(o.cfg.connections, 0, "--connections wins only when set");
         assert_eq!(o.cfg.models, vec!["resnet18", "mobilenet"]);
         assert_eq!(o.cfg.glb_kb, 128);
         assert_eq!(o.cfg.deadline_ms, Some(50));
         assert!(o.cfg.shutdown);
+        assert!(!o.cfg.shed_report);
+        let o = parse_loadgen(&argv("--connections 2000 --shed-report")).unwrap();
+        assert_eq!(o.cfg.connections, 2000);
+        assert!(o.cfg.shed_report);
         assert!(parse_loadgen(&argv("-n lots")).is_err());
+        assert!(parse_loadgen(&argv("--connections nope")).is_err());
         assert!(parse_loadgen(&argv("--models ,")).is_err());
         assert!(parse_loadgen(&argv("--bogus")).is_err());
         // Defaults cover the full zoo.

@@ -860,16 +860,31 @@ pub fn serve(opts: &crate::args::ServeOptions) -> Result<(), String> {
     let handle = smm_serve::Server::spawn(smm_serve::ServerConfig {
         addr: format!("127.0.0.1:{}", opts.port),
         workers: opts.workers,
+        shards: opts.shards,
         queue_cap: opts.queue_cap,
         cache_cap: opts.cache_cap,
         obs: true,
         verify_plans: opts.verify,
+        adaptive_shed: !opts.static_cap,
+        shed_target_ms: opts.shed_target_ms,
     })
     .map_err(|e| format!("cannot bind port {}: {e}", opts.port))?;
     let addr = handle.local_addr();
+    let shed = if opts.static_cap {
+        "static cap".to_string()
+    } else {
+        format!("adaptive shed @{}ms", opts.shed_target_ms)
+    };
     println!(
-        "smm serve listening on {addr} ({} workers, queue {}, cache {})",
-        opts.workers, opts.queue_cap, opts.cache_cap
+        "smm serve listening on {addr} ({} workers, {} shards, queue {}, cache {}, {shed})",
+        opts.workers,
+        if opts.shards == 0 {
+            "auto".to_string()
+        } else {
+            opts.shards.to_string()
+        },
+        opts.queue_cap,
+        opts.cache_cap,
     );
     if let Some(path) = &opts.port_file {
         std::fs::write(path, format!("{}\n", addr.port())).map_err(|e| format!("{path}: {e}"))?;

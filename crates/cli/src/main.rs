@@ -62,21 +62,26 @@ OPTIONS (simulate):
 OPTIONS (serve):
     --port <P>            TCP port to bind; 0 picks an ephemeral port (default 7878)
     --workers <N>         Planning worker threads (default 4)
+    --shards <N>          Reactor event-loop shards; 0 = one per core (default 0)
     --queue-cap <N>       Bounded queue capacity; overflow is shed (default 64)
     --cache-cap <N>       Plan-cache entries; 0 disables caching (default 128)
+    --shed-target-ms <MS> Adaptive-shed queue-wait budget (default 50)
+    --static-cap          Disable adaptive shedding; static queue cap only
     --port-file <FILE>    Write the bound port number to FILE once listening
     --verify              Verify each fresh plan with smm-check before caching
 
 OPTIONS (loadgen):
     --addr <HOST:PORT>    Server address (default 127.0.0.1:7878)
     -n <N>                Total requests to send (default 64)
-    --concurrency <N>     Concurrent client connections (default 8)
+    --connections <N>     Concurrent connections on one epoll driver thread
+    --concurrency <N>     Legacy alias for --connections (default 8)
     --models <A,B,...>    Models to request round-robin (default: full zoo)
     --glb <KB>            GLB size in kB for every request (default 64)
     --glb-set <A,B,...>   Cycle these GLB sizes across requests (widens the key set)
     --deadline-ms <MS>    Per-request deadline
     --plan-delay-ms <MS>  Simulated planning cost (server sleeps on cache misses)
     --fleet               Report per-node hit rates and routing skew (router targets)
+    --shed-report         Append the admission/shedding section to the report
     --shutdown            Send a shutdown op to the server after the run
 
 OPTIONS (fleet route):

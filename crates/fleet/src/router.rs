@@ -20,6 +20,15 @@
 //! distinct replica (bounded by [`RouterConfig::retries`]); a backend
 //! that fails [`RouterConfig::eject_after`] times in a row is ejected
 //! and probed back to health by a background thread.
+//!
+//! The client-facing front-end runs on the **same sharded epoll
+//! reactor** as a serve node ([`smm_serve::Reactor`]): connections are
+//! pinned to an event-loop shard at accept, framed through reusable
+//! per-connection buffers, and `ping`/`shutdown` answer inline on the
+//! reactor. Verbs that must talk to backends (`plan`, `migrate`,
+//! `stats`, the admin verbs) are handed to a bounded **forwarder
+//! pool** — blocking backend I/O never runs on a reactor thread — and
+//! their responses return via the reactor's completion path.
 
 use crate::backend::Backend;
 use crate::ring::HashRing;
@@ -27,22 +36,27 @@ use smm_core::report::json_escape;
 use smm_core::PlanKey;
 use smm_obs::Counter;
 use smm_serve::protocol::{self, Op};
+use smm_serve::{
+    BoundedQueue, Completion, LineHandler, Outcome, PushError, Reactor, ReactorConfig,
+};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// How often blocked loops re-check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
-
-/// How long [`RouterHandle::join`] waits for connection handlers.
-const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
-
 /// Bound on the request→key-hash memo before it is cleared wholesale.
 const KEY_MEMO_CAP: usize = 4096;
+
+/// Forwarder pool size: how many backend forwards can block
+/// concurrently. Forwards are I/O-bound (the pool threads spend their
+/// time parked in `connect`/`read`), so this is well above core count.
+const FORWARDER_THREADS: usize = 32;
+
+/// Bound on forwards waiting for a pool thread; beyond it plan
+/// requests are shed and other verbs answer an overload error.
+const FORWARD_QUEUE_CAP: usize = 1024;
 
 /// Router construction parameters.
 #[derive(Debug, Clone)]
@@ -124,6 +138,13 @@ pub struct FleetCountersSnapshot {
     pub migrated_bytes: u64,
 }
 
+/// One request waiting for a forwarder-pool thread: the raw line to
+/// forward plus the reactor completion that routes the response back.
+struct ForwardJob {
+    line: String,
+    completion: Completion,
+}
+
 struct RouterShared {
     cfg: RouterConfig,
     ring: parking_lot::RwLock<HashRing>,
@@ -134,9 +155,11 @@ struct RouterShared {
     /// Request-fields → key-hash memo, so repeat zoo-model requests skip
     /// network resolution on the routing hot path.
     key_memo: parking_lot::Mutex<HashMap<String, u64>>,
+    /// Hand-off from the reactor to the forwarder pool.
+    queue: BoundedQueue<ForwardJob>,
     counters: FleetCounters,
-    shutdown: AtomicBool,
-    connections: AtomicUsize,
+    /// Shared with the reactor: raising it starts the graceful drain.
+    shutdown: Arc<AtomicBool>,
 }
 
 /// A running router. Dropping the handle does **not** stop it; call
@@ -144,7 +167,8 @@ struct RouterShared {
 pub struct RouterHandle {
     local_addr: SocketAddr,
     shared: Arc<RouterShared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
+    forwarders: Vec<JoinHandle<()>>,
     prober: Option<JoinHandle<()>>,
 }
 
@@ -158,32 +182,33 @@ impl Router {
             smm_obs::set_enabled(true);
         }
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
         let ring = HashRing::new(cfg.backends.iter().map(String::as_str), cfg.vnodes);
         let backends = cfg
             .backends
             .iter()
             .map(|a| (a.clone(), Arc::new(Backend::new(a.clone()))))
             .collect();
+        let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(RouterShared {
             cfg,
             ring: parking_lot::RwLock::new(ring),
             backends: parking_lot::RwLock::new(backends),
             membership: parking_lot::Mutex::new(()),
             key_memo: parking_lot::Mutex::new(HashMap::new()),
+            queue: BoundedQueue::new(FORWARD_QUEUE_CAP),
             counters: FleetCounters::default(),
-            shutdown: AtomicBool::new(false),
-            connections: AtomicUsize::new(0),
+            shutdown: Arc::clone(&shutdown),
         });
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("smm-fleet-acceptor".into())
-                .spawn(move || acceptor_loop(&listener, &shared))
-                .expect("spawn acceptor thread")
-        };
+        let forwarders = (0..FORWARDER_THREADS)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("smm-fleet-fwd-{i}"))
+                    .spawn(move || forward_loop(&shared))
+                    .expect("spawn forwarder thread")
+            })
+            .collect();
         let prober = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -192,10 +217,16 @@ impl Router {
                 .expect("spawn prober thread")
         };
 
+        let handler: Arc<dyn LineHandler> = Arc::new(RouterLineHandler {
+            shared: Arc::clone(&shared),
+        });
+        let reactor = Reactor::spawn(listener, &ReactorConfig::default(), handler, shutdown)?;
+
         Ok(RouterHandle {
-            local_addr,
+            local_addr: reactor.local_addr(),
             shared,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
+            forwarders,
             prober: Some(prober),
         })
     }
@@ -212,21 +243,19 @@ impl RouterHandle {
         self.shared.shutdown.store(true, Ordering::Release);
     }
 
-    /// Block until shutdown is signalled, then drain handler threads.
+    /// Block until shutdown is signalled, then drain gracefully: the
+    /// reactor flushes in-flight responses (in-flight forwards finish
+    /// through the pool first), then the pool and prober are joined.
     pub fn join(mut self) {
-        while !self.shared.shutdown.load(Ordering::Acquire) {
-            thread::sleep(POLL_INTERVAL);
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join();
         }
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.shared.queue.close();
+        for f in self.forwarders.drain(..) {
+            let _ = f.join();
         }
         if let Some(prober) = self.prober.take() {
             let _ = prober.join();
-        }
-        let start = std::time::Instant::now();
-        while self.shared.connections.load(Ordering::Acquire) > 0 && start.elapsed() < DRAIN_TIMEOUT
-        {
-            thread::sleep(POLL_INTERVAL);
         }
     }
 
@@ -269,29 +298,6 @@ impl RouterHandle {
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
-    while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                shared.connections.fetch_add(1, Ordering::Relaxed);
-                let conn_shared = Arc::clone(shared);
-                let spawned =
-                    thread::Builder::new()
-                        .name("smm-fleet-conn".into())
-                        .spawn(move || {
-                            handle_connection(stream, &conn_shared);
-                            conn_shared.connections.fetch_sub(1, Ordering::Release);
-                        });
-                if spawned.is_err() {
-                    shared.connections.fetch_sub(1, Ordering::Release);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
-            Err(_) => thread::sleep(POLL_INTERVAL),
-        }
-    }
-}
-
 fn prober_loop(shared: &Arc<RouterShared>) {
     while !shared.shutdown.load(Ordering::Acquire) {
         thread::sleep(shared.cfg.probe_interval.min(Duration::from_millis(250)));
@@ -316,69 +322,136 @@ fn prober_loop(shared: &Arc<RouterShared>) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    // Same Nagle/delayed-ACK discipline as the serve node: one
-    // write_all per response line, newline included.
-    let _ = stream.set_nodelay(true);
-    let mut writer = stream;
-    let mut reader = BufReader::new(read_half);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
+/// The router-protocol [`LineHandler`] plugged into the reactor.
+/// Anything that needs backend I/O defers to the forwarder pool; the
+/// rest answers inline on the reactor shard.
+struct RouterLineHandler {
+    shared: Arc<RouterShared>,
+}
+
+impl LineHandler for RouterLineHandler {
+    fn handle(&self, line: &str, reply: &mut String, completion: Completion) -> Outcome {
+        let shared = &self.shared;
+        // Admin verbs are router-only and unknown to the node protocol,
+        // so they are recognized on the raw JSON before the strict
+        // parse. They talk to backends → forwarder pool.
+        if let Ok(v) = smm_obs::json::parse(line) {
+            let op = match v.get("op") {
+                Some(smm_obs::json::Value::String(s)) => s.clone(),
+                _ => String::new(),
+            };
+            if op == "fleet_join" || op == "fleet_leave" {
+                let id = match v.get("id") {
+                    Some(smm_obs::json::Value::String(s)) => Some(s.clone()),
+                    _ => None,
+                };
+                return defer_to_pool(shared, line, &id, false, reply, completion);
+            }
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let (mut response, shutdown) = handle_line(trimmed, shared);
-        response.push('\n');
-        if writer.write_all(response.as_bytes()).is_err() {
-            return;
-        }
-        let _ = writer.flush();
-        if shutdown {
-            shared.shutdown.store(true, Ordering::Release);
-            return;
+        let req = match protocol::parse_request(line) {
+            Ok(req) => req,
+            Err(msg) => {
+                protocol::error_response_into(reply, &None, &msg);
+                return Outcome::Replied;
+            }
+        };
+        match req.op {
+            Op::Ping => {
+                protocol::pong_response_into(reply, &req.id);
+                Outcome::Replied
+            }
+            Op::Shutdown => {
+                protocol::shutdown_response_into(reply, &req.id);
+                shared.shutdown.store(true, Ordering::Release);
+                Outcome::RepliedClose
+            }
+            Op::Dump => {
+                protocol::error_response_into(
+                    reply,
+                    &req.id,
+                    "dump is a node-level op; send it to a backend directly",
+                );
+                Outcome::Replied
+            }
+            Op::Stats | Op::Migrate => {
+                defer_to_pool(shared, line, &req.id, false, reply, completion)
+            }
+            Op::Plan => defer_to_pool(shared, line, &req.id, true, reply, completion),
         }
     }
 }
 
-/// Dispatch one request line; returns `(response, shutdown_router)`.
-fn handle_line(line: &str, shared: &Arc<RouterShared>) -> (String, bool) {
-    // Admin verbs are router-only and unknown to the node protocol, so
-    // they are recognized on the raw JSON before the strict parse.
+/// Hand one line to the forwarder pool. A full queue sheds plan
+/// requests (counted like an all-replicas-down shed) and answers other
+/// verbs with an overload error — the reactor never blocks.
+// `&Option<String>` matches the `smm_serve::protocol` renderer
+// signatures this forwards `id` into.
+#[allow(clippy::ref_option)]
+fn defer_to_pool(
+    shared: &Arc<RouterShared>,
+    line: &str,
+    id: &Option<String>,
+    is_plan: bool,
+    reply: &mut String,
+    completion: Completion,
+) -> Outcome {
+    let job = ForwardJob {
+        line: line.to_string(),
+        completion: completion.defer(),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => Outcome::Deferred,
+        Err(PushError::Full(job)) => {
+            let ForwardJob { completion, .. } = job;
+            completion.cancel();
+            if is_plan {
+                bump(&shared.counters.shed, Counter::FleetShed, 1);
+                protocol::shed_response_into(reply, id);
+            } else {
+                protocol::error_response_into(reply, id, "router forwarder queue is full");
+            }
+            Outcome::Replied
+        }
+        Err(PushError::Closed(job)) => {
+            let ForwardJob { completion, .. } = job;
+            completion.cancel();
+            protocol::error_response_into(reply, id, "router is shutting down");
+            Outcome::Replied
+        }
+    }
+}
+
+/// One forwarder-pool thread: pop, forward, fulfill.
+fn forward_loop(shared: &Arc<RouterShared>) {
+    while let Some(job) = shared.queue.pop() {
+        let response = forward_line(&job.line, shared);
+        job.completion.fulfill(response);
+    }
+}
+
+/// Dispatch one deferred request line against the backends.
+fn forward_line(line: &str, shared: &Arc<RouterShared>) -> String {
     if let Ok(v) = smm_obs::json::parse(line) {
         let op = match v.get("op") {
             Some(smm_obs::json::Value::String(s)) => s.clone(),
             _ => String::new(),
         };
         if op == "fleet_join" || op == "fleet_leave" {
-            return (handle_admin(&op, &v, shared), false);
+            return handle_admin(&op, &v, shared);
         }
     }
     let req = match protocol::parse_request(line) {
         Ok(req) => req,
-        Err(msg) => return (protocol::error_response(&None, &msg), false),
+        Err(msg) => return protocol::error_response(&None, &msg),
     };
     match req.op {
-        Op::Ping => (protocol::pong_response(&req.id), false),
-        Op::Shutdown => (protocol::shutdown_response(&req.id), true),
-        Op::Stats => (fleet_stats(req.id.as_deref(), shared), false),
-        Op::Dump => (
-            protocol::error_response(
-                &req.id,
-                "dump is a node-level op; send it to a backend directly",
-            ),
-            false,
-        ),
-        Op::Migrate => (route_migrate(line, &req, shared), false),
-        Op::Plan => (route_plan(line, &req, shared), false),
+        Op::Stats => fleet_stats(req.id.as_deref(), shared),
+        Op::Migrate => route_migrate(line, &req, shared),
+        Op::Plan => route_plan(line, &req, shared),
+        // Inline verbs never reach the pool.
+        Op::Ping | Op::Shutdown | Op::Dump => {
+            protocol::error_response(&req.id, "internal: op should be answered on the reactor")
+        }
     }
 }
 
@@ -581,6 +654,10 @@ fn parse_node_stats(resp: &str) -> Option<protocol::NodeStats> {
         },
         queued: v.get("queued").map_or(0, &num) as usize,
         shed: v.get("shed").map_or(0, &num),
+        shed_adaptive: v.get("shed_adaptive").map_or(0, &num),
+        queue_depth_peak: v.get("queue_depth_peak").map_or(0, &num),
+        ewma_latency_us: v.get("ewma_latency_us").map_or(0, &num),
+        inline_hits: v.get("inline_hits").map_or(0, &num),
         verify_failed: v.get("verify_failed").map_or(0, &num),
         memo_hits: memo.get("hits").map_or(0, &num),
         memo_misses: memo.get("misses").map_or(0, &num),
@@ -595,6 +672,12 @@ fn accumulate(agg: &mut protocol::NodeStats, s: &protocol::NodeStats) {
     agg.cache.capacity += s.cache.capacity;
     agg.queued += s.queued;
     agg.shed += s.shed;
+    agg.shed_adaptive += s.shed_adaptive;
+    agg.inline_hits += s.inline_hits;
+    // Gauges, not counters: the fleet-wide peak/estimate is the worst
+    // node's, not a sum.
+    agg.queue_depth_peak = agg.queue_depth_peak.max(s.queue_depth_peak);
+    agg.ewma_latency_us = agg.ewma_latency_us.max(s.ewma_latency_us);
     agg.verify_failed += s.verify_failed;
     agg.memo_hits += s.memo_hits;
     agg.memo_misses += s.memo_misses;

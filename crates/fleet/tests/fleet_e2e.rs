@@ -21,6 +21,7 @@ fn spawn_node(cache_cap: usize) -> smm_serve::ServerHandle {
         cache_cap,
         obs: false,
         verify_plans: false,
+        ..ServerConfig::default()
     })
     .expect("spawn serve node")
 }

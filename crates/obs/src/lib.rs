@@ -92,6 +92,19 @@ pub enum Counter {
     ServeRequests,
     /// Requests shed because the work queue was full.
     ServeShed,
+    /// Of the shed requests, those shed by the *adaptive* admission
+    /// controller (EWMA-tightened cap or predicted deadline overrun)
+    /// rather than by the static queue capacity.
+    ServeShedAdaptive,
+    /// High-water mark of the planning queue depth (recorded via
+    /// [`record_max`], so the counter equals the peak, not a sum).
+    ServeQueueDepthPeak,
+    /// High-water mark of the EWMA service-latency estimate in
+    /// microseconds (recorded via [`record_max`]).
+    ServeEwmaLatencyUs,
+    /// Plan requests answered inline on the reactor from the plan
+    /// cache, without touching the worker queue.
+    ServeInlineHits,
     /// Requests that missed their deadline.
     ServeDeadlineExceeded,
     /// Plans verified by `smm-check`.
@@ -141,7 +154,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 38] = [
+    pub const ALL: [Counter; 42] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -158,6 +171,10 @@ impl Counter {
         Counter::PlanCacheEvictions,
         Counter::ServeRequests,
         Counter::ServeShed,
+        Counter::ServeShedAdaptive,
+        Counter::ServeQueueDepthPeak,
+        Counter::ServeEwmaLatencyUs,
+        Counter::ServeInlineHits,
         Counter::ServeDeadlineExceeded,
         Counter::CheckRuns,
         Counter::CheckDiagnostics,
@@ -201,6 +218,10 @@ impl Counter {
             Counter::PlanCacheEvictions => "plan_cache.evictions",
             Counter::ServeRequests => "serve.requests",
             Counter::ServeShed => "serve.shed",
+            Counter::ServeShedAdaptive => "serve.shed_adaptive",
+            Counter::ServeQueueDepthPeak => "serve.queue_depth_peak",
+            Counter::ServeEwmaLatencyUs => "serve.ewma_latency_us",
+            Counter::ServeInlineHits => "serve.inline_hits",
             Counter::ServeDeadlineExceeded => "serve.deadline_exceeded",
             Counter::CheckRuns => "check.runs",
             Counter::CheckDiagnostics => "check.diagnostics",
@@ -380,6 +401,18 @@ pub fn add(counter: Counter, n: u64) {
         return;
     }
     collector().counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Raise a counter to `value` if it is currently lower (monotone
+/// high-water mark). Gauge-style metrics (queue-depth peak, EWMA
+/// estimate) use this so the counter reads as the peak rather than a
+/// meaningless sum. No-op when disabled.
+#[inline]
+pub fn record_max(counter: Counter, value: u64) {
+    if !enabled() {
+        return;
+    }
+    collector().counters[counter.index()].fetch_max(value, Ordering::Relaxed);
 }
 
 /// Record one observation into a histogram. No-op when disabled.

@@ -1,0 +1,328 @@
+//! Per-connection reusable buffers: line framing over partial reads,
+//! and a write buffer that survives partial writes.
+//!
+//! The old server paid one `BufReader` + one `String` per connection
+//! and one `String` per line; at thousands of keep-alive connections
+//! that is allocator traffic on every request. Here each connection
+//! owns exactly two grow-once buffers for its whole lifetime:
+//!
+//! - [`LineFramer`] accumulates raw socket bytes and yields complete
+//!   `\n`-terminated lines. Partial lines simply stay buffered until
+//!   the next read — a slowloris client that drips one byte at a time
+//!   makes no progress *and* costs no allocation. Lines longer than
+//!   the configured bound are rejected (the connection answers an
+//!   error and closes) instead of growing without limit.
+//! - [`WriteBuf`] queues rendered responses and flushes as much as the
+//!   socket accepts, remembering its offset across `WouldBlock` so a
+//!   slow-reading client never blocks the reactor.
+//!
+//! Both recycle their capacity on keep-alive: `clear()` semantics
+//! everywhere, never dealloc/realloc.
+
+use std::io::{self, Read, Write};
+
+/// How many bytes one socket read may pull in.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Compact the framer (shift the unconsumed tail to the front) once
+/// this many consumed bytes accumulate at the head of the buffer.
+const COMPACT_THRESHOLD: usize = 4 * 1024;
+
+/// Why a connection's inbound stream can no longer be framed. Both are
+/// terminal: the reactor reports the error and closes the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// A single line exceeded the configured maximum length.
+    Oversize {
+        /// The enforced bound, for the error message.
+        limit: usize,
+    },
+    /// A complete line was not valid UTF-8.
+    Utf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            FrameError::Utf8 => write!(f, "request line is not valid UTF-8"),
+        }
+    }
+}
+
+/// Accumulates socket bytes and yields complete lines without
+/// per-request allocation. See the module docs for the design.
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Bytes before `start` belong to already-yielded lines.
+    start: usize,
+    /// Bytes before `scan` have been searched for `\n` already, so a
+    /// byte-at-a-time sender costs O(1) per byte, not O(line) rescans.
+    scan: usize,
+    max_line: usize,
+}
+
+impl LineFramer {
+    /// A framer enforcing `max_line` bytes per line (exclusive of the
+    /// terminator).
+    pub fn new(max_line: usize) -> Self {
+        LineFramer {
+            buf: Vec::new(),
+            start: 0,
+            scan: 0,
+            max_line,
+        }
+    }
+
+    /// Append bytes by value — the test-friendly twin of
+    /// [`read_from`](Self::read_from).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact_if_due();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Issue one `read` on `r` into the spare tail of the buffer.
+    /// Returns the byte count (0 = EOF); `WouldBlock` and friends pass
+    /// through untouched.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        self.compact_if_due();
+        let old = self.buf.len();
+        self.buf.resize(old + READ_CHUNK, 0);
+        match r.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// The next complete line, whitespace-trimmed, or `None` if no full
+    /// line is buffered yet. The returned slice borrows the internal
+    /// buffer; consume it before the next framer call.
+    pub fn next_line(&mut self) -> Result<Option<&str>, FrameError> {
+        let Some(off) = self.buf[self.scan..].iter().position(|&b| b == b'\n') else {
+            self.scan = self.buf.len();
+            if self.buf.len() - self.start > self.max_line {
+                return Err(FrameError::Oversize {
+                    limit: self.max_line,
+                });
+            }
+            return Ok(None);
+        };
+        let end = self.scan + off;
+        let line_start = self.start;
+        self.start = end + 1;
+        self.scan = self.start;
+        if end - line_start > self.max_line {
+            return Err(FrameError::Oversize {
+                limit: self.max_line,
+            });
+        }
+        let raw = &self.buf[line_start..end];
+        let text = std::str::from_utf8(raw).map_err(|_| FrameError::Utf8)?;
+        Ok(Some(text.trim()))
+    }
+
+    /// Bytes buffered but not yet yielded as lines.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn compact_if_due(&mut self) {
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            self.scan = 0;
+        } else if self.start >= COMPACT_THRESHOLD {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.scan -= self.start;
+            self.start = 0;
+        }
+    }
+}
+
+/// Queued outbound bytes with a flush offset, so partial writes resume
+/// where they left off. Capacity is recycled across responses.
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    /// An empty write buffer.
+    pub fn new() -> Self {
+        WriteBuf {
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Queue one response line; the `\n` terminator is appended here so
+    /// response rendering never has to think about it.
+    pub fn push_line(&mut self, line: &str) {
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    /// Whether everything queued has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Write as much as `w` accepts. `Ok(true)` means fully drained
+    /// (and the buffer recycled); `Ok(false)` means the socket filled
+    /// up (`WouldBlock`) — keep write interest armed and retry later.
+    pub fn flush_to<W: Write>(&mut self, w: &mut W) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+impl Default for WriteBuf {
+    fn default() -> Self {
+        WriteBuf::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_lines_across_arbitrary_splits() {
+        let mut f = LineFramer::new(1024);
+        f.push(b"hel");
+        assert_eq!(f.next_line(), Ok(None));
+        f.push(b"lo\nwor");
+        assert_eq!(f.next_line(), Ok(Some("hello")));
+        assert_eq!(f.next_line(), Ok(None));
+        f.push(b"ld\n\n  spaced  \n");
+        assert_eq!(f.next_line(), Ok(Some("world")));
+        assert_eq!(f.next_line(), Ok(Some("")));
+        assert_eq!(f.next_line(), Ok(Some("spaced")));
+        assert_eq!(f.next_line(), Ok(None));
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_slowloris_still_frames() {
+        let mut f = LineFramer::new(64);
+        for b in b"{\"op\":\"ping\"}" {
+            f.push(&[*b]);
+            assert_eq!(f.next_line(), Ok(None));
+        }
+        f.push(b"\n");
+        assert_eq!(f.next_line(), Ok(Some("{\"op\":\"ping\"}")));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_with_and_without_terminator() {
+        // Unterminated flood past the bound.
+        let mut f = LineFramer::new(8);
+        f.push(b"0123456789");
+        assert_eq!(f.next_line(), Err(FrameError::Oversize { limit: 8 }));
+
+        // Terminated but too long.
+        let mut f = LineFramer::new(8);
+        f.push(b"0123456789\n");
+        assert_eq!(f.next_line(), Err(FrameError::Oversize { limit: 8 }));
+
+        // At the bound is fine.
+        let mut f = LineFramer::new(8);
+        f.push(b"01234567\n");
+        assert_eq!(f.next_line(), Ok(Some("01234567")));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error_not_a_panic() {
+        let mut f = LineFramer::new(64);
+        f.push(&[0xff, 0xfe, b'\n', b'o', b'k', b'\n']);
+        assert_eq!(f.next_line(), Err(FrameError::Utf8));
+        // The stream can keep going after the caller decides to: the
+        // bad line was consumed.
+        assert_eq!(f.next_line(), Ok(Some("ok")));
+    }
+
+    #[test]
+    fn compaction_preserves_partial_tails_and_capacity() {
+        let mut f = LineFramer::new(1 << 20);
+        // Push enough consumed lines to cross the compaction threshold,
+        // leaving a partial line in the buffer each time.
+        let line = vec![b'x'; 1500];
+        for _ in 0..8 {
+            f.push(&line);
+            f.push(b"\npartial");
+            assert!(f.next_line().unwrap().is_some());
+            assert_eq!(f.next_line(), Ok(None));
+            // The partial tail survives.
+            assert_eq!(f.pending(), "partial".len());
+            f.push(b"\n");
+            assert_eq!(f.next_line(), Ok(Some("partial")));
+        }
+        f.push(b"x\n");
+        assert_eq!(f.next_line(), Ok(Some("x")));
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn write_buf_resumes_after_partial_writes() {
+        struct Trickle {
+            out: Vec<u8>,
+            budget: usize,
+        }
+        impl Write for Trickle {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+                }
+                let n = data.len().min(self.budget).min(3);
+                self.out.extend_from_slice(&data[..n]);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut wb = WriteBuf::new();
+        wb.push_line("abcdefgh");
+        let mut sink = Trickle {
+            out: Vec::new(),
+            budget: 5,
+        };
+        assert!(!wb.flush_to(&mut sink).unwrap());
+        assert_eq!(wb.pending(), 4);
+        sink.budget = 100;
+        assert!(wb.flush_to(&mut sink).unwrap());
+        assert_eq!(sink.out, b"abcdefgh\n");
+        assert!(wb.is_empty());
+    }
+}

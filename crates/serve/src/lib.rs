@@ -3,22 +3,38 @@
 //!
 //! Turns the offline planner into a daemon: clients send JSON-lines
 //! requests over TCP (`{"model":"resnet18","glb_kb":64}`) and receive
-//! the full execution plan as JSON. Built entirely on `std::net` and
-//! the repo's hand-written JSON — no external serving frameworks.
+//! the full execution plan as JSON. Built entirely on `std::net`, raw
+//! `epoll` FFI, and the repo's hand-written JSON — no external serving
+//! frameworks, no vendored I/O crates.
 //!
 //! The moving parts, each in its own module:
 //!
 //! - [`protocol`] — the wire format: request parsing (strict, never
-//!   panics on garbage) and deterministic response rendering.
-//! - [`queue`] — a bounded MPMC queue; when it is full new requests
-//!   are *shed* with an explicit response instead of queuing without
-//!   bound.
-//! - [`server`] — the accept/handler/worker thread architecture, the
-//!   shared [`smm_core::PlanCache`], per-request deadlines (enforced
-//!   cooperatively inside the planning loops via
-//!   [`smm_core::CancelToken`]), and graceful draining shutdown.
-//! - [`loadgen`] — a closed-loop load generator reporting throughput,
-//!   p50/p95/p99 latency, cache hit rate, and shed counts.
+//!   panics on garbage) and deterministic response rendering, with
+//!   allocation-free `_into` renderers for the reactor hot path.
+//! - [`epoll`] — a thin safe wrapper over the Linux `epoll` and
+//!   `eventfd` syscalls (hand-rolled FFI; no `libc` crate).
+//! - [`frame`] — per-connection reusable buffers: newline framing
+//!   tolerant of partial reads and a write buffer tolerant of partial
+//!   writes, both grow-once/recycle-on-keepalive.
+//! - [`reactor`] — the sharded, shared-nothing event loop: one epoll
+//!   reactor per core, connections pinned at accept time, protocol
+//!   logic plugged in via [`LineHandler`].
+//! - [`queue`] — bounded MPMC queues; [`ShardedQueue`] stripes them
+//!   per reactor shard with work-stealing workers. When a stripe is
+//!   full new requests are *shed* with an explicit response instead of
+//!   queuing without bound.
+//! - [`shed`] — adaptive load shedding: an EWMA service-latency
+//!   estimator that tightens the effective queue cap so queue *time*
+//!   (not length) stays bounded under slow-plan overload.
+//! - [`server`] — wires the above into the planning server: shared
+//!   [`smm_core::PlanCache`] with inline cache hits answered on the
+//!   reactor, per-request deadlines (enforced cooperatively inside the
+//!   planning loops via [`smm_core::CancelToken`]), and graceful
+//!   draining shutdown.
+//! - [`loadgen`] — an epoll-based closed-loop load generator driving
+//!   thousands of concurrent connections from one thread, reporting
+//!   throughput, p50/p95/p99 latency, cache hit rate, and shed counts.
 //!
 //! # Example
 //!
@@ -38,12 +54,18 @@
 
 #![warn(missing_docs)]
 
+pub mod epoll;
+pub mod frame;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
 pub mod server;
+pub mod shed;
 
 pub use loadgen::{LoadgenConfig, LoadgenReport, NodeTally, ServerStats};
 pub use protocol::{Op, Request};
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, PushError, ShardedQueue, TryPop};
+pub use reactor::{Completion, LineHandler, Outcome, Reactor, ReactorConfig};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use shed::{AdaptiveShed, Admission, LatencyEstimator};

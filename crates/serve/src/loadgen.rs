@@ -1,15 +1,24 @@
 //! A closed-loop load generator for the planning server — and for a
 //! whole fleet behind a router.
 //!
-//! Spawns `concurrency` client threads, each with one connection,
-//! issuing plan requests round-robin over a model list (optionally
-//! crossed with a GLB-size set to widen the working set) and recording
-//! per-request latency and response status. The report aggregates
-//! throughput, latency percentiles (p50/p95/p99), the cache hit rate,
-//! shed and deadline counts — and cross-checks that every plan served
-//! for the same input is **byte-identical** (cached plans must match
-//! cold ones exactly; through a router, plans from *any* node must
-//! match).
+//! One driver thread multiplexes every client connection over epoll
+//! (the same [`crate::epoll`] + [`crate::frame`] core the server's
+//! reactor uses), so ten thousand concurrent connections cost ten
+//! thousand sockets — not ten thousand OS threads. Each connection
+//! runs a closed loop: issue one plan request, wait for the response,
+//! record its latency, issue the next. Requests are drawn from a
+//! shared cursor, so a connection that fails to open (`EMFILE`, a
+//! refused accept) is a **counted, non-fatal** event — its share of
+//! the workload is simply picked up by the surviving connections and
+//! reported as `conn_errors`.
+//!
+//! Requests cycle round-robin over a model list (optionally crossed
+//! with a GLB-size set to widen the working set). The report
+//! aggregates throughput, latency percentiles (p50/p95/p99), the cache
+//! hit rate, shed and deadline counts — and cross-checks that every
+//! plan served for the same input is **byte-identical** (cached plans
+//! must match cold ones exactly; through a router, plans from *any*
+//! node must match).
 //!
 //! The hit rate is computed from per-response `cache_hit` metadata, not
 //! from one server's `CacheStats` — so it is correct against a router
@@ -20,11 +29,20 @@
 //! fetches a `stats` snapshot after the run to surface shed,
 //! verify-failure, and memo counters.
 
+use crate::epoll::{Interest, Poller};
+use crate::frame::{LineFramer, WriteBuf};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::net::{Shutdown, TcpStream};
+use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
+
+/// Upper bound on one response line from the server (plans are large).
+const MAX_RESPONSE_LINE: usize = 16 * 1024 * 1024;
+
+/// Give up on a run that makes no progress for this long (a hung or
+/// silently-dropping server); outstanding requests become errors.
+const STALL_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -33,8 +51,13 @@ pub struct LoadgenConfig {
     pub addr: String,
     /// Total number of plan requests to send.
     pub requests: usize,
-    /// Number of concurrent client connections.
+    /// Number of concurrent client connections (legacy name; see
+    /// `connections`).
     pub concurrency: usize,
+    /// Number of concurrent client connections; when non-zero this
+    /// wins over `concurrency`. All connections are multiplexed on one
+    /// epoll driver thread, so this scales to tens of thousands.
+    pub connections: usize,
     /// Models to request, round-robin. Must be non-empty.
     pub models: Vec<String>,
     /// GLB capacity in KiB for every request (ignored when `glb_set`
@@ -55,6 +78,10 @@ pub struct LoadgenConfig {
     /// Fleet mode: report per-node attribution and routing skew from
     /// the router's `node` response tags.
     pub fleet: bool,
+    /// Append a shedding/admission section to the report: static vs
+    /// adaptive shed split, EWMA latency estimate, queue depth peak,
+    /// and inline hit counts from the server's `stats` snapshot.
+    pub shed_report: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -63,6 +90,7 @@ impl Default for LoadgenConfig {
             addr: "127.0.0.1:7878".into(),
             requests: 64,
             concurrency: 8,
+            connections: 0,
             models: vec![
                 "efficientnetb0".into(),
                 "googlenet".into(),
@@ -77,6 +105,7 @@ impl Default for LoadgenConfig {
             plan_delay_ms: None,
             shutdown: false,
             fleet: false,
+            shed_report: false,
         }
     }
 }
@@ -99,8 +128,16 @@ pub struct NodeTally {
 /// same shape with fleet-wide aggregates).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Requests shed server-side.
+    /// Requests shed server-side (static and adaptive combined).
     pub shed: u64,
+    /// Of those, shed by the adaptive (EWMA) controller.
+    pub shed_adaptive: u64,
+    /// High-water mark of the planning queue depth.
+    pub queue_depth_peak: u64,
+    /// The server's EWMA service-latency estimate, microseconds.
+    pub ewma_latency_us: u64,
+    /// Warm requests answered inline on the reactor (no queue hop).
+    pub inline_hits: u64,
     /// Fresh plans rejected by the verify gate.
     pub verify_failed: u64,
     /// Layer-memo hits.
@@ -124,6 +161,10 @@ pub struct LoadgenReport {
     pub deadline: u64,
     /// `error` responses plus transport failures.
     pub errors: u64,
+    /// Connections that failed to open or establish (`EMFILE`,
+    /// refused, reset during setup). Non-fatal: their workload share is
+    /// redistributed to surviving connections.
+    pub conn_errors: u64,
     /// Plans that differed from an earlier plan for the same input —
     /// must be 0 (cache hits are byte-identical to cold plans).
     pub plan_mismatches: u64,
@@ -135,9 +176,15 @@ pub struct LoadgenReport {
     pub p95_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: u64,
+    /// Worst-case request latency, microseconds. A max far above p99
+    /// flags a stall class the percentiles hide (retransmits, scheduler
+    /// starvation of individual connections).
+    pub max_us: u64,
     /// Fleet mode was requested (copied from the config so `render`
     /// can flag a fleet run whose target never attributed responses).
     pub fleet: bool,
+    /// The shed/admission report section was requested.
+    pub shed_report: bool,
     /// Per-node attribution (sorted by address); non-empty only when
     /// responses carried the router's `node` tag.
     pub per_node: Vec<NodeTally>,
@@ -190,7 +237,7 @@ impl LoadgenReport {
              deadline:   {}\n\
              errors:     {}\n\
              mismatches: {}\n\
-             latency:    p50 {}us  p95 {}us  p99 {}us",
+             latency:    p50 {}us  p95 {}us  p99 {}us  max {}us",
             self.sent,
             self.elapsed.as_secs_f64(),
             self.throughput_rps(),
@@ -204,7 +251,14 @@ impl LoadgenReport {
             self.p50_us,
             self.p95_us,
             self.p99_us,
+            self.max_us,
         );
+        if self.conn_errors > 0 {
+            out.push_str(&format!(
+                "\nconn_errors: {} (connections failed to open; load redistributed)",
+                self.conn_errors
+            ));
+        }
         if let Some(s) = &self.server {
             out.push_str(&format!(
                 "\nserver:     shed {}, verify_failed {}, memo {}/{} hits",
@@ -213,6 +267,18 @@ impl LoadgenReport {
                 s.memo_hits,
                 s.memo_hits + s.memo_misses,
             ));
+            if self.shed_report {
+                out.push_str(&format!(
+                    "\nadmission:  shed {} static + {} adaptive, ewma {}us, queue peak {}, inline hits {}",
+                    s.shed - s.shed_adaptive.min(s.shed),
+                    s.shed_adaptive,
+                    s.ewma_latency_us,
+                    s.queue_depth_peak,
+                    s.inline_hits,
+                ));
+            }
+        } else if self.shed_report {
+            out.push_str("\nadmission:  no stats snapshot (server unreachable after the run)");
         }
         if !self.per_node.is_empty() {
             for n in &self.per_node {
@@ -240,7 +306,7 @@ impl LoadgenReport {
     }
 }
 
-/// Percentile from an unsorted latency sample (nearest-rank).
+/// Percentile from a sorted latency sample (nearest-rank).
 fn percentile(sorted: &[u64], pct: usize) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -256,7 +322,8 @@ fn plan_payload(line: &str) -> Option<&str> {
     line.get(idx + "\"plan\":".len()..line.len() - 1)
 }
 
-struct WorkerTally {
+#[derive(Default)]
+struct Tally {
     ok: u64,
     cache_hits: u64,
     shed: u64,
@@ -268,12 +335,44 @@ struct WorkerTally {
     per_node: HashMap<String, (u64, u64)>,
 }
 
-fn classify(
-    line: &str,
-    input_key: &str,
-    reference_plans: &Mutex<HashMap<String, String>>,
-    tally: &mut WorkerTally,
-) {
+/// The value of a `"name":"<value>"` string field inside a response
+/// envelope (no escape handling — node addresses are plain host:port).
+fn envelope_str_field<'a>(head: &'a str, needle: &str) -> Option<&'a str> {
+    let at = head.find(needle)? + needle.len();
+    let rest = &head[at..];
+    rest.find('"').map(|end| &rest[..end])
+}
+
+fn classify(line: &str, reference_plan: &mut Option<String>, tally: &mut Tally) {
+    // Fast path: ok plan responses dominate any run, and everything
+    // classify needs from one lives in the envelope before `"plan":`.
+    // Scanning that prefix instead of JSON-parsing the multi-kilobyte
+    // plan payload is what lets one loadgen thread drive thousands of
+    // connections without becoming the benchmark bottleneck itself.
+    if let Some(plan_at) = line.find("\"plan\":") {
+        let head = &line[..plan_at];
+        if head.contains("\"status\":\"ok\"") {
+            tally.ok += 1;
+            let hit = head.contains("\"cache_hit\":true");
+            if hit {
+                tally.cache_hits += 1;
+            }
+            if let Some(node) = envelope_str_field(head, "\"node\":\"") {
+                let entry = tally.per_node.entry(node.to_string()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += u64::from(hit);
+            }
+            match line.get(plan_at + "\"plan\":".len()..line.len() - 1) {
+                Some(plan) => match reference_plan {
+                    Some(reference) if reference != plan => tally.mismatches += 1,
+                    Some(_) => {}
+                    None => *reference_plan = Some(plan.to_string()),
+                },
+                None => tally.mismatches += 1,
+            }
+            return;
+        }
+    }
     let Ok(v) = smm_obs::json::parse(line) else {
         tally.errors += 1;
         return;
@@ -291,9 +390,9 @@ fn classify(
             if hit {
                 tally.cache_hits += 1;
             }
-            // Per-connection aggregation of the router's attribution
-            // tag: this, not any one server's CacheStats, is what the
-            // fleet-wide hit rate and skew are computed from.
+            // Aggregation of the router's attribution tag: this, not
+            // any one server's CacheStats, is what the fleet-wide hit
+            // rate and skew are computed from.
             if let Some(smm_obs::json::Value::String(node)) = v.get("node") {
                 let entry = tally.per_node.entry(node.clone()).or_insert((0, 0));
                 entry.0 += 1;
@@ -303,13 +402,10 @@ fn classify(
             // GLB size) must match the first one seen — cached, cold,
             // or served by a different fleet node after migration.
             if let Some(plan) = plan_payload(line) {
-                let mut seen = reference_plans.lock().unwrap();
-                match seen.get(input_key) {
+                match reference_plan {
                     Some(reference) if reference != plan => tally.mismatches += 1,
                     Some(_) => {}
-                    None => {
-                        seen.insert(input_key.to_string(), plan.to_string());
-                    }
+                    None => *reference_plan = Some(plan.to_string()),
                 }
             } else {
                 tally.mismatches += 1;
@@ -342,127 +438,269 @@ fn fetch_server_stats(addr: &str) -> Option<ServerStats> {
     let memo = v.get("memo")?;
     Some(ServerStats {
         shed: num(v.get("shed")),
+        shed_adaptive: num(v.get("shed_adaptive")),
+        queue_depth_peak: num(v.get("queue_depth_peak")),
+        ewma_latency_us: num(v.get("ewma_latency_us")),
+        inline_hits: num(v.get("inline_hits")),
         verify_failed: num(v.get("verify_failed")),
         memo_hits: num(memo.get("hits")),
         memo_misses: num(memo.get("misses")),
     })
 }
 
-/// Run the load generator. Transport-level failures count as `errors`
-/// in the report; only failing to connect at all is an `Err`.
+/// The request cycle, pre-rendered. `build_request` is periodic in `i`
+/// with period `models x glb_set`, so every distinct wire line (and its
+/// byte-identity reference slot) is materialized once up front — the
+/// issue path then indexes this table instead of formatting strings,
+/// which keeps the hot loop allocation-free.
+struct RequestPatterns {
+    lines: Vec<String>,
+    period: usize,
+}
+
+impl RequestPatterns {
+    fn new(cfg: &LoadgenConfig) -> RequestPatterns {
+        let period = cfg.models.len() * cfg.glb_set.len().max(1);
+        RequestPatterns {
+            lines: (0..period).map(|i| build_request(cfg, i).0).collect(),
+            period,
+        }
+    }
+
+    /// The pattern slot request number `i` maps to.
+    fn slot(&self, i: usize) -> usize {
+        i % self.period
+    }
+
+    fn line(&self, slot: usize) -> &str {
+        &self.lines[slot]
+    }
+}
+
+/// Build request `i`'s wire line (no terminator) and its byte-identity
+/// key.
+fn build_request(cfg: &LoadgenConfig, i: usize) -> (String, String) {
+    let model = &cfg.models[i % cfg.models.len()];
+    // Crossing models with a GLB set widens the working set: distinct
+    // sizes are distinct PlanKeys. Stride by the model count so the
+    // cross product is covered.
+    let glb = if cfg.glb_set.is_empty() {
+        cfg.glb_kb
+    } else {
+        cfg.glb_set[(i / cfg.models.len()) % cfg.glb_set.len()]
+    };
+    let deadline = cfg
+        .deadline_ms
+        .map(|ms| format!(",\"deadline_ms\":{ms}"))
+        .unwrap_or_default();
+    let delay = cfg
+        .plan_delay_ms
+        .map(|ms| format!(",\"delay_ms\":{ms}"))
+        .unwrap_or_default();
+    (
+        format!("{{\"model\":\"{model}\",\"glb_kb\":{glb}{deadline}{delay}}}"),
+        format!("{model}@{glb}"),
+    )
+}
+
+/// One client connection's state in the epoll driver.
+struct Conn {
+    stream: TcpStream,
+    framer: LineFramer,
+    wbuf: WriteBuf,
+    /// The in-flight request: its pattern slot and send time.
+    inflight: Option<(usize, Instant)>,
+    /// Whether write interest is currently armed (tracked to avoid
+    /// redundant `epoll_ctl` calls).
+    want_write: bool,
+    dead: bool,
+}
+
+/// Threads used to open the connection fleet. Connect handshakes are
+/// cheap for the kernel but each accepted connection costs the server a
+/// wakeup cascade; overlapping them through a small bounded pool keeps
+/// the setup phase from serializing on that latency (sequential opens
+/// cost ~10 ms each on a single-core host — minutes at fleet scale).
+const CONNECT_THREADS: usize = 32;
+
+/// Open `count` connections to `addr` through a bounded thread pool.
+/// Failures are counted, not fatal.
+fn connect_fleet(addr: &str, count: usize, conn_errors: &mut u64) -> Vec<TcpStream> {
+    let threads = CONNECT_THREADS.min(count).max(1);
+    let results: Vec<(Vec<TcpStream>, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                // Distribute the remainder across the first threads.
+                let share = count / threads + usize::from(t < count % threads);
+                s.spawn(move || {
+                    let mut streams = Vec::with_capacity(share);
+                    let mut errors = 0u64;
+                    for _ in 0..share {
+                        match TcpStream::connect(addr) {
+                            Ok(stream) => streams.push(stream),
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (streams, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut streams = Vec::with_capacity(count);
+    for (mut batch, errors) in results {
+        streams.append(&mut batch);
+        *conn_errors += errors;
+    }
+    streams
+}
+
+/// Run the load generator. Individual connection failures (including
+/// `EMFILE` when the fd limit is hit) are counted in
+/// [`LoadgenReport::conn_errors`] and their workload redistributed;
+/// only failing to open *any* connection is an `Err`.
 pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     assert!(!cfg.models.is_empty(), "loadgen needs at least one model");
-    let concurrency = cfg.concurrency.max(1);
-    let reference_plans = Arc::new(Mutex::new(HashMap::new()));
-    let start = Instant::now();
-
-    let mut handles = Vec::with_capacity(concurrency);
-    for t in 0..concurrency {
-        // Request i goes to thread i % concurrency; model i % models.
-        let my_requests: Vec<usize> = (0..cfg.requests).filter(|i| i % concurrency == t).collect();
-        if my_requests.is_empty() {
-            continue;
-        }
-        let cfg = cfg.clone();
-        let reference_plans = Arc::clone(&reference_plans);
-        handles.push(std::thread::spawn(move || {
-            let mut tally = WorkerTally {
-                ok: 0,
-                cache_hits: 0,
-                shed: 0,
-                deadline: 0,
-                errors: 0,
-                mismatches: 0,
-                latencies_us: Vec::with_capacity(my_requests.len()),
-                per_node: HashMap::new(),
-            };
-            let Ok(stream) = TcpStream::connect(&cfg.addr) else {
-                tally.errors += my_requests.len() as u64;
-                return tally;
-            };
-            // Without this, Nagle holds the request line back against
-            // the server's delayed ACK — a ~40 ms stall per request.
-            let _ = stream.set_nodelay(true);
-            let Ok(read_half) = stream.try_clone() else {
-                tally.errors += my_requests.len() as u64;
-                return tally;
-            };
-            let mut reader = BufReader::new(read_half);
-            let mut writer = stream;
-            let mut line = String::new();
-            for i in my_requests {
-                let model = &cfg.models[i % cfg.models.len()];
-                // Crossing models with a GLB set widens the working
-                // set: distinct sizes are distinct PlanKeys. Stride by
-                // the model count so the cross product is covered.
-                let glb = if cfg.glb_set.is_empty() {
-                    cfg.glb_kb
-                } else {
-                    cfg.glb_set[(i / cfg.models.len()) % cfg.glb_set.len()]
-                };
-                let deadline = cfg
-                    .deadline_ms
-                    .map(|ms| format!(",\"deadline_ms\":{ms}"))
-                    .unwrap_or_default();
-                let delay = cfg
-                    .plan_delay_ms
-                    .map(|ms| format!(",\"delay_ms\":{ms}"))
-                    .unwrap_or_default();
-                let request =
-                    format!("{{\"model\":\"{model}\",\"glb_kb\":{glb}{deadline}{delay}}}\n");
-                let input_key = format!("{model}@{glb}");
-                let sent_at = Instant::now();
-                if writer
-                    .write_all(request.as_bytes())
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    tally.errors += 1;
-                    continue;
-                }
-                line.clear();
-                match reader.read_line(&mut line) {
-                    Ok(n) if n > 0 => {
-                        tally
-                            .latencies_us
-                            .push(sent_at.elapsed().as_micros() as u64);
-                        classify(line.trim(), &input_key, &reference_plans, &mut tally);
-                    }
-                    _ => tally.errors += 1,
-                }
-            }
-            tally
-        }));
+    let total = cfg.requests;
+    let target_conns = if cfg.connections > 0 {
+        cfg.connections
+    } else {
+        cfg.concurrency
     }
+    .max(1)
+    .min(total.max(1));
 
     let mut report = LoadgenReport {
-        sent: cfg.requests as u64,
+        sent: total as u64,
         fleet: cfg.fleet,
+        shed_report: cfg.shed_report,
         ..LoadgenReport::default()
     };
-    let mut latencies = Vec::with_capacity(cfg.requests);
-    let mut per_node: HashMap<String, (u64, u64)> = HashMap::new();
-    for h in handles {
-        let tally = h.join().expect("loadgen worker panicked");
-        report.ok += tally.ok;
-        report.cache_hits += tally.cache_hits;
-        report.shed += tally.shed;
-        report.deadline += tally.deadline;
-        report.errors += tally.errors;
-        report.plan_mismatches += tally.mismatches;
-        latencies.extend(tally.latencies_us);
-        for (node, (ok, hits)) in tally.per_node {
-            let entry = per_node.entry(node).or_insert((0, 0));
-            entry.0 += ok;
-            entry.1 += hits;
+    let mut tally = Tally {
+        latencies_us: Vec::with_capacity(total),
+        ..Tally::default()
+    };
+    let patterns = RequestPatterns::new(cfg);
+    let mut reference_plans: Vec<Option<String>> = vec![None; patterns.period];
+    let poller = Poller::new()?;
+    let start = Instant::now();
+
+    // Open the fleet of connections. Failures are counted, not fatal:
+    // the request cursor is shared, so survivors absorb the load.
+    let mut conns: Vec<Conn> = Vec::with_capacity(target_conns);
+    for stream in connect_fleet(&cfg.addr, target_conns, &mut report.conn_errors) {
+        // Without this, Nagle holds request lines back against
+        // the server's delayed ACK — a ~40 ms stall per request.
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            report.conn_errors += 1;
+            continue;
+        }
+        let token = conns.len() as u64;
+        if poller
+            .add(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            report.conn_errors += 1;
+            continue;
+        }
+        conns.push(Conn {
+            stream,
+            framer: LineFramer::new(MAX_RESPONSE_LINE),
+            wbuf: WriteBuf::new(),
+            inflight: None,
+            want_write: false,
+            dead: false,
+        });
+    }
+    if conns.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            format!(
+                "loadgen could not open any of {target_conns} connections to {}",
+                cfg.addr
+            ),
+        ));
+    }
+
+    // The shared request cursor: the next request index to issue.
+    let mut next = 0usize;
+    // Requests with a final outcome (classified or errored).
+    let mut done = 0usize;
+    let mut live = conns.len();
+
+    // Prime every connection with its first request.
+    for idx in 0..conns.len() {
+        issue_next(&poller, &mut conns[idx], idx, &patterns, &mut next, total);
+        if conns[idx].dead {
+            live -= 1;
+            report.conn_errors += 1;
         }
     }
+
+    let mut events = Vec::new();
+    let mut last_progress = Instant::now();
+    while done < total && live > 0 {
+        poller.wait(&mut events, 100)?;
+        if events.is_empty() && last_progress.elapsed() > STALL_TIMEOUT {
+            break;
+        }
+        let mut progressed = false;
+        for i in 0..events.len() {
+            let ev = events[i];
+            let idx = ev.token as usize;
+            if conns[idx].dead {
+                continue;
+            }
+            if ev.readable {
+                drive_read(
+                    &poller,
+                    &mut conns[idx],
+                    idx,
+                    &patterns,
+                    &mut next,
+                    total,
+                    &mut done,
+                    &mut tally,
+                    &mut reference_plans,
+                );
+                progressed = true;
+            }
+            if ev.writable && !conns[idx].dead {
+                drive_write(&poller, &mut conns[idx], idx);
+            }
+            if conns[idx].dead {
+                // A death with a request in flight is that request's
+                // final outcome.
+                if conns[idx].inflight.take().is_some() {
+                    tally.errors += 1;
+                    done += 1;
+                }
+                live -= 1;
+            }
+        }
+        if progressed {
+            last_progress = Instant::now();
+        }
+    }
+    // Whatever never got an answer (all connections died, or the server
+    // stalled) counts as errors.
+    tally.errors += (total - done) as u64;
+
     report.elapsed = start.elapsed();
-    latencies.sort_unstable();
-    report.p50_us = percentile(&latencies, 50);
-    report.p95_us = percentile(&latencies, 95);
-    report.p99_us = percentile(&latencies, 99);
-    report.per_node = per_node
+    report.ok = tally.ok;
+    report.cache_hits = tally.cache_hits;
+    report.shed = tally.shed;
+    report.deadline = tally.deadline;
+    report.errors = tally.errors;
+    report.plan_mismatches = tally.mismatches;
+    tally.latencies_us.sort_unstable();
+    report.p50_us = percentile(&tally.latencies_us, 50);
+    report.p95_us = percentile(&tally.latencies_us, 95);
+    report.p99_us = percentile(&tally.latencies_us, 99);
+    report.max_us = tally.latencies_us.last().copied().unwrap_or(0);
+    report.per_node = tally
+        .per_node
         .into_iter()
         .map(|(node, (ok, cache_hits))| NodeTally {
             node,
@@ -471,6 +709,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         })
         .collect();
     report.per_node.sort_by(|a, b| a.node.cmp(&b.node));
+    drop(conns);
     // One stats fetch covers single node and fleet alike (the router
     // answers in the node shape with fleet-wide aggregates).
     report.server = fetch_server_stats(&cfg.addr);
@@ -484,6 +723,128 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         }
     }
     Ok(report)
+}
+
+/// Pull the next request off the shared cursor onto `c` (if any are
+/// left) and start writing it. An idle connection with no request to
+/// issue just keeps read interest (it is done for the run).
+fn issue_next(
+    poller: &Poller,
+    c: &mut Conn,
+    idx: usize,
+    patterns: &RequestPatterns,
+    next: &mut usize,
+    total: usize,
+) {
+    if *next >= total || c.inflight.is_some() {
+        return;
+    }
+    let i = *next;
+    *next += 1;
+    let slot = patterns.slot(i);
+    c.inflight = Some((slot, Instant::now()));
+    c.wbuf.push_line(patterns.line(slot));
+    drive_write(poller, c, idx);
+}
+
+/// Flush the connection's write buffer and keep its epoll interest in
+/// sync with whether bytes remain.
+fn drive_write(poller: &Poller, c: &mut Conn, idx: usize) {
+    match c.wbuf.flush_to(&mut c.stream) {
+        Ok(drained) => {
+            let want_write = !drained;
+            if want_write != c.want_write {
+                let interest = if want_write {
+                    Interest::BOTH
+                } else {
+                    Interest::READ
+                };
+                if poller
+                    .modify(c.stream.as_raw_fd(), idx as u64, interest)
+                    .is_err()
+                {
+                    kill(c);
+                    return;
+                }
+                c.want_write = want_write;
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+        Err(_) => kill(c),
+    }
+}
+
+/// One readable event: a single socket read, then classify every
+/// complete response line and issue follow-up requests.
+#[allow(clippy::too_many_arguments)]
+fn drive_read(
+    poller: &Poller,
+    c: &mut Conn,
+    idx: usize,
+    patterns: &RequestPatterns,
+    next: &mut usize,
+    total: usize,
+    done: &mut usize,
+    tally: &mut Tally,
+    reference_plans: &mut [Option<String>],
+) {
+    match c.framer.read_from(&mut c.stream) {
+        Ok(0) => {
+            kill(c);
+            return;
+        }
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+        Err(_) => {
+            kill(c);
+            return;
+        }
+    }
+    let mut issued = false;
+    loop {
+        // The response line is classified in place (no copy); follow-up
+        // requests go straight into the write buffer — its borrow is
+        // disjoint from the framer's — and flush once after the loop.
+        match c.framer.next_line() {
+            Ok(Some(line)) => {
+                let Some((slot, sent_at)) = c.inflight.take() else {
+                    // A response with nothing in flight: protocol
+                    // confusion.
+                    kill(c);
+                    return;
+                };
+                tally
+                    .latencies_us
+                    .push(u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+                classify(line, &mut reference_plans[slot], tally);
+                *done += 1;
+                if *next < total {
+                    let follow_up = patterns.slot(*next);
+                    *next += 1;
+                    c.inflight = Some((follow_up, Instant::now()));
+                    c.wbuf.push_line(patterns.line(follow_up));
+                    issued = true;
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                kill(c);
+                return;
+            }
+        }
+    }
+    if issued {
+        drive_write(poller, c, idx);
+    }
+}
+
+/// Tear a connection down: it stops participating in the run.
+fn kill(c: &mut Conn) {
+    // Closing via shutdown is enough; dropping the stream at end of run
+    // closes the fd, which removes it from the epoll set implicitly.
+    let _ = c.stream.shutdown(Shutdown::Both);
+    c.dead = true;
 }
 
 #[cfg(test)]
@@ -526,5 +887,68 @@ mod tests {
         let text = r.render();
         assert!(text.contains("p50 100us"));
         assert!(text.contains("50.0% hit rate"));
+        assert!(!text.contains("conn_errors"), "only shown when non-zero");
+    }
+
+    #[test]
+    fn render_surfaces_conn_errors_and_admission_section() {
+        let r = LoadgenReport {
+            sent: 10,
+            ok: 10,
+            conn_errors: 3,
+            shed_report: true,
+            server: Some(ServerStats {
+                shed: 7,
+                shed_adaptive: 5,
+                queue_depth_peak: 12,
+                ewma_latency_us: 4200,
+                inline_hits: 9,
+                ..ServerStats::default()
+            }),
+            ..LoadgenReport::default()
+        };
+        let text = r.render();
+        assert!(text.contains("conn_errors: 3"), "{text}");
+        assert!(
+            text.contains("admission:  shed 2 static + 5 adaptive"),
+            "{text}"
+        );
+        assert!(text.contains("ewma 4200us"), "{text}");
+        assert!(text.contains("queue peak 12"), "{text}");
+        assert!(text.contains("inline hits 9"), "{text}");
+    }
+
+    #[test]
+    fn build_request_crosses_models_with_glb_set() {
+        let cfg = LoadgenConfig {
+            models: vec!["a".into(), "b".into()],
+            glb_set: vec![32, 64],
+            ..LoadgenConfig::default()
+        };
+        let (line0, key0) = build_request(&cfg, 0);
+        let (_, key1) = build_request(&cfg, 1);
+        let (_, key2) = build_request(&cfg, 2);
+        assert!(line0.contains("\"model\":\"a\""));
+        assert_eq!(key0, "a@32");
+        assert_eq!(key1, "b@32");
+        assert_eq!(key2, "a@64");
+    }
+
+    #[test]
+    fn request_patterns_match_build_request_for_all_indices() {
+        let cfg = LoadgenConfig {
+            models: vec!["a".into(), "b".into(), "c".into()],
+            glb_set: vec![32, 64],
+            deadline_ms: Some(10),
+            ..LoadgenConfig::default()
+        };
+        let patterns = RequestPatterns::new(&cfg);
+        assert_eq!(patterns.period, 6);
+        // The pre-rendered table must reproduce build_request exactly,
+        // including past the first period (the cycle is what makes the
+        // table small).
+        for i in 0..20 {
+            assert_eq!(patterns.line(patterns.slot(i)), build_request(&cfg, i).0);
+        }
     }
 }

@@ -274,10 +274,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// cache guarantee).
 pub use smm_core::report::json_escape;
 
-fn id_field(id: Option<&str>) -> String {
-    match id {
-        Some(id) => format!("\"id\":\"{}\",", json_escape(id)),
-        None => String::new(),
+/// Append the optional `"id":"...",` prefix field to `out`.
+fn push_id(out: &mut String, id: Option<&str>) {
+    if let Some(id) = id {
+        out.push_str("\"id\":\"");
+        out.push_str(&json_escape(id));
+        out.push_str("\",");
     }
 }
 
@@ -298,13 +300,36 @@ pub struct RequestMetrics {
 }
 
 impl RequestMetrics {
-    fn render(&self) -> String {
-        format!(
+    fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
             "\"metrics\":{{\"elapsed_us\":{},\"layers_planned\":{},\
              \"cache_hits\":{},\"cache_misses\":{}}}",
             self.elapsed_us, self.layers_planned, self.cache_hits, self.cache_misses
-        )
+        );
     }
+}
+
+/// [`ok_plan_response`] rendered into a reusable buffer — the
+/// reactor's inline cache-hit path appends to the connection's
+/// grow-once scratch `String` instead of allocating per request.
+pub fn ok_plan_response_into(
+    out: &mut String,
+    id: &Option<String>,
+    cache_hit: bool,
+    metrics: &RequestMetrics,
+    plan: &str,
+) {
+    out.push('{');
+    push_id(out, id.as_deref());
+    out.push_str("\"status\":\"ok\",\"cache_hit\":");
+    out.push_str(if cache_hit { "true" } else { "false" });
+    out.push(',');
+    metrics.render_into(out);
+    out.push_str(",\"plan\":");
+    out.push_str(plan);
+    out.push('}');
 }
 
 /// A successful plan response. `plan` must be the output of
@@ -316,53 +341,87 @@ pub fn ok_plan_response(
     metrics: &RequestMetrics,
     plan: &str,
 ) -> String {
-    format!(
-        "{{{}\"status\":\"ok\",\"cache_hit\":{cache_hit},{},\"plan\":{plan}}}",
-        id_field(id.as_deref()),
-        metrics.render()
-    )
+    let mut out = String::new();
+    ok_plan_response_into(&mut out, id, cache_hit, metrics, plan);
+    out
 }
 
-/// The response sent when the request queue is full.
+/// [`shed_response`] rendered into a reusable buffer.
+pub fn shed_response_into(out: &mut String, id: &Option<String>) {
+    out.push('{');
+    push_id(out, id.as_deref());
+    out.push_str("\"status\":\"shed\",\"message\":\"server overloaded, request shed\"}");
+}
+
+/// The response sent when admission refused the request (static queue
+/// capacity or the adaptive controller).
 pub fn shed_response(id: &Option<String>) -> String {
-    format!(
-        "{{{}\"status\":\"shed\",\"message\":\"server overloaded, request shed\"}}",
-        id_field(id.as_deref())
-    )
+    let mut out = String::new();
+    shed_response_into(&mut out, id);
+    out
+}
+
+/// [`deadline_response`] rendered into a reusable buffer.
+pub fn deadline_response_into(out: &mut String, id: &Option<String>, layers_done: usize) {
+    use std::fmt::Write as _;
+    out.push('{');
+    push_id(out, id.as_deref());
+    let _ = write!(
+        out,
+        "\"status\":\"deadline\",\"layers_done\":{layers_done},\
+         \"message\":\"deadline exceeded\"}}"
+    );
 }
 
 /// The response sent when a request's deadline fired.
 pub fn deadline_response(id: &Option<String>, layers_done: usize) -> String {
-    format!(
-        "{{{}\"status\":\"deadline\",\"layers_done\":{layers_done},\
-         \"message\":\"deadline exceeded\"}}",
-        id_field(id.as_deref())
-    )
+    let mut out = String::new();
+    deadline_response_into(&mut out, id, layers_done);
+    out
+}
+
+/// [`error_response`] rendered into a reusable buffer.
+pub fn error_response_into(out: &mut String, id: &Option<String>, message: &str) {
+    out.push('{');
+    push_id(out, id.as_deref());
+    out.push_str("\"status\":\"error\",\"message\":\"");
+    out.push_str(&json_escape(message));
+    out.push_str("\"}");
 }
 
 /// A failure response with a human-readable message.
 pub fn error_response(id: &Option<String>, message: &str) -> String {
-    format!(
-        "{{{}\"status\":\"error\",\"message\":\"{}\"}}",
-        id_field(id.as_deref()),
-        json_escape(message)
-    )
+    let mut out = String::new();
+    error_response_into(&mut out, id, message);
+    out
+}
+
+/// [`pong_response`] rendered into a reusable buffer.
+pub fn pong_response_into(out: &mut String, id: &Option<String>) {
+    out.push('{');
+    push_id(out, id.as_deref());
+    out.push_str("\"status\":\"ok\",\"op\":\"ping\"}");
 }
 
 /// The `ping` response.
 pub fn pong_response(id: &Option<String>) -> String {
-    format!(
-        "{{{}\"status\":\"ok\",\"op\":\"ping\"}}",
-        id_field(id.as_deref())
-    )
+    let mut out = String::new();
+    pong_response_into(&mut out, id);
+    out
+}
+
+/// [`shutdown_response`] rendered into a reusable buffer.
+pub fn shutdown_response_into(out: &mut String, id: &Option<String>) {
+    out.push('{');
+    push_id(out, id.as_deref());
+    out.push_str("\"status\":\"ok\",\"op\":\"shutdown\"}");
 }
 
 /// The `shutdown` acknowledgement.
 pub fn shutdown_response(id: &Option<String>) -> String {
-    format!(
-        "{{{}\"status\":\"ok\",\"op\":\"shutdown\"}}",
-        id_field(id.as_deref())
-    )
+    let mut out = String::new();
+    shutdown_response_into(&mut out, id);
+    out
 }
 
 /// One node's full statistics snapshot, as carried by the `stats`
@@ -380,6 +439,19 @@ pub struct NodeStats {
     /// Requests shed because the queue (or, at the router, every
     /// replica) was unavailable.
     pub shed: u64,
+    /// Of `shed`, requests refused by the *adaptive* controller
+    /// (EWMA-tightened effective cap or predicted deadline overrun)
+    /// rather than the static queue capacity.
+    pub shed_adaptive: u64,
+    /// High-water mark of the planning-queue depth (the fleet router
+    /// aggregates this with `max`, not `sum`).
+    pub queue_depth_peak: u64,
+    /// Live EWMA estimate of per-request service latency in
+    /// microseconds (router aggregation: `max`).
+    pub ewma_latency_us: u64,
+    /// Plan requests answered inline on the reactor from the plan
+    /// cache, without touching the worker queue.
+    pub inline_hits: u64,
     /// Fresh plans rejected by the `--verify` gate.
     pub verify_failed: u64,
     /// Layer-memo hits.
@@ -394,7 +466,8 @@ pub fn stats_body(s: &NodeStats) -> String {
     format!(
         "\"cache\":{{\"hits\":{},\"misses\":{},\
          \"evictions\":{},\"len\":{},\"capacity\":{},\"hit_rate\":{:.4}}},\"queued\":{},\
-         \"shed\":{},\"verify_failed\":{},\"memo\":{{\"hits\":{},\"misses\":{}}}",
+         \"shed\":{},\"shed_adaptive\":{},\"queue_depth_peak\":{},\"ewma_latency_us\":{},\
+         \"inline_hits\":{},\"verify_failed\":{},\"memo\":{{\"hits\":{},\"misses\":{}}}",
         s.cache.hits,
         s.cache.misses,
         s.cache.evictions,
@@ -403,28 +476,46 @@ pub fn stats_body(s: &NodeStats) -> String {
         s.cache.hit_rate(),
         s.queued,
         s.shed,
+        s.shed_adaptive,
+        s.queue_depth_peak,
+        s.ewma_latency_us,
+        s.inline_hits,
         s.verify_failed,
         s.memo_hits,
         s.memo_misses,
     )
 }
 
+/// [`stats_response`] rendered into a reusable buffer.
+pub fn stats_response_into(out: &mut String, id: &Option<String>, stats: &NodeStats) {
+    out.push('{');
+    push_id(out, id.as_deref());
+    out.push_str("\"status\":\"ok\",\"op\":\"stats\",");
+    out.push_str(&stats_body(stats));
+    out.push('}');
+}
+
 /// The `stats` response: cache statistics, queue depth, shed /
-/// verify-failure totals, and memo hit/miss counts.
+/// verify-failure totals, serving-path gauges, and memo hit/miss
+/// counts.
 pub fn stats_response(id: &Option<String>, stats: &NodeStats) -> String {
-    format!(
-        "{{{}\"status\":\"ok\",\"op\":\"stats\",{}}}",
-        id_field(id.as_deref()),
-        stats_body(stats)
-    )
+    let mut out = String::new();
+    stats_response_into(&mut out, id, stats);
+    out
+}
+
+/// [`migrate_response`] rendered into a reusable buffer.
+pub fn migrate_response_into(out: &mut String, id: &Option<String>) {
+    out.push('{');
+    push_id(out, id.as_deref());
+    out.push_str("\"status\":\"ok\",\"op\":\"migrate\"}");
 }
 
 /// The `migrate` acknowledgement.
 pub fn migrate_response(id: &Option<String>) -> String {
-    format!(
-        "{{{}\"status\":\"ok\",\"op\":\"migrate\"}}",
-        id_field(id.as_deref())
-    )
+    let mut out = String::new();
+    migrate_response_into(&mut out, id);
+    out
 }
 
 /// The `dump` response: the hottest cached plans as `(key, plan_json)`
@@ -436,23 +527,37 @@ pub fn dump_response(
     id: &Option<String>,
     entries: &[(smm_core::PlanKey, std::sync::Arc<String>)],
 ) -> String {
-    let mut out = format!(
-        "{{{}\"status\":\"ok\",\"op\":\"dump\",\"count\":{},\"entries\":[",
-        id_field(id.as_deref()),
+    let mut out = String::new();
+    dump_response_into(&mut out, id, entries);
+    out
+}
+
+/// [`dump_response`] rendered into a reusable buffer.
+pub fn dump_response_into(
+    out: &mut String,
+    id: &Option<String>,
+    entries: &[(smm_core::PlanKey, std::sync::Arc<String>)],
+) {
+    use std::fmt::Write as _;
+    out.push('{');
+    push_id(out, id.as_deref());
+    let _ = write!(
+        out,
+        "\"status\":\"ok\",\"op\":\"dump\",\"count\":{},\"entries\":[",
         entries.len()
     );
     for (i, (key, plan)) in entries.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
+        let _ = write!(
+            out,
             "{{\"key\":\"{}\",\"plan_json\":\"{}\"}}",
             key.stable_hex(),
             json_escape(plan)
-        ));
+        );
     }
     out.push_str("]}");
-    out
 }
 
 #[cfg(test)]

@@ -1,16 +1,23 @@
-//! A bounded MPMC work queue with load shedding.
+//! Bounded MPMC work queues with load shedding.
 //!
-//! Connection handlers `try_push` jobs and never block: when the queue
-//! is full the push fails immediately and the handler answers with a
-//! `shed` response instead. Workers block in [`BoundedQueue::pop`]
-//! until a job arrives or the queue is closed *and* drained — closing
-//! is how graceful shutdown lets in-flight work finish.
+//! Reactor shards `try_push` jobs and never block: when the queue is
+//! full the push fails immediately and the shard answers with a `shed`
+//! response instead. Workers block in [`BoundedQueue::pop`] until a job
+//! arrives or the queue is closed *and* drained — closing is how
+//! graceful shutdown lets in-flight work finish.
+//!
+//! [`ShardedQueue`] stripes jobs across one [`BoundedQueue`] per
+//! reactor shard: a shard pushes only to its own stripe (no cross-shard
+//! contention on the admission path), each worker drains a *home*
+//! stripe, and idle workers steal from the other stripes so one hot
+//! shard cannot strand work while others sit idle.
 //!
 //! Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot`
 //! shim has no condition variables).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Why a [`BoundedQueue::try_push`] was refused. The rejected item is
 /// handed back so the caller can respond to it.
@@ -77,6 +84,41 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeue without blocking. Distinguishes "nothing right now"
+    /// from "closed and drained" so work-stealing loops know when a
+    /// stripe is finished for good.
+    pub fn try_pop(&self) -> TryPop<T> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.items.pop_front() {
+            Some(item) => TryPop::Item(item),
+            None if inner.closed => TryPop::Closed,
+            None => TryPop::Empty,
+        }
+    }
+
+    /// Dequeue, blocking up to `timeout`. Like [`try_pop`](Self::try_pop)
+    /// but parks on the condvar instead of returning `Empty` instantly.
+    pub fn pop_timeout(&self, timeout: Duration) -> TryPop<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return TryPop::Item(item);
+            }
+            if inner.closed {
+                return TryPop::Closed;
+            }
+            let (guard, res) = self.not_empty.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+            if res.timed_out() {
+                return match inner.items.pop_front() {
+                    Some(item) => TryPop::Item(item),
+                    None if inner.closed => TryPop::Closed,
+                    None => TryPop::Empty,
+                };
+            }
+        }
+    }
+
     /// Close the queue: future pushes fail, poppers drain what remains
     /// and then observe `None`.
     pub fn close(&self) {
@@ -90,6 +132,93 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The outcome of a non-blocking or timed pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// Nothing available right now; the queue is still open.
+    Empty,
+    /// Closed and fully drained — this popper is done.
+    Closed,
+}
+
+/// How long a worker parks on its home stripe before sweeping the
+/// other stripes for stealable work.
+const STEAL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// One bounded queue per reactor shard, with work-stealing consumers.
+/// See the module docs for the role split.
+pub struct ShardedQueue<T> {
+    stripes: Vec<BoundedQueue<T>>,
+}
+
+impl<T> ShardedQueue<T> {
+    /// `shards` stripes sharing `total_cap` slots (each stripe gets the
+    /// ceiling share, so the aggregate cap is at least `total_cap`).
+    pub fn new(shards: usize, total_cap: usize) -> Self {
+        let shards = shards.max(1);
+        let per_stripe = total_cap.max(1).div_ceil(shards);
+        ShardedQueue {
+            stripes: (0..shards).map(|_| BoundedQueue::new(per_stripe)).collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn shards(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Enqueue on `shard`'s stripe without blocking; fails when that
+    /// stripe is full or the queue is closed.
+    pub fn try_push_to(&self, shard: usize, item: T) -> Result<(), PushError<T>> {
+        self.stripes[shard % self.stripes.len()].try_push(item)
+    }
+
+    /// Dequeue for a worker whose home stripe is `home`: drain home
+    /// first, steal from the others when home is empty, park briefly on
+    /// home between sweeps. Returns `None` once every stripe is closed
+    /// and drained.
+    pub fn pop_from(&self, home: usize) -> Option<T> {
+        let n = self.stripes.len();
+        let home = home % n;
+        loop {
+            let mut closed = 0;
+            for off in 0..n {
+                match self.stripes[(home + off) % n].try_pop() {
+                    TryPop::Item(item) => return Some(item),
+                    TryPop::Empty => {}
+                    TryPop::Closed => closed += 1,
+                }
+            }
+            if closed == n {
+                return None;
+            }
+            match self.stripes[home].pop_timeout(STEAL_INTERVAL) {
+                TryPop::Item(item) => return Some(item),
+                TryPop::Empty | TryPop::Closed => {}
+            }
+        }
+    }
+
+    /// Close every stripe; see [`BoundedQueue::close`].
+    pub fn close(&self) {
+        for s in &self.stripes {
+            s.close();
+        }
+    }
+
+    /// Total queued items across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(BoundedQueue::len).sum()
+    }
+
+    /// Whether every stripe is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -129,6 +258,64 @@ mod tests {
         assert!(matches!(q.try_push(8), Err(PushError::Closed(8))));
         assert_eq!(q.pop(), Some(7));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn try_pop_distinguishes_empty_from_closed() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_pop(), TryPop::Empty);
+        q.try_push(5).unwrap();
+        assert_eq!(q.try_pop(), TryPop::Item(5));
+        q.close();
+        assert_eq!(q.try_pop(), TryPop::Closed);
+    }
+
+    #[test]
+    fn pop_timeout_returns_promptly_on_push_and_close() {
+        use std::time::{Duration, Instant};
+        let q = Arc::new(BoundedQueue::new(2));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.try_push(9).unwrap();
+        });
+        let start = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)), TryPop::Item(9));
+        assert!(start.elapsed() < Duration::from_secs(2));
+        t.join().unwrap();
+        // Empty + open times out as Empty.
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), TryPop::Empty);
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)), TryPop::Closed);
+    }
+
+    #[test]
+    fn sharded_queue_steals_across_stripes_and_drains_on_close() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(3, 9);
+        // Fill a stripe that is not the popper's home.
+        q.try_push_to(2, 20).unwrap();
+        q.try_push_to(2, 21).unwrap();
+        q.try_push_to(0, 1).unwrap();
+        // Home stripe first, then the steal sweep finds stripe 2.
+        assert_eq!(q.pop_from(0), Some(1));
+        assert_eq!(q.pop_from(0), Some(20));
+        assert_eq!(q.pop_from(0), Some(21));
+        assert_eq!(q.len(), 0);
+        q.close();
+        assert_eq!(q.pop_from(0), None);
+        assert_eq!(q.pop_from(2), None);
+    }
+
+    #[test]
+    fn sharded_queue_caps_each_stripe() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(2, 4);
+        // 4 total over 2 stripes = 2 per stripe.
+        q.try_push_to(0, 1).unwrap();
+        q.try_push_to(0, 2).unwrap();
+        assert!(matches!(q.try_push_to(0, 3), Err(PushError::Full(3))));
+        // The other stripe still has room.
+        q.try_push_to(1, 4).unwrap();
+        assert_eq!(q.len(), 3);
     }
 
     #[test]

@@ -1,24 +1,33 @@
 //! The planning server.
 //!
-//! Thread architecture:
+//! Thread architecture (see also `crate::reactor`):
 //!
-//! - an **acceptor** thread polls a non-blocking [`TcpListener`] and
-//!   spawns one handler thread per connection;
-//! - **handler** threads read JSON-lines requests, answer `ping` /
-//!   `stats` / `shutdown` inline, and enqueue `plan` jobs on a bounded
-//!   [`BoundedQueue`] — when the queue is full the request is *shed*
-//!   immediately rather than queued;
-//! - **worker** threads pop jobs, enforce the per-request deadline
-//!   (checked at dequeue, *before* the cache lookup, so an expired
-//!   deadline always answers `deadline` even on a warm cache), consult
-//!   the shared [`PlanCache`], and plan on a miss with a cooperative
-//!   [`CancelToken`] so a deadline firing mid-plan aborts within one
-//!   layer's planning time.
+//! - an **acceptor** thread pins each accepted connection to one of N
+//!   **reactor shards** — event-loop threads multiplexing all of their
+//!   connections over epoll with per-connection reusable buffers. The
+//!   read/parse/respond hot path never crosses a shard boundary;
+//! - the shard answers `ping` / `stats` / `shutdown` / `migrate` /
+//!   `dump` **inline**, and — the common case in steady state — plan
+//!   requests whose rendered plan is already cached (*inline hits*,
+//!   counted separately). Only cache *misses* are handed to the worker
+//!   pool, through a [`ShardedQueue`] stripe matching the shard;
+//! - **worker** threads pop jobs (home stripe first, stealing
+//!   otherwise), enforce the per-request deadline (checked at dequeue,
+//!   *before* the cache lookup, so an expired deadline always answers
+//!   `deadline` even on a warm cache), consult the shared
+//!   [`PlanCache`], and plan on a miss with a cooperative
+//!   [`CancelToken`]. The response returns to the owning shard via a
+//!   [`Completion`] and is written by the reactor;
+//! - admission is guarded by [`AdaptiveShed`]: the static `queue_cap`
+//!   bound plus an EWMA latency estimator (fed by worker-observed
+//!   service times, decayed by a background **sampler** thread when
+//!   idle) that tightens the effective cap so queue *time*, not queue
+//!   *length*, stays bounded under slow-plan overload.
 //!
 //! Shutdown (via [`ServerHandle::stop`] or a client `shutdown` op) is
-//! graceful: the acceptor stops accepting, handlers finish their
-//! current request, queued jobs drain through the workers, and only
-//! then do the threads exit.
+//! graceful: the acceptor stops, each shard drains — deferred requests
+//! get their replies written and flushed — the queue closes, and the
+//! workers exit after draining it.
 //!
 //! # Memory-ordering audit
 //!
@@ -29,41 +38,32 @@
 //! - `Shared::shutdown` is a pure stop *signal*: no data is published
 //!   through it (all shared state lives behind the queue's mutex or the
 //!   cache's mutex). Raising it uses `Release` and polling uses
-//!   `Acquire` — the conventional flag pairing; the previous `SeqCst`
-//!   was stronger than anything the code relies on, and nothing here
-//!   needs a single total order across *multiple* atomics.
-//! - `Shared::connections` is a liveness counter. Increments use
-//!   `Relaxed` (the acceptor thread is the only incrementer and spawns
-//!   the handler afterwards — thread spawn itself synchronizes).
-//!   Decrements use `Release` and the drain loop in
-//!   [`ServerHandle::join`] reads with `Acquire`, so observing `0`
-//!   happens-after each handler's final queue pushes and socket writes.
-//! - [`BoundedQueue`] uses no atomics at all: a `Mutex<VecDeque>` +
-//!   `Condvar`, so every push/pop/close is totally ordered by the lock.
-//!   Its linearizability is exercised exhaustively in
-//!   `tests/queue_interleavings.rs`.
-//! - `PlanCache`'s hit/miss/eviction counters and `CancelToken`'s stop
-//!   flag are intentionally `Relaxed`: they are monotone statistics and
-//!   a latched one-way signal, neither of which publishes data.
+//!   `Acquire` — the conventional flag pairing.
+//! - [`BoundedQueue`](crate::BoundedQueue) and the reactor inboxes use
+//!   no atomics at all: `Mutex` + `Condvar`, so every push/pop/close is
+//!   totally ordered by the lock. Deferred responses travel through the
+//!   shard inbox mutex, which is also what makes a worker's writes
+//!   visible to the reactor thread that serializes them.
+//! - The statistics mirrors (`shed`, `shed_adaptive`, `inline_hits`,
+//!   `queue_depth_peak`, `verify_failed`) and the EWMA estimator are
+//!   intentionally `Relaxed`: monotone statistics and admission
+//!   heuristics, never used to publish data.
 
 use crate::protocol::{self, Op, Request};
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{PushError, ShardedQueue};
+use crate::reactor::{Completion, LineHandler, Outcome, Reactor, ReactorConfig};
+use crate::shed::{AdaptiveShed, Admission};
 use smm_core::report::plan_json;
 use smm_core::{CacheStats, CancelToken, LayerMemo, PlanCache, PlanError};
 use smm_obs::{Counter, CounterSnapshot};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// How often blocked loops re-check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
-
-/// How long [`ServerHandle::join`] waits for connection handlers to
-/// finish before giving up on them.
-const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+/// How often the background sampler decays the idle EWMA estimate.
+const SAMPLER_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -72,7 +72,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Number of planning worker threads.
     pub workers: usize,
-    /// Bounded queue capacity; pushes beyond it are shed.
+    /// Number of reactor shards (event-loop threads); 0 picks one per
+    /// available core, capped at `workers`.
+    pub shards: usize,
+    /// Bounded queue capacity; pushes beyond it are shed. This is the
+    /// *static* ceiling — see `adaptive_shed`.
     pub queue_cap: usize,
     /// Plan-cache capacity in entries; 0 disables caching.
     pub cache_cap: usize,
@@ -83,6 +87,14 @@ pub struct ServerConfig {
     /// caching or responding; a plan with error-severity diagnostics is
     /// rejected (answered as an error, never cached).
     pub verify_plans: bool,
+    /// Enable the EWMA admission controller that tightens the
+    /// effective queue cap under slow-plan load. `false` reproduces the
+    /// legacy static-cap behavior exactly.
+    pub adaptive_shed: bool,
+    /// Target queue-wait budget for the adaptive controller, in
+    /// milliseconds: the effective cap is the queue length whose
+    /// predicted drain time stays within this budget.
+    pub shed_target_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -90,25 +102,28 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
+            shards: 0,
             queue_cap: 64,
             cache_cap: 128,
             obs: true,
             verify_plans: false,
+            adaptive_shed: true,
+            shed_target_ms: 50,
         }
     }
 }
 
-/// One queued planning job: the parsed request plus the reply channel
-/// back to the connection handler.
+/// One queued planning job: the parsed request plus the completion
+/// that routes the response back to the owning reactor shard.
 struct Job {
     req: Request,
     deadline: Option<Instant>,
-    reply: mpsc::Sender<String>,
+    completion: Completion,
 }
 
-/// Everything the handler and worker threads share.
+/// Everything the reactor handler and worker threads share.
 struct Shared {
-    queue: BoundedQueue<Job>,
+    queue: ShardedQueue<Job>,
     /// Plan cache, keyed by [`smm_core::PlanKey`] and holding the
     /// *rendered* plan JSON: what a hit serves is the exact byte string
     /// a cold plan produced, and a plan migrated in from another fleet
@@ -121,14 +136,18 @@ struct Shared {
     /// The memo key includes the accelerator and planner knobs, so mixed
     /// configurations coexist safely.
     memo: Arc<LayerMemo>,
-    shutdown: AtomicBool,
-    connections: AtomicUsize,
+    /// Shared with the reactor: raising it starts the graceful drain.
+    shutdown: Arc<AtomicBool>,
     verify_plans: bool,
-    // Local mirrors of the serve.shed / serve.verify_failed obs
-    // counters, so the `stats` op reports them even when the
-    // process-global collector is disabled. Relaxed: monotone
-    // statistics, never used to publish data.
+    /// Admission controller (static cap + EWMA tightening).
+    ctl: AdaptiveShed,
+    // Local mirrors of the serve.* obs counters, so the `stats` op
+    // reports them even when the process-global collector is disabled.
+    // Relaxed: monotone statistics, never used to publish data.
     shed: AtomicU64,
+    shed_adaptive: AtomicU64,
+    inline_hits: AtomicU64,
+    queue_depth_peak: AtomicU64,
     verify_failed: AtomicU64,
 }
 
@@ -139,9 +158,22 @@ impl Shared {
             cache: self.cache.stats(),
             queued: self.queue.len(),
             shed: self.shed.load(Ordering::Relaxed),
+            shed_adaptive: self.shed_adaptive.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            ewma_latency_us: self.ctl.estimator.estimate_us(),
+            inline_hits: self.inline_hits.load(Ordering::Relaxed),
             verify_failed: self.verify_failed.load(Ordering::Relaxed),
             memo_hits: memo.hits,
             memo_misses: memo.misses,
+        }
+    }
+
+    fn count_shed(&self, adaptive: bool) {
+        smm_obs::add(Counter::ServeShed, 1);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        if adaptive {
+            smm_obs::add(Counter::ServeShedAdaptive, 1);
+            self.shed_adaptive.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -151,8 +183,9 @@ impl Shared {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 /// The planning server; see the module docs for the thread model.
@@ -166,42 +199,74 @@ impl Server {
             smm_obs::set_enabled(true);
         }
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
+        let workers_n = cfg.workers.max(1);
+        let shards_n = if cfg.shards == 0 {
+            thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(workers_n)
+        } else {
+            cfg.shards
+        };
+        // Queue stripes never exceed the worker count, so every stripe
+        // has at least one dedicated (home) worker draining it.
+        let stripes = shards_n.min(workers_n);
+        let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(cfg.queue_cap),
+            queue: ShardedQueue::new(stripes, cfg.queue_cap),
             cache: PlanCache::new(cfg.cache_cap),
             memo: Arc::new(LayerMemo::default()),
-            shutdown: AtomicBool::new(false),
-            connections: AtomicUsize::new(0),
+            shutdown: Arc::clone(&shutdown),
             verify_plans: cfg.verify_plans,
+            ctl: AdaptiveShed::new(
+                cfg.queue_cap,
+                workers_n,
+                cfg.shed_target_ms.saturating_mul(1000),
+                cfg.adaptive_shed,
+            ),
             shed: AtomicU64::new(0),
+            shed_adaptive: AtomicU64::new(0),
+            inline_hits: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
             verify_failed: AtomicU64::new(0),
         });
 
-        let workers = (0..cfg.workers.max(1))
+        let workers = (0..workers_n)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("smm-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(i, &shared))
                     .expect("spawn worker thread")
             })
             .collect();
 
-        let acceptor = {
+        let sampler = cfg.adaptive_shed.then(|| {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
-                .name("smm-serve-acceptor".into())
-                .spawn(move || acceptor_loop(listener, &shared))
-                .expect("spawn acceptor thread")
-        };
+                .name("smm-serve-sampler".into())
+                .spawn(move || sampler_loop(&shared))
+                .expect("spawn sampler thread")
+        });
+
+        let handler: Arc<dyn LineHandler> = Arc::new(ServeHandler {
+            shared: Arc::clone(&shared),
+        });
+        let reactor = Reactor::spawn(
+            listener,
+            &ReactorConfig {
+                shards: shards_n,
+                ..ReactorConfig::default()
+            },
+            handler,
+            shutdown,
+        )?;
 
         Ok(ServerHandle {
-            local_addr,
+            local_addr: reactor.local_addr(),
             shared,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             workers,
+            sampler,
         })
     }
 }
@@ -214,8 +279,9 @@ impl ServerHandle {
 
     /// Signal shutdown. Non-blocking; pair with [`join`](Self::join).
     pub fn stop(&self) {
-        // Release pairs with the Acquire polls below; the flag carries
-        // no data, it only has to become visible.
+        // Release pairs with the Acquire polls in the reactor and the
+        // sampler; the flag carries no data, it only has to become
+        // visible.
         self.shared.shutdown.store(true, Ordering::Release);
     }
 
@@ -230,160 +296,159 @@ impl ServerHandle {
         self.shared.cache.stats()
     }
 
-    /// Block until shutdown is signalled, then drain gracefully: wait
-    /// for connection handlers to finish, let workers drain the queue,
-    /// and join every thread.
+    /// Block until shutdown is signalled, then drain gracefully: the
+    /// reactor flushes every in-flight response and closes its
+    /// connections, queued jobs drain through the workers, and every
+    /// thread is joined.
     pub fn join(mut self) {
-        while !self.shared.shutdown.load(Ordering::Acquire) {
-            thread::sleep(POLL_INTERVAL);
-        }
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        // Handlers exit once their current request is answered; queued
-        // jobs keep workers busy until then, so close the queue only
-        // after the handlers are gone (bounded by DRAIN_TIMEOUT).
-        // Acquire pairs with the handlers' Release decrements: once 0
-        // is observed, every handler's final queue push has happened.
-        let drain_start = Instant::now();
-        while self.shared.connections.load(Ordering::Acquire) > 0
-            && drain_start.elapsed() < DRAIN_TIMEOUT
-        {
-            thread::sleep(POLL_INTERVAL);
+        // The reactor waits for the shutdown flag, then drains: a
+        // connection with deferred jobs stays open until its workers
+        // fulfill them (bounded by the reactor's drain timeout), so the
+        // queue is naturally empty of *wanted* work when this returns.
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join();
         }
         self.shared.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-    }
-}
-
-fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Relaxed is enough for the increment: only this thread
-                // increments, and the spawn below synchronizes-with the
-                // handler anyway.
-                shared.connections.fetch_add(1, Ordering::Relaxed);
-                let conn_shared = Arc::clone(shared);
-                let spawned =
-                    thread::Builder::new()
-                        .name("smm-serve-conn".into())
-                        .spawn(move || {
-                            handle_connection(stream, &conn_shared);
-                            // Release publishes the handler's work to
-                            // join()'s Acquire drain loop.
-                            conn_shared.connections.fetch_sub(1, Ordering::Release);
-                        });
-                if spawned.is_err() {
-                    shared.connections.fetch_sub(1, Ordering::Release);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
-            Err(_) => thread::sleep(POLL_INTERVAL),
+        if let Some(s) = self.sampler.take() {
+            let _ = s.join();
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
+/// The serve-protocol [`LineHandler`] plugged into the reactor.
+struct ServeHandler {
+    shared: Arc<Shared>,
+}
+
+impl LineHandler for ServeHandler {
+    fn handle(&self, line: &str, reply: &mut String, completion: Completion) -> Outcome {
+        let shared = &self.shared;
+        let req = match protocol::parse_request(line) {
+            Ok(req) => req,
+            Err(msg) => {
+                protocol::error_response_into(reply, &None, &msg);
+                return Outcome::Replied;
+            }
+        };
+        match req.op {
+            Op::Ping => {
+                protocol::pong_response_into(reply, &req.id);
+                Outcome::Replied
+            }
+            Op::Stats => {
+                protocol::stats_response_into(reply, &req.id, &shared.node_stats());
+                Outcome::Replied
+            }
+            Op::Shutdown => {
+                protocol::shutdown_response_into(reply, &req.id);
+                // Release pairs with the reactor's Acquire poll.
+                shared.shutdown.store(true, Ordering::Release);
+                Outcome::RepliedClose
+            }
+            // Handoff verbs are answered inline like `stats`: they
+            // touch only the cache, never the planning queue.
+            Op::Migrate => {
+                serve_migrate(&req, shared, reply);
+                Outcome::Replied
+            }
+            Op::Dump => {
+                let limit = req.limit.unwrap_or(protocol::DEFAULT_DUMP_LIMIT) as usize;
+                let entries = shared.cache.hottest(limit);
+                protocol::dump_response_into(reply, &req.id, &entries);
+                Outcome::Replied
+            }
+            Op::Plan => handle_plan(shared, req, reply, completion),
+        }
+    }
+}
+
+/// The plan path on the reactor: deadline check, inline cache hit,
+/// admission control, or hand-off to the worker pool.
+fn handle_plan(
+    shared: &Arc<Shared>,
+    req: Request,
+    reply: &mut String,
+    completion: Completion,
+) -> Outcome {
+    let start = Instant::now();
+    let before = CounterSnapshot::capture();
+    let deadline = req.deadline_ms.map(|ms| start + Duration::from_millis(ms));
+    // Deadline check before the cache lookup: an already-expired
+    // deadline answers `deadline` even on a warm cache.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        smm_obs::add(Counter::ServeRequests, 1);
+        smm_obs::add(Counter::ServeDeadlineExceeded, 1);
+        protocol::deadline_response_into(reply, &req.id, 0);
+        return Outcome::Replied;
+    }
+    let spec = req.to_spec();
+    match spec.resolve() {
+        Ok(net) => {
+            let key = spec.cache_key(&net);
+            if let Some(plan) = shared.cache.get(&key) {
+                // Inline hit: answered on the reactor, no queue, no
+                // worker, no cross-thread hop.
+                smm_obs::add(Counter::ServeRequests, 1);
+                smm_obs::add(Counter::ServeInlineHits, 1);
+                shared.inline_hits.fetch_add(1, Ordering::Relaxed);
+                let metrics = request_metrics(start, &before);
+                protocol::ok_plan_response_into(reply, &req.id, true, &metrics, &plan);
+                return Outcome::Replied;
+            }
+        }
+        Err(e) => {
+            protocol::error_response_into(reply, &req.id, &e.to_string());
+            return Outcome::Replied;
+        }
+    }
+
+    // Cache miss: admission control, then hand off to the workers.
+    let deadline_left_us = deadline.map(|d| {
+        u64::try_from(d.saturating_duration_since(Instant::now()).as_micros()).unwrap_or(u64::MAX)
+    });
+    match shared.ctl.admit(shared.queue.len(), deadline_left_us) {
+        Admission::Admit => {}
+        Admission::ShedStatic => {
+            shared.count_shed(false);
+            protocol::shed_response_into(reply, &req.id);
+            return Outcome::Replied;
+        }
+        Admission::ShedAdaptive => {
+            shared.count_shed(true);
+            protocol::shed_response_into(reply, &req.id);
+            return Outcome::Replied;
+        }
+    }
+    let id = req.id.clone();
+    let stripe = completion.shard_id() % shared.queue.shards();
+    let job = Job {
+        req,
+        deadline,
+        completion: completion.defer(),
     };
-    // Nagle + the peer's delayed ACK turns a response written as
-    // payload-then-"\n" into a ~40 ms stall per line; disable Nagle and
-    // write each line (newline included) in one write_all.
-    let _ = stream.set_nodelay(true);
-    // A short read timeout lets the handler notice shutdown between
-    // requests without dropping bytes: on timeout the partial line
-    // stays in `buf` and the next read_line call appends to it.
-    let _ = read_half.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut buf = String::new();
-    loop {
-        match reader.read_line(&mut buf) {
-            Ok(0) => break,
-            Ok(_) => {
-                let line = std::mem::take(&mut buf);
-                let line = line.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                let (mut response, shutdown_requested) = handle_line(line, shared);
-                response.push('\n');
-                if writer
-                    .write_all(response.as_bytes())
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    break;
-                }
-                if shutdown_requested {
-                    shared.shutdown.store(true, Ordering::Release);
-                    break;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-            }
-            Err(_) => break,
+    match shared.queue.try_push_to(stripe, job) {
+        Ok(()) => {
+            smm_obs::add(Counter::ServeRequests, 1);
+            let depth = shared.queue.len() as u64;
+            shared.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+            smm_obs::record_max(Counter::ServeQueueDepthPeak, depth);
+            Outcome::Deferred
         }
-    }
-}
-
-/// Process one request line; returns the response plus whether the
-/// client asked the whole server to shut down.
-fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
-    let req = match protocol::parse_request(line) {
-        Ok(req) => req,
-        Err(msg) => return (protocol::error_response(&None, &msg), false),
-    };
-    match req.op {
-        Op::Ping => (protocol::pong_response(&req.id), false),
-        Op::Stats => (
-            protocol::stats_response(&req.id, &shared.node_stats()),
-            false,
-        ),
-        Op::Shutdown => (protocol::shutdown_response(&req.id), true),
-        // Handoff verbs are answered inline like `stats`: they touch
-        // only the cache, never the planning queue.
-        Op::Migrate => (serve_migrate(&req, shared), false),
-        Op::Dump => {
-            let limit = req.limit.unwrap_or(protocol::DEFAULT_DUMP_LIMIT) as usize;
-            let entries = shared.cache.hottest(limit);
-            (protocol::dump_response(&req.id, &entries), false)
+        Err(PushError::Full(job)) => {
+            let Job { completion, .. } = job;
+            completion.cancel();
+            shared.count_shed(false);
+            protocol::shed_response_into(reply, &id);
+            Outcome::Replied
         }
-        Op::Plan => {
-            let (reply, rx) = mpsc::channel();
-            let deadline = req
-                .deadline_ms
-                .map(|ms| Instant::now() + Duration::from_millis(ms));
-            let id = req.id.clone();
-            match shared.queue.try_push(Job {
-                req,
-                deadline,
-                reply,
-            }) {
-                Ok(()) => match rx.recv() {
-                    Ok(response) => (response, false),
-                    Err(_) => (
-                        protocol::error_response(&id, "server shut down before responding"),
-                        false,
-                    ),
-                },
-                Err(PushError::Full(_)) => {
-                    smm_obs::add(Counter::ServeShed, 1);
-                    shared.shed.fetch_add(1, Ordering::Relaxed);
-                    (protocol::shed_response(&id), false)
-                }
-                Err(PushError::Closed(_)) => (
-                    protocol::error_response(&id, "server is shutting down"),
-                    false,
-                ),
-            }
+        Err(PushError::Closed(job)) => {
+            let Job { completion, .. } = job;
+            completion.cancel();
+            protocol::error_response_into(reply, &id, "server is shutting down");
+            Outcome::Replied
         }
     }
 }
@@ -393,42 +458,87 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
 /// fleet node; this node only checks that the key decodes under the
 /// current [`smm_core::KEY_HASH_VERSION`] and that the payload is a
 /// JSON object, then caches the bytes verbatim.
-fn serve_migrate(req: &Request, shared: &Arc<Shared>) -> String {
+fn serve_migrate(req: &Request, shared: &Arc<Shared>, reply: &mut String) {
     let (Some(key_hex), Some(plan_json)) = (&req.key, &req.plan_json) else {
-        return protocol::error_response(&req.id, "migrate needs \"key\" and \"plan_json\"");
+        return protocol::error_response_into(
+            reply,
+            &req.id,
+            "migrate needs \"key\" and \"plan_json\"",
+        );
     };
     let key = match smm_core::PlanKey::from_stable_hex(key_hex) {
         Ok(key) => key,
-        Err(e) => return protocol::error_response(&req.id, &format!("bad migrate key: {e}")),
+        Err(e) => {
+            return protocol::error_response_into(reply, &req.id, &format!("bad migrate key: {e}"))
+        }
     };
     match smm_obs::json::parse(plan_json) {
         Ok(smm_obs::json::Value::Object(_)) => {}
         Ok(_) => {
-            return protocol::error_response(&req.id, "migrate plan_json must be a JSON object")
+            return protocol::error_response_into(
+                reply,
+                &req.id,
+                "migrate plan_json must be a JSON object",
+            )
         }
-        Err(e) => return protocol::error_response(&req.id, &format!("bad migrate plan_json: {e}")),
+        Err(e) => {
+            return protocol::error_response_into(
+                reply,
+                &req.id,
+                &format!("bad migrate plan_json: {e}"),
+            )
+        }
     }
     shared.cache.insert(key, Arc::new(plan_json.clone()));
-    protocol::migrate_response(&req.id)
+    protocol::migrate_response_into(reply, &req.id);
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        smm_obs::add(Counter::ServeRequests, 1);
-        let response = serve_plan(&job, shared);
-        // The handler may have hung up (client gone); nothing to do.
-        let _ = job.reply.send(response);
+/// The background sampler: decays the EWMA estimate while no requests
+/// complete, so adaptive shedding relaxes after a burst instead of
+/// latching shut, and keeps the obs high-water gauge fresh.
+fn sampler_loop(shared: &Arc<Shared>) {
+    let mut last = 0u64;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        thread::sleep(SAMPLER_INTERVAL);
+        last = shared.ctl.estimator.decay_tick(last);
+        smm_obs::record_max(
+            Counter::ServeEwmaLatencyUs,
+            shared.ctl.estimator.estimate_us(),
+        );
     }
 }
 
-fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
+fn worker_loop(index: usize, shared: &Arc<Shared>) {
+    let home = index % shared.queue.shards();
+    while let Some(job) = shared.queue.pop_from(home) {
+        let start = Instant::now();
+        let (response, observed) = serve_plan(&job, shared);
+        if observed {
+            // Feed the admission controller with the time this job
+            // held the worker. Dequeue-expired jobs are excluded: their
+            // near-zero cost says nothing about service latency and
+            // would drag the estimate down exactly when load is high.
+            shared
+                .ctl
+                .estimator
+                .observe(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+        let Job { completion, .. } = job;
+        completion.fulfill(response);
+    }
+}
+
+/// Serve one dequeued plan job. The second return value is whether the
+/// elapsed time is a valid service-latency observation (false only for
+/// the deadline-expired-in-queue fast path).
+fn serve_plan(job: &Job, shared: &Arc<Shared>) -> (String, bool) {
     let req = &job.req;
     // Deadline check at dequeue, before the cache lookup: a request
     // that waited out its deadline in the queue answers `deadline`
     // even if the plan is already cached.
     if job.deadline.is_some_and(|d| Instant::now() >= d) {
         smm_obs::add(Counter::ServeDeadlineExceeded, 1);
-        return protocol::deadline_response(&req.id, 0);
+        return (protocol::deadline_response(&req.id, 0), false);
     }
     let start = Instant::now();
     let before = CounterSnapshot::capture();
@@ -437,14 +547,19 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
     let spec = req.to_spec();
     let net = match spec.resolve() {
         Ok(net) => net,
-        Err(e) => return protocol::error_response(&req.id, &e.to_string()),
+        Err(e) => return (protocol::error_response(&req.id, &e.to_string()), true),
     };
     let acc = spec.accelerator;
     let key = spec.cache_key(&net);
 
+    // Re-check the cache: a concurrent request for the same key may
+    // have planned it while this job sat in the queue.
     if let Some(plan) = shared.cache.get(&key) {
         let metrics = request_metrics(start, &before);
-        return protocol::ok_plan_response(&req.id, true, &metrics, &plan);
+        return (
+            protocol::ok_plan_response(&req.id, true, &metrics, &plan),
+            true,
+        );
     }
 
     // The simulated planning cost sits on the miss path, after the
@@ -459,7 +574,7 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
         None => CancelToken::none(),
     };
     let planner = spec.planner().with_memo(Arc::clone(&shared.memo));
-    match planner.plan(&net, spec.scheme, &cancel) {
+    let response = match planner.plan(&net, spec.scheme, &cancel) {
         Ok(plan) => {
             // Opt-in verification gate: an infeasible plan must never be
             // cached (it would be served to every later client) nor
@@ -471,13 +586,16 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
                     shared.verify_failed.fetch_add(1, Ordering::Relaxed);
                     let codes: Vec<&str> =
                         report.diagnostics.iter().map(|d| d.code.as_str()).collect();
-                    return protocol::error_response(
-                        &req.id,
-                        &format!(
-                            "plan failed verification ({} diagnostics: {})",
-                            report.diagnostics.len(),
-                            codes.join(", ")
+                    return (
+                        protocol::error_response(
+                            &req.id,
+                            &format!(
+                                "plan failed verification ({} diagnostics: {})",
+                                report.diagnostics.len(),
+                                codes.join(", ")
+                            ),
                         ),
+                        true,
                     );
                 }
                 // Second gate: lower the plan and lint the command
@@ -488,22 +606,28 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
                         shared.verify_failed.fetch_add(1, Ordering::Relaxed);
                         let codes: Vec<&str> =
                             lint.diagnostics().map(|d| d.code.as_str()).collect();
-                        return protocol::error_response(
-                            &req.id,
-                            &format!(
-                                "plan failed stream lint ({} diagnostics: {})",
-                                codes.len(),
-                                codes.join(", ")
+                        return (
+                            protocol::error_response(
+                                &req.id,
+                                &format!(
+                                    "plan failed stream lint ({} diagnostics: {})",
+                                    codes.len(),
+                                    codes.join(", ")
+                                ),
                             ),
+                            true,
                         );
                     }
                     Ok(_) => {}
                     Err(e) => {
                         smm_obs::add(Counter::ServeVerifyFailed, 1);
                         shared.verify_failed.fetch_add(1, Ordering::Relaxed);
-                        return protocol::error_response(
-                            &req.id,
-                            &format!("plan failed stream lint: {e}"),
+                        return (
+                            protocol::error_response(
+                                &req.id,
+                                &format!("plan failed stream lint: {e}"),
+                            ),
+                            true,
                         );
                     }
                 }
@@ -521,7 +645,8 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> String {
             protocol::deadline_response(&req.id, layers_done)
         }
         Err(e) => protocol::error_response(&req.id, &e.to_string()),
-    }
+    };
+    (response, true)
 }
 
 fn request_metrics(start: Instant, before: &CounterSnapshot) -> protocol::RequestMetrics {
@@ -537,7 +662,8 @@ fn request_metrics(start: Instant, before: &CounterSnapshot) -> protocol::Reques
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufRead;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
         let stream = TcpStream::connect(addr).unwrap();
@@ -676,13 +802,21 @@ mod tests {
     }
 
     #[test]
-    fn stats_reports_shed_verify_and_memo_counts() {
+    fn stats_reports_shed_verify_memo_and_reactor_counts() {
         let handle = Server::spawn(ServerConfig::default()).unwrap();
         let addr = handle.local_addr();
         let _ = round_trip(addr, r#"{"model":"mobilenet"}"#);
         let stats = round_trip(addr, r#"{"op":"stats"}"#);
         let v = smm_obs::json::parse(&stats).unwrap_or_else(|e| panic!("{stats}: {e}"));
-        for field in ["shed", "verify_failed", "queued"] {
+        for field in [
+            "shed",
+            "shed_adaptive",
+            "queue_depth_peak",
+            "ewma_latency_us",
+            "inline_hits",
+            "verify_failed",
+            "queued",
+        ] {
             assert!(
                 matches!(v.get(field), Some(smm_obs::json::Value::Number(_))),
                 "{stats} missing {field}"
@@ -700,6 +834,27 @@ mod tests {
     }
 
     #[test]
+    fn warm_requests_are_served_inline_on_the_reactor() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+        let cold = round_trip(addr, r#"{"model":"mobilenet"}"#);
+        assert_eq!(status_of(&cold), "ok");
+        let warm = round_trip(addr, r#"{"model":"mobilenet"}"#);
+        assert!(warm.contains("\"cache_hit\":true"), "{warm}");
+        let stats = round_trip(addr, r#"{"op":"stats"}"#);
+        let v = smm_obs::json::parse(&stats).unwrap();
+        let Some(smm_obs::json::Value::Number(inline_hits)) = v.get("inline_hits") else {
+            panic!("{stats} missing inline_hits");
+        };
+        assert!(
+            *inline_hits >= 1.0,
+            "warm request must be an inline hit: {stats}"
+        );
+        handle.stop();
+        handle.join();
+    }
+
+    #[test]
     fn expired_deadline_beats_a_warm_cache() {
         let handle = Server::spawn(ServerConfig::default()).unwrap();
         let addr = handle.local_addr();
@@ -709,6 +864,30 @@ mod tests {
         // A 0ms deadline must answer `deadline`, not serve the cached plan.
         let line = round_trip(addr, r#"{"model":"mobilenet","deadline_ms":0}"#);
         assert_eq!(status_of(&line), "deadline");
+        handle.stop();
+        handle.join();
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection_all_answer() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let (mut reader, mut writer) = connect(handle.local_addr());
+        // Write several requests before reading anything back.
+        let mut batch = String::new();
+        for i in 0..8 {
+            batch.push_str(&format!("{{\"op\":\"ping\",\"id\":\"p{i}\"}}\n"));
+        }
+        batch.push_str("{\"model\":\"mobilenet\",\"id\":\"plan\"}\n");
+        writer.write_all(batch.as_bytes()).unwrap();
+        for i in 0..8 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(&format!("\"id\":\"p{i}\"")), "{line}");
+        }
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(status_of(line.trim()), "ok");
+        assert!(line.contains("\"id\":\"plan\""), "{line}");
         handle.stop();
         handle.join();
     }

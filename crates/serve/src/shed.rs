@@ -1,0 +1,269 @@
+//! Adaptive load shedding: an EWMA service-latency estimator that
+//! tightens the effective queue cap under pressure.
+//!
+//! The static `--queue-cap` bounds queue *length*, not queue *time*: a
+//! cap of 64 in front of 1ms plans is 64ms of waiting, but in front of
+//! 300ms plans it is nineteen seconds — every admitted request blows
+//! its deadline and the server does work nobody will read. The
+//! controller here bounds time instead:
+//!
+//! - Workers feed each request's observed service latency into a
+//!   lock-free EWMA (`est += (sample - est) / 8`, one CAS per request —
+//!   the atomic-estimate-plus-background-sampler shape).
+//! - Admission computes an **effective cap**: the queue length whose
+//!   predicted drain time (`len x est / workers`) stays within the
+//!   configured target budget, clamped to `1..=base_cap`. Fast plans →
+//!   cap rests at the static bound; slow plans → cap tightens so
+//!   waiting time, not queue slots, stays constant.
+//! - A request that carries a deadline is also shed eagerly when its
+//!   *predicted* queue wait already exceeds the deadline — refusing in
+//!   microseconds what would otherwise fail in milliseconds.
+//! - A background sampler decays the estimate when no requests are
+//!   completing (e.g. everything is being shed), so the controller
+//!   relaxes and re-probes instead of latching shut after a burst.
+//!
+//! Until the first observation lands the controller is inert and
+//! behaves exactly like the static cap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// EWMA smoothing: `est += (sample - est) / ALPHA_INV`.
+const ALPHA_INV: u64 = 8;
+
+/// Idle decay per sampler tick: `est -= est / DECAY_DIV` when no new
+/// observations arrived since the previous tick.
+const DECAY_DIV: u64 = 4;
+
+/// Lock-free exponentially-weighted moving average of service latency,
+/// in microseconds. Writers CAS; readers do one relaxed load.
+///
+/// All orderings are `Relaxed`: the estimate is a monotone-ish
+/// statistic used for admission heuristics, never to publish data.
+#[derive(Debug, Default)]
+pub struct LatencyEstimator {
+    est_us: AtomicU64,
+    observations: AtomicU64,
+}
+
+impl LatencyEstimator {
+    /// A fresh estimator with no signal (estimate 0 = inert).
+    pub fn new() -> Self {
+        LatencyEstimator::default()
+    }
+
+    /// Fold one observed service latency into the estimate. The first
+    /// observation seeds the estimate directly.
+    pub fn observe(&self, sample_us: u64) {
+        self.observations.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.est_us.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == 0 {
+                sample_us
+            } else if sample_us >= cur {
+                cur + (sample_us - cur) / ALPHA_INV
+            } else {
+                cur - (cur - sample_us) / ALPHA_INV
+            };
+            match self
+                .est_us
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current estimate in microseconds; 0 until the first observation.
+    pub fn estimate_us(&self) -> u64 {
+        self.est_us.load(Ordering::Relaxed)
+    }
+
+    /// Total observations folded in so far.
+    pub fn observation_count(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// One background-sampler tick: if no observation arrived since
+    /// `last_count` (the caller remembers the previous tick's count),
+    /// decay the estimate toward zero so shedding relaxes once the
+    /// burst has passed. Returns the current observation count for the
+    /// caller to carry to the next tick.
+    pub fn decay_tick(&self, last_count: u64) -> u64 {
+        let now = self.observations.load(Ordering::Relaxed);
+        if now == last_count {
+            let cur = self.est_us.load(Ordering::Relaxed);
+            if cur > 0 {
+                let dec = (cur / DECAY_DIV).max(1);
+                // A raced observe() between load and store loses a
+                // sample's worth of precision at worst; fine for a
+                // heuristic.
+                self.est_us
+                    .store(cur.saturating_sub(dec), Ordering::Relaxed);
+            }
+        }
+        now
+    }
+}
+
+/// Why (or whether) admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit: push the job.
+    Admit,
+    /// Shed: the queue is at the *static* capacity.
+    ShedStatic,
+    /// Shed: the adaptive controller tightened the effective cap below
+    /// the current depth, or predicted the deadline cannot be met.
+    ShedAdaptive,
+}
+
+/// The admission controller: static cap plus the adaptive tightening
+/// described in the module docs.
+#[derive(Debug)]
+pub struct AdaptiveShed {
+    /// The estimator workers feed. Public so the server can report the
+    /// live estimate in `stats` and run the decay sampler.
+    pub estimator: LatencyEstimator,
+    base_cap: usize,
+    target_budget_us: u64,
+    workers: usize,
+    adaptive: bool,
+}
+
+impl AdaptiveShed {
+    /// A controller over `base_cap` queue slots drained by `workers`
+    /// workers, aiming to keep predicted queue wait within
+    /// `target_budget_us`. `adaptive = false` reproduces the legacy
+    /// static-cap behavior exactly (for `--static-cap` and A/B tests).
+    pub fn new(base_cap: usize, workers: usize, target_budget_us: u64, adaptive: bool) -> Self {
+        AdaptiveShed {
+            estimator: LatencyEstimator::new(),
+            base_cap: base_cap.max(1),
+            workers: workers.max(1),
+            target_budget_us: target_budget_us.max(1),
+            adaptive,
+        }
+    }
+
+    /// The queue length currently considered admissible.
+    pub fn effective_cap(&self) -> usize {
+        if !self.adaptive {
+            return self.base_cap;
+        }
+        let est = self.estimator.estimate_us();
+        if est == 0 {
+            return self.base_cap;
+        }
+        let cap = (self.target_budget_us.saturating_mul(self.workers as u64) / est) as usize;
+        cap.clamp(1, self.base_cap)
+    }
+
+    /// Decide admission for a request seeing `queue_len` jobs ahead of
+    /// it, with `deadline_left_us` remaining on its deadline (if any).
+    pub fn admit(&self, queue_len: usize, deadline_left_us: Option<u64>) -> Admission {
+        if queue_len >= self.base_cap {
+            return Admission::ShedStatic;
+        }
+        if !self.adaptive {
+            return Admission::Admit;
+        }
+        if queue_len >= self.effective_cap() {
+            return Admission::ShedAdaptive;
+        }
+        let est = self.estimator.estimate_us();
+        if est > 0 {
+            if let Some(left) = deadline_left_us {
+                // Predicted wait before a worker picks this job up;
+                // the job itself then needs ~est more.
+                let predicted = (queue_len as u64 + 1).saturating_mul(est) / self.workers as u64;
+                if predicted > left {
+                    return Admission::ShedAdaptive;
+                }
+            }
+        }
+        Admission::Admit
+    }
+
+    /// Whether adaptive tightening is enabled.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let e = LatencyEstimator::new();
+        assert_eq!(e.estimate_us(), 0);
+        e.observe(800);
+        assert_eq!(e.estimate_us(), 800);
+        e.observe(1600);
+        assert_eq!(e.estimate_us(), 900); // 800 + 800/8
+        e.observe(100);
+        assert_eq!(e.estimate_us(), 800); // 900 - 800/8
+    }
+
+    #[test]
+    fn decay_only_when_idle() {
+        let e = LatencyEstimator::new();
+        e.observe(1000);
+        let c = e.decay_tick(0); // an observation happened: no decay
+        assert_eq!(e.estimate_us(), 1000);
+        let c = e.decay_tick(c); // idle tick: decay
+        assert_eq!(e.estimate_us(), 750);
+        let mut count = c;
+        for _ in 0..200 {
+            count = e.decay_tick(count);
+        }
+        assert_eq!(e.estimate_us(), 0, "idle decay reaches zero");
+    }
+
+    #[test]
+    fn inert_until_first_observation() {
+        let c = AdaptiveShed::new(64, 4, 50_000, true);
+        assert_eq!(c.effective_cap(), 64);
+        assert_eq!(c.admit(0, Some(0)), Admission::Admit);
+        assert_eq!(c.admit(63, None), Admission::Admit);
+        assert_eq!(c.admit(64, None), Admission::ShedStatic);
+    }
+
+    #[test]
+    fn slow_service_tightens_the_cap() {
+        let c = AdaptiveShed::new(64, 2, 50_000, true);
+        // 300ms plans, 2 workers, 50ms budget -> floor(at) 0 -> clamp 1.
+        c.estimator.observe(300_000);
+        assert_eq!(c.effective_cap(), 1);
+        assert_eq!(c.admit(0, None), Admission::Admit);
+        assert_eq!(c.admit(1, None), Admission::ShedAdaptive);
+        // 1ms plans relax back to the static bound.
+        let fast = AdaptiveShed::new(64, 2, 50_000, true);
+        fast.estimator.observe(1_000);
+        assert_eq!(fast.effective_cap(), 64);
+    }
+
+    #[test]
+    fn hopeless_deadlines_shed_eagerly() {
+        let c = AdaptiveShed::new(64, 1, 1_000_000, true);
+        // At 10ms per job, 5 queued jobs predict ~60ms of wait, so a
+        // 20ms deadline is hopeless.
+        c.estimator.observe(10_000);
+        assert_eq!(c.admit(5, Some(20_000)), Admission::ShedAdaptive);
+        // The same depth without a deadline is admitted (budget 1s).
+        assert_eq!(c.admit(5, None), Admission::Admit);
+        // A generous deadline is admitted.
+        assert_eq!(c.admit(5, Some(500_000)), Admission::Admit);
+    }
+
+    #[test]
+    fn static_mode_never_sheds_adaptively() {
+        let c = AdaptiveShed::new(4, 1, 50_000, false);
+        c.estimator.observe(10_000_000);
+        assert_eq!(c.effective_cap(), 4);
+        assert_eq!(c.admit(3, Some(1)), Admission::Admit);
+        assert_eq!(c.admit(4, None), Admission::ShedStatic);
+    }
+}

@@ -1,0 +1,226 @@
+//! Protocol robustness against hostile and unlucky clients, exercised
+//! over real TCP against both front-ends that share the reactor core:
+//! a single `smm serve` node and an `smm fleet route` router.
+//!
+//! Four scenarios, each run against both endpoints:
+//!
+//! - **slowloris**: a client dripping a request byte-at-a-time pins no
+//!   reactor resources — fast clients on the same shard keep being
+//!   answered, and the slow request completes once its newline lands.
+//! - **oversized line**: a request exceeding the line bound is answered
+//!   with an explicit error and the connection closed, instead of
+//!   buffering without limit.
+//! - **mid-request disconnect**: clients vanishing mid-line or between
+//!   request and response (including with a planning job in flight)
+//!   leave the server fully healthy.
+//! - **pipelined backpressure**: a client that writes a burst of
+//!   requests before reading anything gets every response, in order,
+//!   even when the pending responses far exceed the socket buffer.
+
+use scratchpad_mm::fleet::{Router, RouterConfig};
+use scratchpad_mm::serve::{Server, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+fn spawn_node() -> ServerHandle {
+    Server::spawn(ServerConfig {
+        obs: false,
+        ..ServerConfig::default()
+    })
+    .expect("spawn serve node")
+}
+
+/// A router in front of one node; both handles are returned so the
+/// test can drain them.
+fn spawn_fleet() -> (ServerHandle, scratchpad_mm::fleet::RouterHandle) {
+    let node = spawn_node();
+    let router = Router::spawn(RouterConfig {
+        backends: vec![node.local_addr().to_string()],
+        obs: false,
+        ..RouterConfig::default()
+    })
+    .expect("spawn router");
+    (node, router)
+}
+
+fn round_trip(addr: SocketAddr, request: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writeln!(writer, "{request}").expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    line.trim().to_string()
+}
+
+fn slowloris_scenario(addr: SocketAddr) {
+    let mut slow = TcpStream::connect(addr).expect("connect slow client");
+    slow.set_nodelay(true).unwrap();
+    let payload = b"{\"op\":\"ping\",\"id\":\"slow\"}";
+    for chunk in payload.chunks(3) {
+        slow.write_all(chunk).expect("drip bytes");
+        slow.flush().unwrap();
+        // A fast client on the same endpoint is answered while the slow
+        // request is still incomplete.
+        let line = round_trip(addr, "{\"op\":\"ping\",\"id\":\"fast\"}");
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        thread::sleep(Duration::from_millis(2));
+    }
+    slow.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(slow);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("slow response");
+    assert!(line.contains("\"id\":\"slow\""), "{line}");
+    assert!(line.contains("\"status\":\"ok\""), "{line}");
+}
+
+fn oversized_line_scenario(addr: SocketAddr) {
+    let conn = TcpStream::connect(addr).expect("connect");
+    let mut writer = conn.try_clone().unwrap();
+    // Just over the 1 MiB default line bound, no terminator. Written
+    // from a helper thread: the server may close the connection while
+    // bytes are still in flight, which is exactly the behavior under
+    // test.
+    let junk = vec![b'x'; (1 << 20) + 64 * 1024];
+    let pump = thread::spawn(move || {
+        let _ = writer.write_all(&junk);
+    });
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response");
+    assert!(line.contains("\"status\":\"error\""), "{line}");
+    assert!(line.contains("exceeds"), "{line}");
+    // Terminal: the server closes after answering.
+    let mut rest = String::new();
+    let _ = reader.read_line(&mut rest);
+    assert!(rest.is_empty(), "connection must close after oversize");
+    pump.join().unwrap();
+    // And the endpoint is still healthy.
+    let line = round_trip(addr, "{\"op\":\"ping\"}");
+    assert!(line.contains("\"status\":\"ok\""), "{line}");
+}
+
+fn disconnect_scenario(addr: SocketAddr) {
+    // Vanish mid-line.
+    {
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.write_all(b"{\"model\":\"resn").unwrap();
+        let _ = c.shutdown(Shutdown::Both);
+    }
+    // Vanish with a full request sent but the response unread — the
+    // planning job is in flight when the connection dies.
+    {
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.write_all(b"{\"model\":\"mobilenet\",\"glb_kb\":48,\"delay_ms\":40}\n")
+            .unwrap();
+        c.flush().unwrap();
+        drop(c);
+    }
+    // Let the orphaned job finish against the dead connection.
+    thread::sleep(Duration::from_millis(150));
+    let line = round_trip(addr, "{\"model\":\"mobilenet\",\"glb_kb\":48}");
+    assert!(line.contains("\"status\":\"ok\""), "{line}");
+}
+
+const BACKPRESSURE_BURST: usize = 96;
+
+fn backpressure_scenario(addr: SocketAddr) {
+    // Warm the cache so responses are immediate and identical.
+    let warm = round_trip(addr, "{\"model\":\"resnet18\"}");
+    assert!(warm.contains("\"status\":\"ok\""), "{warm}");
+
+    let conn = TcpStream::connect(addr).expect("connect");
+    let mut writer = conn.try_clone().unwrap();
+    let mut batch = String::new();
+    for i in 0..BACKPRESSURE_BURST {
+        batch.push_str(&format!("{{\"model\":\"resnet18\",\"id\":\"r{i}\"}}\n"));
+    }
+    // Write the whole burst before reading a single byte: the pending
+    // responses (~ BURST × plan size) exceed any socket buffer, so the
+    // server must park the overflow in its write buffer, pause reading,
+    // and resume as this client drains.
+    writer.write_all(batch.as_bytes()).expect("write burst");
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    for i in 0..BACKPRESSURE_BURST {
+        line.clear();
+        reader.read_line(&mut line).expect("read burst response");
+        assert!(line.contains(&format!("\"id\":\"r{i}\"")), "{i}: {line}");
+        assert!(line.contains("\"status\":\"ok\""), "{i}: {line}");
+    }
+}
+
+#[test]
+fn slowloris_against_serve_node() {
+    let node = spawn_node();
+    slowloris_scenario(node.local_addr());
+    node.stop();
+    node.join();
+}
+
+#[test]
+fn slowloris_against_fleet_router() {
+    let (node, router) = spawn_fleet();
+    slowloris_scenario(router.local_addr());
+    router.stop();
+    router.join();
+    node.stop();
+    node.join();
+}
+
+#[test]
+fn oversized_line_against_serve_node() {
+    let node = spawn_node();
+    oversized_line_scenario(node.local_addr());
+    node.stop();
+    node.join();
+}
+
+#[test]
+fn oversized_line_against_fleet_router() {
+    let (node, router) = spawn_fleet();
+    oversized_line_scenario(router.local_addr());
+    router.stop();
+    router.join();
+    node.stop();
+    node.join();
+}
+
+#[test]
+fn mid_request_disconnect_against_serve_node() {
+    let node = spawn_node();
+    disconnect_scenario(node.local_addr());
+    node.stop();
+    node.join();
+}
+
+#[test]
+fn mid_request_disconnect_against_fleet_router() {
+    let (node, router) = spawn_fleet();
+    disconnect_scenario(router.local_addr());
+    router.stop();
+    router.join();
+    node.stop();
+    node.join();
+}
+
+#[test]
+fn pipelined_backpressure_against_serve_node() {
+    let node = spawn_node();
+    backpressure_scenario(node.local_addr());
+    node.stop();
+    node.join();
+}
+
+#[test]
+fn pipelined_backpressure_against_fleet_router() {
+    let (node, router) = spawn_fleet();
+    backpressure_scenario(router.local_addr());
+    router.stop();
+    router.join();
+    node.stop();
+    node.join();
+}
