@@ -1,0 +1,102 @@
+//! The streaming-analytics overhead budget: tapping every request
+//! outcome into the windowing engine must not tax the serve hot path.
+//! Three cells measure the claim at increasing scope:
+//!
+//! - `ring_push_pop` — the raw SPSC lane primitive (nanoseconds).
+//! - `tap_emit` — one `StreamHub::emit` through the lane mutex, the
+//!   exact per-request cost added to a reactor shard.
+//! - `serve_hit_roundtrip/{tap_on,tap_off}` — a full cache-hit
+//!   request/response over a persistent connection against a live
+//!   server with the tap enabled vs disabled. The acceptance bar is a
+//!   <2% throughput delta between the two.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smm_serve::stream_hub::StreamHub;
+use smm_serve::{Server, ServerConfig, ServerHandle};
+use smm_stream::{spsc, EventKind, StreamEvent};
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// The lane primitive alone: one push + one pop per iteration.
+fn bench_ring(c: &mut Criterion) {
+    let (mut tx, mut rx) = spsc::<StreamEvent>(1024);
+    c.bench_function("stream/ring_push_pop", |b| {
+        b.iter(|| {
+            tx.push(StreamEvent {
+                ts_us: 1,
+                cell: 0,
+                kind: EventKind::HitInline,
+                service_us: 5,
+            });
+            black_box(rx.pop());
+        });
+    });
+}
+
+/// One tap emit through a hub lane — the cost a reactor shard pays per
+/// classified request when streaming is on. The consumer side is left
+/// idle, so this measures the producer path with drop-on-full
+/// semantics engaged (the lane fills after `LANE_CAP` events and every
+/// further emit is a counted drop — the worst case for the producer).
+fn bench_tap_emit(c: &mut Criterion) {
+    let (hub, _consumers) = StreamHub::new(1, 1_000, 250);
+    let req = smm_serve::protocol::parse_request(r#"{"model":"resnet18","glb_kb":64}"#)
+        .expect("parse request");
+    let cell = hub.cell_of(&req);
+    c.bench_function("stream/tap_emit", |b| {
+        b.iter(|| {
+            hub.emit(0, black_box(cell), EventKind::HitInline, 5);
+        });
+    });
+}
+
+fn spawn(stream: bool) -> ServerHandle {
+    Server::spawn(ServerConfig {
+        workers: 2,
+        cache_cap: 16,
+        stream,
+        // Measure only the tap: the pre-warm controller's background
+        // threads are off so both configs run identical thread sets.
+        prewarm: false,
+        obs: false,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+/// A warm cache-hit round-trip over one persistent connection — the
+/// PR 9 hit workload — with the tap on vs off.
+fn bench_hit_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream/serve_hit_roundtrip");
+    for (label, tap) in [("tap_on", true), ("tap_off", false)] {
+        let handle = spawn(tap);
+        let addr = handle.local_addr();
+        let request = "{\"model\":\"resnet18\",\"glb_kb\":64}\n";
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut writer = conn;
+        let mut line = String::new();
+        // Warm the key: the first request plans, the rest are hits.
+        writer.write_all(request.as_bytes()).expect("warm write");
+        reader.read_line(&mut line).expect("warm read");
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                writer.write_all(request.as_bytes()).expect("write");
+                line.clear();
+                reader.read_line(&mut line).expect("read");
+                black_box(line.len());
+            });
+        });
+        drop(reader);
+        drop(writer);
+        handle.stop();
+        handle.join();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_tap_emit, bench_hit_roundtrip);
+criterion_main!(benches);

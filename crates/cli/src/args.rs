@@ -199,6 +199,16 @@ pub struct ServeOptions {
     /// Verify every freshly-planned result with `smm-check` before
     /// caching or responding.
     pub verify: bool,
+    /// Enable the stream analytics tap + windowing collector.
+    pub stream: bool,
+    /// Enable the cache pre-warm controller (needs `stream`).
+    pub prewarm: bool,
+    /// Tumbling-window width for the stream analytics, ms.
+    pub window_ms: u64,
+    /// Sliding-window slide for the stream analytics, ms.
+    pub slide_ms: u64,
+    /// Background pre-warm planner threads.
+    pub prewarm_workers: usize,
 }
 
 impl Default for ServeOptions {
@@ -214,6 +224,11 @@ impl Default for ServeOptions {
             static_cap: !d.adaptive_shed,
             port_file: None,
             verify: d.verify_plans,
+            stream: d.stream,
+            prewarm: d.prewarm,
+            window_ms: d.window_ms,
+            slide_ms: d.slide_ms,
+            prewarm_workers: d.prewarm_workers,
         }
     }
 }
@@ -258,6 +273,18 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeOptions, String> {
             "--static-cap" => opts.static_cap = true,
             "--port-file" => opts.port_file = Some(value("--port-file")?),
             "--verify" => opts.verify = true,
+            "--no-stream" => opts.stream = false,
+            "--no-prewarm" => opts.prewarm = false,
+            "--window-ms" => {
+                opts.window_ms = number("--window-ms", value("--window-ms")?)?.max(1) as u64;
+            }
+            "--slide-ms" => {
+                opts.slide_ms = number("--slide-ms", value("--slide-ms")?)?.max(1) as u64;
+            }
+            "--prewarm-workers" => {
+                opts.prewarm_workers =
+                    number("--prewarm-workers", value("--prewarm-workers")?)?.max(1);
+            }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
@@ -347,13 +374,69 @@ pub fn parse_loadgen(argv: &[String]) -> Result<LoadgenOptions, String> {
                     return Err("--glb-set expects at least one size".into());
                 }
             }
+            "--mix" => {
+                cfg.mix = smm_serve::parse_mix(&value("--mix")?)?;
+            }
             "--fleet" => cfg.fleet = true,
             "--shed-report" => cfg.shed_report = true,
+            "--cells" => cfg.cell_report = true,
             "--shutdown" => cfg.shutdown = true,
             other => return Err(format!("unknown loadgen flag {other:?}")),
         }
     }
     Ok(LoadgenOptions { cfg })
+}
+
+/// Options for `smm top` — the windowed traffic view of a serve node
+/// or a fleet router.
+#[derive(Debug, Clone)]
+pub struct TopOptions {
+    /// Node or router address.
+    pub addr: String,
+    /// How many recent windows to fetch.
+    pub limit: usize,
+    /// Read the sliding-window store instead of the tumbling one.
+    pub sliding: bool,
+    /// Print the raw JSON response instead of the text table.
+    pub json: bool,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        TopOptions {
+            addr: "127.0.0.1:7878".into(),
+            limit: 1,
+            sliding: false,
+            json: false,
+        }
+    }
+}
+
+/// Parse `smm top` flags.
+pub fn parse_top(argv: &[String]) -> Result<TopOptions, String> {
+    let mut opts = TopOptions::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--limit" => {
+                let s = value("--limit")?;
+                opts.limit = s
+                    .parse::<usize>()
+                    .map_err(|_| format!("--limit expects a window count, got {s:?}"))?
+                    .max(1);
+            }
+            "--sliding" => opts.sliding = true,
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown top flag {other:?}")),
+        }
+    }
+    Ok(opts)
 }
 
 /// Options for the `smm fleet` subcommands.
@@ -625,5 +708,52 @@ mod tests {
         assert!(parse_loadgen(&argv("--bogus")).is_err());
         // Defaults cover the full zoo.
         assert_eq!(parse_loadgen(&[]).unwrap().cfg.models.len(), 6);
+    }
+
+    #[test]
+    fn serve_stream_flags() {
+        let d = parse_serve(&[]).unwrap();
+        assert!(d.stream, "stream analytics default on");
+        assert!(d.prewarm, "pre-warming defaults on");
+        let o = parse_serve(&argv(
+            "--no-stream --no-prewarm --window-ms 200 --slide-ms 50 --prewarm-workers 2",
+        ))
+        .unwrap();
+        assert!(!o.stream);
+        assert!(!o.prewarm);
+        assert_eq!(o.window_ms, 200);
+        assert_eq!(o.slide_ms, 50);
+        assert_eq!(o.prewarm_workers, 2);
+        assert!(parse_serve(&argv("--window-ms nope")).is_err());
+        assert_eq!(parse_serve(&argv("--window-ms 0")).unwrap().window_ms, 1);
+    }
+
+    #[test]
+    fn loadgen_mix_and_cells_flags() {
+        let o = parse_loadgen(&argv("--mix resnet18:64=5,mobilenet:256=1 --cells")).unwrap();
+        assert_eq!(o.cfg.mix.len(), 2);
+        assert_eq!(o.cfg.mix[0].model, "resnet18");
+        assert_eq!(o.cfg.mix[0].weight, 5);
+        assert!(o.cfg.cell_report);
+        assert!(parse_loadgen(&argv("--mix resnet18")).is_err());
+        assert!(parse_loadgen(&argv("--mix")).is_err());
+        assert!(parse_loadgen(&[]).unwrap().cfg.mix.is_empty());
+    }
+
+    #[test]
+    fn top_flags() {
+        let d = parse_top(&[]).unwrap();
+        assert_eq!(d.addr, "127.0.0.1:7878");
+        assert_eq!(d.limit, 1);
+        assert!(!d.sliding);
+        assert!(!d.json);
+        let o = parse_top(&argv("--addr 127.0.0.1:9 --limit 4 --sliding --json")).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:9");
+        assert_eq!(o.limit, 4);
+        assert!(o.sliding);
+        assert!(o.json);
+        assert!(parse_top(&argv("--limit nope")).is_err());
+        assert!(parse_top(&argv("--bogus")).is_err());
+        assert_eq!(parse_top(&argv("--limit 0")).unwrap().limit, 1);
     }
 }

@@ -867,6 +867,12 @@ pub fn serve(opts: &crate::args::ServeOptions) -> Result<(), String> {
         verify_plans: opts.verify,
         adaptive_shed: !opts.static_cap,
         shed_target_ms: opts.shed_target_ms,
+        stream: opts.stream,
+        prewarm: opts.prewarm,
+        window_ms: opts.window_ms,
+        slide_ms: opts.slide_ms,
+        prewarm_workers: opts.prewarm_workers,
+        ..smm_serve::ServerConfig::default()
     })
     .map_err(|e| format!("cannot bind port {}: {e}", opts.port))?;
     let addr = handle.local_addr();
@@ -875,8 +881,15 @@ pub fn serve(opts: &crate::args::ServeOptions) -> Result<(), String> {
     } else {
         format!("adaptive shed @{}ms", opts.shed_target_ms)
     };
+    let stream = if !opts.stream {
+        "stream off".to_string()
+    } else if opts.prewarm {
+        format!("stream {}ms/{}ms + prewarm", opts.window_ms, opts.slide_ms)
+    } else {
+        format!("stream {}ms/{}ms", opts.window_ms, opts.slide_ms)
+    };
     println!(
-        "smm serve listening on {addr} ({} workers, {} shards, queue {}, cache {}, {shed})",
+        "smm serve listening on {addr} ({} workers, {} shards, queue {}, cache {}, {shed}, {stream})",
         opts.workers,
         if opts.shards == 0 {
             "auto".to_string()
@@ -949,6 +962,145 @@ fn fleet_admin(addr: &str, op: &str, node: &str) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("router rejected {op}"))
+    }
+}
+
+/// `smm top` — fetch one `stream` snapshot from a serve node (or a
+/// fleet router, which aggregates per node) and print the windowed
+/// per-cell traffic table.
+pub fn top(opts: &crate::args::TopOptions) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = &opts.addr;
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let sliding = if opts.sliding {
+        ",\"sliding\":true"
+    } else {
+        ""
+    };
+    writeln!(
+        writer,
+        "{{\"op\":\"stream\",\"limit\":{}{sliding}}}",
+        opts.limit
+    )
+    .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let line = line.trim();
+    if opts.json {
+        println!("{line}");
+        return if line.contains("\"status\":\"ok\"") {
+            Ok(())
+        } else {
+            Err("stream request failed".into())
+        };
+    }
+    let v = smm_obs::json::parse(line).map_err(|e| format!("bad stream response: {e}"))?;
+    if !matches!(v.get("status"), Some(smm_obs::json::Value::String(s)) if s == "ok") {
+        return Err(format!("stream request failed: {line}"));
+    }
+    let num = |obj: &smm_obs::json::Value, k: &str| -> u64 {
+        match obj.get(k) {
+            Some(smm_obs::json::Value::Number(n)) if *n >= 0.0 => *n as u64,
+            _ => 0,
+        }
+    };
+    let sval = |obj: &smm_obs::json::Value, k: &str| -> String {
+        match obj.get(k) {
+            Some(smm_obs::json::Value::String(s)) => s.clone(),
+            _ => String::new(),
+        }
+    };
+    println!(
+        "stream:  {} windows of {}ms",
+        sval(&v, "kind"),
+        num(&v, "window_ms"),
+    );
+    // A router response carries a `fleet` section and a flat merged
+    // `cells` table; a node response carries engine totals and
+    // `windows`. Render whichever shape arrived.
+    if let Some(fleet) = v.get("fleet") {
+        println!(
+            "fleet:   {}/{} nodes healthy, {} events ({} late, {} dropped), {} windows closed",
+            num(fleet, "healthy"),
+            num(fleet, "nodes"),
+            num(fleet, "events"),
+            num(fleet, "late_events"),
+            num(fleet, "dropped"),
+            num(fleet, "windows_closed"),
+        );
+        if let Some(smm_obs::json::Value::Array(nodes)) = v.get("per_node") {
+            for n in nodes {
+                println!(
+                    "node:    {} healthy={} events={} cells={}",
+                    sval(n, "node"),
+                    matches!(n.get("healthy"), Some(smm_obs::json::Value::Bool(true))),
+                    num(n, "events"),
+                    num(n, "cells_seen"),
+                );
+            }
+        }
+        if let Some(smm_obs::json::Value::Array(cells)) = v.get("cells") {
+            print_cell_table(cells, &num, &sval);
+        }
+        return Ok(());
+    }
+    println!(
+        "engine:  {} events ({} late, {} dropped), {} windows closed, {} cells seen, watermark {}us",
+        num(&v, "events"),
+        num(&v, "late_events"),
+        num(&v, "dropped"),
+        num(&v, "windows_closed"),
+        num(&v, "cells_seen"),
+        num(&v, "watermark_us"),
+    );
+    let Some(smm_obs::json::Value::Array(windows)) = v.get("windows") else {
+        return Ok(());
+    };
+    for w in windows {
+        println!(
+            "window:  [{}us, {}us) {} events",
+            num(w, "start_us"),
+            num(w, "end_us"),
+            num(w, "events"),
+        );
+        if let Some(smm_obs::json::Value::Array(cells)) = w.get("cells") {
+            print_cell_table(cells, &num, &sval);
+        }
+    }
+    Ok(())
+}
+
+/// Shared cell-table renderer for `smm top` (node and fleet shapes
+/// carry the same per-cell fields).
+fn print_cell_table(
+    cells: &[smm_obs::json::Value],
+    num: &dyn Fn(&smm_obs::json::Value, &str) -> u64,
+    sval: &dyn Fn(&smm_obs::json::Value, &str) -> String,
+) {
+    if cells.is_empty() {
+        return;
+    }
+    println!(
+        "  {:<32} {:>7} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9}",
+        "cell", "events", "hits", "miss", "shed", "dead", "p50us", "p99us", "pred-us"
+    );
+    for c in cells {
+        let shed = num(c, "shed_static") + num(c, "shed_adaptive") + num(c, "shed_predicted");
+        println!(
+            "  {:<32} {:>7} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9}",
+            sval(c, "key"),
+            num(c, "events"),
+            num(c, "hit_inline") + num(c, "hit_worker"),
+            num(c, "miss"),
+            shed,
+            num(c, "deadline"),
+            num(c, "p50_us"),
+            num(c, "p99_us"),
+            num(c, "predicted_miss_us").max(num(c, "predicted_us")),
+        );
     }
 }
 

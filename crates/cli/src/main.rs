@@ -29,6 +29,7 @@ COMMANDS:
     topology <model>                  Emit a model as a topology CSV
     serve                             Run the concurrent planning server
     loadgen                           Drive a running server or fleet, report latency/throughput
+    top                               Show windowed traffic analytics from a node or router
     fleet route                       Run the consistent-hash fleet router
     fleet join|leave                  Add/remove a node on a running router (warm handoff)
 
@@ -69,6 +70,11 @@ OPTIONS (serve):
     --static-cap          Disable adaptive shedding; static queue cap only
     --port-file <FILE>    Write the bound port number to FILE once listening
     --verify              Verify each fresh plan with smm-check before caching
+    --no-stream           Disable the stream analytics tap and collector
+    --no-prewarm          Disable the cache pre-warm controller
+    --window-ms <MS>      Stream tumbling-window width (default 1000)
+    --slide-ms <MS>       Stream sliding-window slide (default 250)
+    --prewarm-workers <N> Background pre-warm planner threads (default 1)
 
 OPTIONS (loadgen):
     --addr <HOST:PORT>    Server address (default 127.0.0.1:7878)
@@ -80,9 +86,18 @@ OPTIONS (loadgen):
     --glb-set <A,B,...>   Cycle these GLB sizes across requests (widens the key set)
     --deadline-ms <MS>    Per-request deadline
     --plan-delay-ms <MS>  Simulated planning cost (server sleeps on cache misses)
+    --mix <SPEC>          Weighted cell mix, e.g. resnet18:64=5,mobilenet:256=1
+                          (replaces --models/--glb-set; smooth-WRR interleaved)
     --fleet               Report per-node hit rates and routing skew (router targets)
     --shed-report         Append the admission/shedding section to the report
+    --cells               Append the per-cell shed-vs-miss breakdown (implied by --mix)
     --shutdown            Send a shutdown op to the server after the run
+
+OPTIONS (top):
+    --addr <HOST:PORT>    Node or router address (default 127.0.0.1:7878)
+    --limit <N>           Recent windows to fetch (default 1)
+    --sliding             Read the sliding-window store instead of tumbling
+    --json                Print the raw JSON stream response
 
 OPTIONS (fleet route):
     --port <P>            TCP port to bind; 0 picks an ephemeral port (default 7879)
@@ -132,6 +147,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "topology" => commands::topology(&args::parse(rest)?),
         "serve" => commands::serve(&args::parse_serve(rest)?),
         "loadgen" => commands::loadgen(&args::parse_loadgen(rest)?),
+        "top" => commands::top(&args::parse_top(rest)?),
         "fleet" => commands::fleet(&args::parse_fleet(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

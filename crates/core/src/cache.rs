@@ -393,6 +393,14 @@ impl<V: Clone> PlanCache<V> {
         }
     }
 
+    /// Whether `key` is cached, without promoting it or touching the
+    /// hit/miss statistics. The pre-warm controller probes with this so
+    /// its background checks neither distort [`CacheStats`] nor keep
+    /// cold entries artificially warm.
+    pub fn peek(&self, key: &PlanKey) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
     /// Insert a plan, evicting the least-recently-used entry if the
     /// cache is full. Re-inserting an existing key refreshes its value
     /// and LRU position without evicting.

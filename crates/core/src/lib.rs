@@ -54,6 +54,7 @@ pub mod interlayer;
 mod manager;
 mod plan;
 mod planner;
+pub mod predict;
 pub mod report;
 pub mod runtime;
 mod spec;
@@ -65,4 +66,5 @@ pub use cancel::CancelToken;
 pub use manager::{CandidateReport, Manager, ManagerConfig, Objective, PlanError, SchedulerKind};
 pub use plan::{ExecutionPlan, LayerDecision, PlanTotals, Scheme};
 pub use planner::{LayerMemo, LayerPlanner, MemoStats, Planner};
+pub use predict::{cycles_to_us, predict, PredictedCost};
 pub use spec::{NetworkRef, PlanSpec};

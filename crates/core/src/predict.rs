@@ -1,0 +1,145 @@
+//! Analytic cost prediction over a [`PlanSpec`].
+//!
+//! The serving stack's stream controller (smm-serve + smm-stream)
+//! ranks pre-warm candidates by *windowed arrival rate × predicted
+//! cost* and feeds predicted miss costs into admission. Both decisions
+//! need a number before a request is ever planned, so this module
+//! exposes the paper's Eq. 1 latency model — already computed by the
+//! planner as [`PlanTotals::latency_cycles`] — as a standalone
+//! prediction: resolve the spec, run the analytic planner, convert
+//! cycles to wall time at the nominal clock.
+//!
+//! The conversion is deliberately simple: the architecture model is
+//! cycle-accurate but clockless, so we pin a nominal [`CLOCK_MHZ`]
+//! (1 GHz, the class of edge accelerator the paper models). The
+//! absolute microseconds matter less than the *ordering* they induce —
+//! the controller compares predictions against each other and against
+//! measured EWMA service times, both of which it learns online.
+
+use crate::cache::PlanKey;
+use crate::manager::PlanError;
+use crate::plan::PlanTotals;
+use crate::planner::LayerMemo;
+use crate::spec::PlanSpec;
+use crate::CancelToken;
+use std::sync::Arc;
+
+/// Nominal accelerator clock used to convert Eq.-1 cycle counts into
+/// microseconds: 1000 cycles per µs (1 GHz).
+pub const CLOCK_MHZ: u64 = 1_000;
+
+/// Convert a cycle count to microseconds at the nominal clock,
+/// rounding up so a nonzero cost never predicts as free.
+#[must_use]
+pub fn cycles_to_us(cycles: u64) -> u64 {
+    cycles.div_ceil(CLOCK_MHZ)
+}
+
+/// The analytic cost of one planning job, per image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictedCost {
+    /// Eq.-1 makespan of the plan, in cycles.
+    pub latency_cycles: u64,
+    /// Pure compute portion, in cycles.
+    pub compute_cycles: u64,
+    /// Pure transfer portion, in cycles.
+    pub transfer_cycles: u64,
+    /// [`Self::latency_cycles`] at the nominal [`CLOCK_MHZ`].
+    pub latency_us: u64,
+}
+
+impl PredictedCost {
+    /// Derive the prediction from totals the planner already produced
+    /// (the zero-extra-work path when a plan is in hand).
+    #[must_use]
+    pub fn from_totals(totals: &PlanTotals) -> Self {
+        PredictedCost {
+            latency_cycles: totals.latency_cycles,
+            compute_cycles: totals.compute_cycles,
+            transfer_cycles: totals.transfer_cycles,
+            latency_us: cycles_to_us(totals.latency_cycles),
+        }
+    }
+}
+
+/// Resolve and plan `spec`, returning its analytic cost along with the
+/// cache key the plan would be stored under.
+///
+/// This runs the full planner (optionally memoized), so it costs one
+/// real planning pass — callers on a hot path should prefer
+/// [`PredictedCost::from_totals`] on a plan they already have, or cache
+/// the result keyed by the returned [`PlanKey`]. The background
+/// pre-warm controller is the intended caller: it plans anyway, and the
+/// prediction rides along for free.
+pub fn predict(
+    spec: &PlanSpec,
+    memo: Option<&Arc<LayerMemo>>,
+) -> Result<(PlanKey, PredictedCost), PlanError> {
+    let net = spec.resolve()?;
+    let key = spec.cache_key(&net);
+    let mut planner = spec.planner();
+    if let Some(memo) = memo {
+        planner = planner.with_memo(Arc::clone(memo));
+    }
+    let plan = planner.plan(&net, spec.scheme, &CancelToken::none())?;
+    Ok((key, PredictedCost::from_totals(&plan.totals)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PlanScheme;
+    use crate::{ManagerConfig, NetworkRef, Objective};
+    use smm_arch::{AcceleratorConfig, ByteSize};
+
+    fn spec(model: &str, kb: u64) -> PlanSpec {
+        PlanSpec::new(
+            NetworkRef::Zoo(model.into()),
+            AcceleratorConfig::paper_default(ByteSize::from_kb(kb)),
+            ManagerConfig::new(Objective::Latency),
+            PlanScheme::Heterogeneous,
+        )
+    }
+
+    #[test]
+    fn rounds_up_and_never_predicts_free() {
+        assert_eq!(cycles_to_us(0), 0);
+        assert_eq!(cycles_to_us(1), 1);
+        assert_eq!(cycles_to_us(999), 1);
+        assert_eq!(cycles_to_us(1_000), 1);
+        assert_eq!(cycles_to_us(1_001), 2);
+    }
+
+    #[test]
+    fn prediction_matches_the_plan_it_came_from() {
+        let s = spec("resnet18", 64);
+        let (key, cost) = predict(&s, None).unwrap();
+        let plan = s.run(&CancelToken::none()).unwrap();
+        assert_eq!(cost, PredictedCost::from_totals(&plan.totals));
+        assert_eq!(key, s.cache_key(&s.resolve().unwrap()));
+        assert!(cost.latency_us > 0);
+        assert_eq!(cost.latency_us, cycles_to_us(plan.totals.latency_cycles));
+    }
+
+    #[test]
+    fn bigger_buffers_never_predict_slower() {
+        let small = predict(&spec("mobilenet", 32), None).unwrap().1;
+        let large = predict(&spec("mobilenet", 512), None).unwrap().1;
+        assert!(
+            large.latency_us <= small.latency_us,
+            "512kB {} vs 32kB {}",
+            large.latency_us,
+            small.latency_us
+        );
+    }
+
+    #[test]
+    fn memoized_prediction_is_identical() {
+        let s = spec("googlenet", 128);
+        let memo = Arc::new(LayerMemo::default());
+        let cold = predict(&s, Some(&memo)).unwrap();
+        let warm = predict(&s, Some(&memo)).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, predict(&s, None).unwrap());
+    }
+}

@@ -26,7 +26,7 @@
 //! pinned to an event-loop shard at accept, framed through reusable
 //! per-connection buffers, and `ping`/`shutdown` answer inline on the
 //! reactor. Verbs that must talk to backends (`plan`, `migrate`,
-//! `stats`, the admin verbs) are handed to a bounded **forwarder
+//! `stats`, `stream`, the admin verbs) are handed to a bounded **forwarder
 //! pool** — blocking backend I/O never runs on a reactor thread — and
 //! their responses return via the reactor's completion path.
 
@@ -373,7 +373,7 @@ impl LineHandler for RouterLineHandler {
                 );
                 Outcome::Replied
             }
-            Op::Stats | Op::Migrate => {
+            Op::Stats | Op::Stream | Op::Migrate => {
                 defer_to_pool(shared, line, &req.id, false, reply, completion)
             }
             Op::Plan => defer_to_pool(shared, line, &req.id, true, reply, completion),
@@ -446,6 +446,7 @@ fn forward_line(line: &str, shared: &Arc<RouterShared>) -> String {
     };
     match req.op {
         Op::Stats => fleet_stats(req.id.as_deref(), shared),
+        Op::Stream => fleet_stream(line, &req, shared),
         Op::Migrate => route_migrate(line, &req, shared),
         Op::Plan => route_plan(line, &req, shared),
         // Inline verbs never reach the pool.
@@ -626,6 +627,183 @@ fn fleet_stats(id: Option<&str>, shared: &Arc<RouterShared>) -> String {
     )
 }
 
+/// One per-model×GLB×tenant cell merged across the fleet's newest
+/// windows. Counts sum; latency quantiles take the worst node (a
+/// fleet-level p99 cannot be reconstructed from per-node histograms,
+/// so the max is the honest upper bound); the mean is events-weighted.
+#[derive(Default)]
+struct FleetCell {
+    model: String,
+    glb_kb: u64,
+    tenant: String,
+    events: u64,
+    hit_inline: u64,
+    hit_worker: u64,
+    miss: u64,
+    shed_static: u64,
+    shed_adaptive: u64,
+    shed_predicted: u64,
+    deadline: u64,
+    error: u64,
+    mean_weighted: u64,
+    p50_us: u64,
+    p99_us: u64,
+    predicted_us: u64,
+    predicted_miss_us: u64,
+}
+
+/// Answer `stream` by fanning the request out to every healthy backend
+/// and aggregating: per-node window-engine summaries, plus the cells
+/// of each node's **newest closed window** merged by cell key into a
+/// fleet-wide activity table (sorted by event count).
+fn fleet_stream(line: &str, req: &protocol::Request, shared: &Arc<RouterShared>) -> String {
+    let num = |v: &smm_obs::json::Value| -> u64 {
+        match v {
+            smm_obs::json::Value::Number(n) if *n >= 0.0 => *n as u64,
+            _ => 0,
+        }
+    };
+    let sval = |v: &smm_obs::json::Value, k: &str| -> String {
+        match v.get(k) {
+            Some(smm_obs::json::Value::String(s)) => s.clone(),
+            _ => String::new(),
+        }
+    };
+    let backends: Vec<Arc<Backend>> = shared.backends.read().values().cloned().collect();
+    let mut sorted: Vec<&Arc<Backend>> = backends.iter().collect();
+    sorted.sort_by_key(|b| b.addr().to_owned());
+
+    let mut healthy = 0usize;
+    let mut per_node = String::new();
+    let mut fleet_events = 0u64;
+    let mut fleet_late = 0u64;
+    let mut fleet_dropped = 0u64;
+    let mut fleet_closed = 0u64;
+    let mut cells: HashMap<String, FleetCell> = HashMap::new();
+    let mut kind = String::from("tumbling");
+    let mut window_ms = 0u64;
+
+    for (i, backend) in sorted.iter().enumerate() {
+        let mut node_summary = None;
+        if backend.is_healthy() {
+            if let Ok(resp) = backend.forward(line, shared.cfg.forward_timeout) {
+                if let Ok(v) = smm_obs::json::parse(&resp) {
+                    if matches!(v.get("status"), Some(smm_obs::json::Value::String(s)) if s == "ok")
+                    {
+                        let events = v.get("events").map_or(0, &num);
+                        let late = v.get("late_events").map_or(0, &num);
+                        let dropped = v.get("dropped").map_or(0, &num);
+                        let closed = v.get("windows_closed").map_or(0, &num);
+                        let seen = v.get("cells_seen").map_or(0, &num);
+                        fleet_events += events;
+                        fleet_late += late;
+                        fleet_dropped += dropped;
+                        fleet_closed += closed;
+                        if !sval(&v, "kind").is_empty() {
+                            kind = sval(&v, "kind");
+                        }
+                        window_ms = window_ms.max(v.get("window_ms").map_or(0, &num));
+                        if let Some(smm_obs::json::Value::Array(windows)) = v.get("windows") {
+                            if let Some(smm_obs::json::Value::Array(ws)) =
+                                windows.first().and_then(|w| w.get("cells"))
+                            {
+                                for c in ws {
+                                    let key = sval(c, "key");
+                                    let entry = cells.entry(key).or_default();
+                                    if entry.model.is_empty() {
+                                        entry.model = sval(c, "model");
+                                        entry.glb_kb = c.get("glb_kb").map_or(0, &num);
+                                        entry.tenant = sval(c, "tenant");
+                                    }
+                                    let ev = c.get("events").map_or(0, &num);
+                                    entry.events += ev;
+                                    entry.hit_inline += c.get("hit_inline").map_or(0, &num);
+                                    entry.hit_worker += c.get("hit_worker").map_or(0, &num);
+                                    entry.miss += c.get("miss").map_or(0, &num);
+                                    entry.shed_static += c.get("shed_static").map_or(0, &num);
+                                    entry.shed_adaptive += c.get("shed_adaptive").map_or(0, &num);
+                                    entry.shed_predicted += c.get("shed_predicted").map_or(0, &num);
+                                    entry.deadline += c.get("deadline").map_or(0, &num);
+                                    entry.error += c.get("error").map_or(0, &num);
+                                    entry.mean_weighted +=
+                                        ev.saturating_mul(c.get("mean_us").map_or(0, &num));
+                                    entry.p50_us =
+                                        entry.p50_us.max(c.get("p50_us").map_or(0, &num));
+                                    entry.p99_us =
+                                        entry.p99_us.max(c.get("p99_us").map_or(0, &num));
+                                    entry.predicted_us = entry
+                                        .predicted_us
+                                        .max(c.get("predicted_us").map_or(0, &num));
+                                    entry.predicted_miss_us = entry
+                                        .predicted_miss_us
+                                        .max(c.get("predicted_miss_us").map_or(0, &num));
+                                }
+                            }
+                        }
+                        node_summary = Some((events, late, dropped, closed, seen));
+                    }
+                }
+            }
+        }
+        if node_summary.is_some() {
+            healthy += 1;
+        }
+        if i > 0 {
+            per_node.push(',');
+        }
+        let (events, late, dropped, closed, seen) = node_summary.unwrap_or_default();
+        per_node.push_str(&format!(
+            "{{\"node\":\"{}\",\"healthy\":{},\"events\":{events},\"late_events\":{late},\
+             \"dropped\":{dropped},\"windows_closed\":{closed},\"cells_seen\":{seen}}}",
+            json_escape(backend.addr()),
+            node_summary.is_some(),
+        ));
+    }
+
+    let mut merged: Vec<(String, FleetCell)> = cells.into_iter().collect();
+    merged.sort_by(|a, b| b.1.events.cmp(&a.1.events).then_with(|| a.0.cmp(&b.0)));
+    let mut cells_json = String::new();
+    for (i, (key, c)) in merged.iter().enumerate() {
+        if i > 0 {
+            cells_json.push(',');
+        }
+        let mean_us = c.mean_weighted.checked_div(c.events).unwrap_or(0);
+        cells_json.push_str(&format!(
+            "{{\"key\":\"{}\",\"model\":\"{}\",\"glb_kb\":{},\"tenant\":\"{}\",\
+             \"events\":{},\"hit_inline\":{},\"hit_worker\":{},\"miss\":{},\
+             \"shed_static\":{},\"shed_adaptive\":{},\"shed_predicted\":{},\
+             \"deadline\":{},\"error\":{},\"mean_us\":{mean_us},\"p50_us\":{},\"p99_us\":{},\
+             \"predicted_us\":{},\"predicted_miss_us\":{}}}",
+            json_escape(key),
+            json_escape(&c.model),
+            c.glb_kb,
+            json_escape(&c.tenant),
+            c.events,
+            c.hit_inline,
+            c.hit_worker,
+            c.miss,
+            c.shed_static,
+            c.shed_adaptive,
+            c.shed_predicted,
+            c.deadline,
+            c.error,
+            c.p50_us,
+            c.p99_us,
+            c.predicted_us,
+            c.predicted_miss_us,
+        ));
+    }
+
+    format!(
+        "{{{}\"status\":\"ok\",\"op\":\"stream\",\"kind\":\"{kind}\",\"window_ms\":{window_ms},\
+         \"fleet\":{{\"nodes\":{},\"healthy\":{healthy},\"events\":{fleet_events},\
+         \"late_events\":{fleet_late},\"dropped\":{fleet_dropped},\
+         \"windows_closed\":{fleet_closed}}},\"cells\":[{cells_json}],\"per_node\":[{per_node}]}}",
+        id_field(req.id.as_deref()),
+        backends.len(),
+    )
+}
+
 fn id_field(id: Option<&str>) -> String {
     match id {
         Some(id) => format!("\"id\":\"{}\",", json_escape(id)),
@@ -655,6 +833,7 @@ fn parse_node_stats(resp: &str) -> Option<protocol::NodeStats> {
         queued: v.get("queued").map_or(0, &num) as usize,
         shed: v.get("shed").map_or(0, &num),
         shed_adaptive: v.get("shed_adaptive").map_or(0, &num),
+        shed_predicted: v.get("shed_predicted").map_or(0, &num),
         queue_depth_peak: v.get("queue_depth_peak").map_or(0, &num),
         ewma_latency_us: v.get("ewma_latency_us").map_or(0, &num),
         inline_hits: v.get("inline_hits").map_or(0, &num),
@@ -673,6 +852,7 @@ fn accumulate(agg: &mut protocol::NodeStats, s: &protocol::NodeStats) {
     agg.queued += s.queued;
     agg.shed += s.shed;
     agg.shed_adaptive += s.shed_adaptive;
+    agg.shed_predicted += s.shed_predicted;
     agg.inline_hits += s.inline_hits;
     // Gauges, not counters: the fleet-wide peak/estimate is the worst
     // node's, not a sum.

@@ -150,11 +150,31 @@ pub enum Counter {
     /// Redundant-transfer elements (refetches of resident bytes) the
     /// linter flagged as reclaimable traffic.
     LintRedundantElems,
+    /// Classified-request events emitted into the serve stream taps.
+    StreamEvents,
+    /// Stream events dropped because a shard's tap ring was full.
+    StreamDropped,
+    /// Stream events that arrived later than the allowed lateness and
+    /// were excluded from windowing.
+    StreamLate,
+    /// Windows closed by the stream collector's watermark.
+    StreamWindowsClosed,
+    /// Of the shed requests, those shed because the predicted miss cost
+    /// could not meet the request's deadline.
+    ServeShedPredicted,
+    /// Pre-warm planning attempts started by the stream controller.
+    ServePrewarmAttempts,
+    /// Pre-warmed plans inserted into the cache before a request
+    /// missed on them.
+    ServePrewarmInserted,
+    /// Pre-warm candidates skipped because the plan was already cached
+    /// by the time the controller got to them.
+    ServePrewarmSkipped,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 42] = [
+    pub const ALL: [Counter; 50] = [
         Counter::PlannerCandidates,
         Counter::PlannerPrefetchRejected,
         Counter::PlannerLayersPlanned,
@@ -197,6 +217,14 @@ impl Counter {
         Counter::LintPrograms,
         Counter::LintDiagnostics,
         Counter::LintRedundantElems,
+        Counter::StreamEvents,
+        Counter::StreamDropped,
+        Counter::StreamLate,
+        Counter::StreamWindowsClosed,
+        Counter::ServeShedPredicted,
+        Counter::ServePrewarmAttempts,
+        Counter::ServePrewarmInserted,
+        Counter::ServePrewarmSkipped,
     ];
 
     /// Stable dotted name (report rows, Chrome counter events).
@@ -244,6 +272,14 @@ impl Counter {
             Counter::LintPrograms => "lint.programs",
             Counter::LintDiagnostics => "lint.diagnostics",
             Counter::LintRedundantElems => "lint.redundant_elems",
+            Counter::StreamEvents => "stream.events",
+            Counter::StreamDropped => "stream.dropped",
+            Counter::StreamLate => "stream.late",
+            Counter::StreamWindowsClosed => "stream.windows_closed",
+            Counter::ServeShedPredicted => "serve.shed_predicted",
+            Counter::ServePrewarmAttempts => "serve.prewarm_attempts",
+            Counter::ServePrewarmInserted => "serve.prewarm_inserted",
+            Counter::ServePrewarmSkipped => "serve.prewarm_skipped",
         }
     }
 

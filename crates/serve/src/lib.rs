@@ -27,6 +27,11 @@
 //! - [`shed`] — adaptive load shedding: an EWMA service-latency
 //!   estimator that tightens the effective queue cap so queue *time*
 //!   (not length) stays bounded under slow-plan overload.
+//! - [`stream_hub`] — windowed traffic analytics: reactor shards and
+//!   workers tap terminal request outcomes into lock-free SPSC lanes; a
+//!   collector drains them into watermark-driven tumbling and sliding
+//!   [`smm_stream`] windows, keeps a per-cell predicted-cost book, and
+//!   ranks pre-warm candidates by arrival rate × predicted cost.
 //! - [`server`] — wires the above into the planning server: shared
 //!   [`smm_core::PlanCache`] with inline cache hits answered on the
 //!   reactor, per-request deadlines (enforced cooperatively inside the
@@ -62,8 +67,11 @@ pub mod queue;
 pub mod reactor;
 pub mod server;
 pub mod shed;
+pub mod stream_hub;
 
-pub use loadgen::{LoadgenConfig, LoadgenReport, NodeTally, ServerStats};
+pub use loadgen::{
+    parse_mix, CellTally, LoadgenConfig, LoadgenReport, MixEntry, NodeTally, ServerStats,
+};
 pub use protocol::{Op, Request};
 pub use queue::{BoundedQueue, PushError, ShardedQueue, TryPop};
 pub use reactor::{Completion, LineHandler, Outcome, Reactor, ReactorConfig};

@@ -13,12 +13,16 @@
 //! reported as `conn_errors`.
 //!
 //! Requests cycle round-robin over a model list (optionally crossed
-//! with a GLB-size set to widen the working set). The report
-//! aggregates throughput, latency percentiles (p50/p95/p99), the cache
-//! hit rate, shed and deadline counts — and cross-checks that every
-//! plan served for the same input is **byte-identical** (cached plans
-//! must match cold ones exactly; through a router, plans from *any*
-//! node must match).
+//! with a GLB-size set to widen the working set), or — with a
+//! [`LoadgenConfig::mix`] — over a **weighted** model × GLB mix
+//! interleaved by smooth weighted round-robin, the skewed arrival
+//! pattern the server's streaming windows and pre-warm controller are
+//! built to exploit. The report aggregates throughput, latency
+//! percentiles (p50/p95/p99), the cache hit rate, shed and deadline
+//! counts, an optional per-cell shed-vs-miss breakdown — and
+//! cross-checks that every plan served for the same input is
+//! **byte-identical** (cached plans must match cold ones exactly;
+//! through a router, plans from *any* node must match).
 //!
 //! The hit rate is computed from per-response `cache_hit` metadata, not
 //! from one server's `CacheStats` — so it is correct against a router
@@ -44,6 +48,63 @@ const MAX_RESPONSE_LINE: usize = 16 * 1024 * 1024;
 /// silently-dropping server); outstanding requests become errors.
 const STALL_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// One cell of a weighted workload mix: a model × GLB-size pair and
+/// its relative request weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixEntry {
+    /// Model zoo name.
+    pub model: String,
+    /// GLB capacity in KiB for this cell's requests.
+    pub glb_kb: u64,
+    /// Relative weight; a weight-5 cell gets 5× the requests of a
+    /// weight-1 cell.
+    pub weight: u64,
+}
+
+/// Parse a `--mix` spec: comma-separated `model:glb_kb=weight` entries
+/// (`=weight` defaults to 1), e.g. `resnet18:64=5,mobilenet:256=1`.
+///
+/// # Errors
+///
+/// On empty input, malformed entries, zero GLB sizes, or zero weights.
+pub fn parse_mix(spec: &str) -> Result<Vec<MixEntry>, String> {
+    let mut entries = Vec::new();
+    for raw in spec.split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let (cell, weight) = match raw.split_once('=') {
+            Some((cell, w)) => (
+                cell,
+                w.parse::<u64>()
+                    .map_err(|_| format!("bad mix weight in {raw:?}"))?,
+            ),
+            None => (raw, 1),
+        };
+        let (model, glb) = cell
+            .split_once(':')
+            .ok_or_else(|| format!("mix entry {raw:?} needs model:glb_kb"))?;
+        let glb_kb = glb
+            .parse::<u64>()
+            .map_err(|_| format!("bad mix GLB size in {raw:?}"))?;
+        if model.is_empty() || glb_kb == 0 || weight == 0 {
+            return Err(format!(
+                "mix entry {raw:?} needs a model, glb_kb > 0, weight > 0"
+            ));
+        }
+        entries.push(MixEntry {
+            model: model.to_string(),
+            glb_kb,
+            weight,
+        });
+    }
+    if entries.is_empty() {
+        return Err("empty --mix spec".into());
+    }
+    Ok(entries)
+}
+
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -67,6 +128,12 @@ pub struct LoadgenConfig {
     /// with several sizes widens the key working set, which is how the
     /// fleet demos exceed one node's cache capacity.
     pub glb_set: Vec<u64>,
+    /// Weighted workload mix; when non-empty it **replaces** the
+    /// `models` × `glb_set` cross product. Requests are interleaved by
+    /// smooth weighted round-robin, so a 5:1 mix issues its heavy cell
+    /// spread through the cycle rather than in bursts — the skewed
+    /// arrival pattern the streaming windows and pre-warmer feed on.
+    pub mix: Vec<MixEntry>,
     /// Optional per-request deadline.
     pub deadline_ms: Option<u64>,
     /// Simulated planning cost attached to every request (the server
@@ -82,6 +149,10 @@ pub struct LoadgenConfig {
     /// adaptive shed split, EWMA latency estimate, queue depth peak,
     /// and inline hit counts from the server's `stats` snapshot.
     pub shed_report: bool,
+    /// Append a per-cell (model × GLB size) breakdown to the report:
+    /// hits vs misses vs shed vs deadline per cell. Implied by a
+    /// non-empty `mix`.
+    pub cell_report: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -101,12 +172,42 @@ impl Default for LoadgenConfig {
             ],
             glb_kb: 64,
             glb_set: Vec::new(),
+            mix: Vec::new(),
             deadline_ms: None,
             plan_delay_ms: None,
             shutdown: false,
             fleet: false,
             shed_report: false,
+            cell_report: false,
         }
+    }
+}
+
+/// What one workload cell (model × GLB size) saw during a run: the
+/// client-side shed-vs-miss breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellTally {
+    /// Cell key, `model@glb_kb`.
+    pub key: String,
+    /// Requests issued for this cell.
+    pub sent: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// Of those, cache hits.
+    pub cache_hits: u64,
+    /// `shed` responses (static, adaptive, or predicted — the server
+    /// does not distinguish them on the wire).
+    pub shed: u64,
+    /// `deadline` responses.
+    pub deadline: u64,
+    /// `error` responses plus transport failures attributed to the cell.
+    pub errors: u64,
+}
+
+impl CellTally {
+    /// `ok` responses that were cache misses (planned fresh).
+    pub fn misses(&self) -> u64 {
+        self.ok - self.cache_hits.min(self.ok)
     }
 }
 
@@ -128,10 +229,14 @@ pub struct NodeTally {
 /// same shape with fleet-wide aggregates).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Requests shed server-side (static and adaptive combined).
+    /// Requests shed server-side (static, adaptive, and predicted
+    /// combined).
     pub shed: u64,
     /// Of those, shed by the adaptive (EWMA) controller.
     pub shed_adaptive: u64,
+    /// Of those, shed by the predictive controller (predicted miss
+    /// cost exceeded the request's remaining deadline).
+    pub shed_predicted: u64,
     /// High-water mark of the planning queue depth.
     pub queue_depth_peak: u64,
     /// The server's EWMA service-latency estimate, microseconds.
@@ -185,9 +290,14 @@ pub struct LoadgenReport {
     pub fleet: bool,
     /// The shed/admission report section was requested.
     pub shed_report: bool,
+    /// The per-cell breakdown section was requested.
+    pub cell_report: bool,
     /// Per-node attribution (sorted by address); non-empty only when
     /// responses carried the router's `node` tag.
     pub per_node: Vec<NodeTally>,
+    /// Per-cell shed-vs-miss breakdown, one entry per distinct
+    /// model × GLB request pattern, in pattern order.
+    pub cells: Vec<CellTally>,
     /// End-of-run server counters (`None` if the `stats` fetch failed).
     pub server: Option<ServerStats>,
 }
@@ -269,9 +379,10 @@ impl LoadgenReport {
             ));
             if self.shed_report {
                 out.push_str(&format!(
-                    "\nadmission:  shed {} static + {} adaptive, ewma {}us, queue peak {}, inline hits {}",
-                    s.shed - s.shed_adaptive.min(s.shed),
+                    "\nadmission:  shed {} static + {} adaptive + {} predicted, ewma {}us, queue peak {}, inline hits {}",
+                    s.shed - (s.shed_adaptive + s.shed_predicted).min(s.shed),
                     s.shed_adaptive,
+                    s.shed_predicted,
                     s.ewma_latency_us,
                     s.queue_depth_peak,
                     s.inline_hits,
@@ -279,6 +390,21 @@ impl LoadgenReport {
             }
         } else if self.shed_report {
             out.push_str("\nadmission:  no stats snapshot (server unreachable after the run)");
+        }
+        if self.cell_report {
+            for c in &self.cells {
+                out.push_str(&format!(
+                    "\ncell:       {} sent={} ok={} hits={} miss={} shed={} deadline={} errors={}",
+                    c.key,
+                    c.sent,
+                    c.ok,
+                    c.cache_hits,
+                    c.misses(),
+                    c.shed,
+                    c.deadline,
+                    c.errors,
+                ));
+            }
         }
         if !self.per_node.is_empty() {
             for n in &self.per_node {
@@ -333,6 +459,8 @@ struct Tally {
     latencies_us: Vec<u64>,
     /// node address → (ok, cache_hits), from the router's `node` tag.
     per_node: HashMap<String, (u64, u64)>,
+    /// One breakdown per distinct request cell, indexed by pattern slot.
+    per_cell: Vec<CellTally>,
 }
 
 /// The value of a `"name":"<value>"` string field inside a response
@@ -343,7 +471,7 @@ fn envelope_str_field<'a>(head: &'a str, needle: &str) -> Option<&'a str> {
     rest.find('"').map(|end| &rest[..end])
 }
 
-fn classify(line: &str, reference_plan: &mut Option<String>, tally: &mut Tally) {
+fn classify(line: &str, reference_plan: &mut Option<String>, tally: &mut Tally, slot: usize) {
     // Fast path: ok plan responses dominate any run, and everything
     // classify needs from one lives in the envelope before `"plan":`.
     // Scanning that prefix instead of JSON-parsing the multi-kilobyte
@@ -357,6 +485,8 @@ fn classify(line: &str, reference_plan: &mut Option<String>, tally: &mut Tally) 
             if hit {
                 tally.cache_hits += 1;
             }
+            tally.per_cell[slot].ok += 1;
+            tally.per_cell[slot].cache_hits += u64::from(hit);
             if let Some(node) = envelope_str_field(head, "\"node\":\"") {
                 let entry = tally.per_node.entry(node.to_string()).or_insert((0, 0));
                 entry.0 += 1;
@@ -375,12 +505,14 @@ fn classify(line: &str, reference_plan: &mut Option<String>, tally: &mut Tally) 
     }
     let Ok(v) = smm_obs::json::parse(line) else {
         tally.errors += 1;
+        tally.per_cell[slot].errors += 1;
         return;
     };
     let status = if let Some(smm_obs::json::Value::String(s)) = v.get("status") {
         s.as_str()
     } else {
         tally.errors += 1;
+        tally.per_cell[slot].errors += 1;
         return;
     };
     match status {
@@ -390,6 +522,8 @@ fn classify(line: &str, reference_plan: &mut Option<String>, tally: &mut Tally) 
             if hit {
                 tally.cache_hits += 1;
             }
+            tally.per_cell[slot].ok += 1;
+            tally.per_cell[slot].cache_hits += u64::from(hit);
             // Aggregation of the router's attribution tag: this, not
             // any one server's CacheStats, is what the fleet-wide hit
             // rate and skew are computed from.
@@ -411,9 +545,18 @@ fn classify(line: &str, reference_plan: &mut Option<String>, tally: &mut Tally) 
                 tally.mismatches += 1;
             }
         }
-        "shed" => tally.shed += 1,
-        "deadline" => tally.deadline += 1,
-        _ => tally.errors += 1,
+        "shed" => {
+            tally.shed += 1;
+            tally.per_cell[slot].shed += 1;
+        }
+        "deadline" => {
+            tally.deadline += 1;
+            tally.per_cell[slot].deadline += 1;
+        }
+        _ => {
+            tally.errors += 1;
+            tally.per_cell[slot].errors += 1;
+        }
     }
 }
 
@@ -439,6 +582,7 @@ fn fetch_server_stats(addr: &str) -> Option<ServerStats> {
     Some(ServerStats {
         shed: num(v.get("shed")),
         shed_adaptive: num(v.get("shed_adaptive")),
+        shed_predicted: num(v.get("shed_predicted")),
         queue_depth_peak: num(v.get("queue_depth_peak")),
         ewma_latency_us: num(v.get("ewma_latency_us")),
         inline_hits: num(v.get("inline_hits")),
@@ -448,28 +592,98 @@ fn fetch_server_stats(addr: &str) -> Option<ServerStats> {
     })
 }
 
-/// The request cycle, pre-rendered. `build_request` is periodic in `i`
-/// with period `models x glb_set`, so every distinct wire line (and its
-/// byte-identity reference slot) is materialized once up front — the
-/// issue path then indexes this table instead of formatting strings,
-/// which keeps the hot loop allocation-free.
+/// The request cycle, pre-rendered. The request sequence is periodic
+/// in `i`, so every distinct wire line (and its byte-identity reference
+/// slot) is materialized once up front — the issue path then indexes
+/// this table instead of formatting strings, which keeps the hot loop
+/// allocation-free. Without a mix the schedule is the plain
+/// `models × glb_set` cycle; with one it is the smooth-WRR
+/// interleaving of the weighted cells.
 struct RequestPatterns {
+    /// One wire line per distinct cell.
     lines: Vec<String>,
+    /// Cell key (`model@glb`) per distinct cell, for the report.
+    keys: Vec<String>,
+    /// `schedule[i % period]` is the cell request `i` targets.
+    schedule: Vec<usize>,
     period: usize,
+}
+
+/// Deterministic smooth weighted round-robin over `weights`: one full
+/// cycle of length `Σweights` where each index `i` appears `weights[i]`
+/// times, spread as evenly as the weights allow (a 5:1 mix issues
+/// `a a b a a a` rather than `a a a a a b`).
+fn swrr_schedule(weights: &[u64]) -> Vec<usize> {
+    let total: u64 = weights.iter().sum();
+    let mut current = vec![0i128; weights.len()];
+    let mut out = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
+    for _ in 0..total {
+        for (c, w) in current.iter_mut().zip(weights) {
+            *c += i128::from(*w);
+        }
+        let best = (0..weights.len())
+            .max_by_key(|&i| (current[i], std::cmp::Reverse(i)))
+            .unwrap_or(0);
+        current[best] -= i128::from(total);
+        out.push(best);
+    }
+    out
 }
 
 impl RequestPatterns {
     fn new(cfg: &LoadgenConfig) -> RequestPatterns {
-        let period = cfg.models.len() * cfg.glb_set.len().max(1);
+        if cfg.mix.is_empty() {
+            let period = cfg.models.len() * cfg.glb_set.len().max(1);
+            let built: Vec<(String, String)> = (0..period).map(|i| build_request(cfg, i)).collect();
+            return RequestPatterns {
+                lines: built.iter().map(|(l, _)| l.clone()).collect(),
+                keys: built.into_iter().map(|(_, k)| k).collect(),
+                schedule: (0..period).collect(),
+                period,
+            };
+        }
+        let deadline = cfg
+            .deadline_ms
+            .map(|ms| format!(",\"deadline_ms\":{ms}"))
+            .unwrap_or_default();
+        let delay = cfg
+            .plan_delay_ms
+            .map(|ms| format!(",\"delay_ms\":{ms}"))
+            .unwrap_or_default();
+        let lines = cfg
+            .mix
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"model\":\"{}\",\"glb_kb\":{}{deadline}{delay}}}",
+                    e.model, e.glb_kb
+                )
+            })
+            .collect();
+        let keys = cfg
+            .mix
+            .iter()
+            .map(|e| format!("{}@{}", e.model, e.glb_kb))
+            .collect();
+        let weights: Vec<u64> = cfg.mix.iter().map(|e| e.weight).collect();
+        let schedule = swrr_schedule(&weights);
+        let period = schedule.len();
         RequestPatterns {
-            lines: (0..period).map(|i| build_request(cfg, i).0).collect(),
+            lines,
+            keys,
+            schedule,
             period,
         }
     }
 
-    /// The pattern slot request number `i` maps to.
+    /// The pattern slot (distinct-cell index) request number `i` maps to.
     fn slot(&self, i: usize) -> usize {
-        i % self.period
+        self.schedule[i % self.period]
+    }
+
+    /// Number of distinct cells.
+    fn cells(&self) -> usize {
+        self.lines.len()
     }
 
     fn line(&self, slot: usize) -> &str {
@@ -574,14 +788,28 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         sent: total as u64,
         fleet: cfg.fleet,
         shed_report: cfg.shed_report,
+        cell_report: cfg.cell_report || !cfg.mix.is_empty(),
         ..LoadgenReport::default()
     };
+    let patterns = RequestPatterns::new(cfg);
     let mut tally = Tally {
         latencies_us: Vec::with_capacity(total),
+        per_cell: patterns
+            .keys
+            .iter()
+            .map(|k| CellTally {
+                key: k.clone(),
+                ..CellTally::default()
+            })
+            .collect(),
         ..Tally::default()
     };
-    let patterns = RequestPatterns::new(cfg);
-    let mut reference_plans: Vec<Option<String>> = vec![None; patterns.period];
+    // `sent` per cell is deterministic: the shared cursor issues
+    // exactly requests 0..total through the periodic schedule.
+    for i in 0..total {
+        tally.per_cell[patterns.slot(i)].sent += 1;
+    }
+    let mut reference_plans: Vec<Option<String>> = vec![None; patterns.cells()];
     let poller = Poller::new()?;
     let start = Instant::now();
 
@@ -672,8 +900,9 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             if conns[idx].dead {
                 // A death with a request in flight is that request's
                 // final outcome.
-                if conns[idx].inflight.take().is_some() {
+                if let Some((slot, _)) = conns[idx].inflight.take() {
                     tally.errors += 1;
+                    tally.per_cell[slot].errors += 1;
                     done += 1;
                 }
                 live -= 1;
@@ -709,6 +938,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         })
         .collect();
     report.per_node.sort_by(|a, b| a.node.cmp(&b.node));
+    report.cells = tally.per_cell;
     drop(conns);
     // One stats fetch covers single node and fleet alike (the router
     // answers in the node shape with fleet-wide aggregates).
@@ -817,7 +1047,7 @@ fn drive_read(
                 tally
                     .latencies_us
                     .push(u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX));
-                classify(line, &mut reference_plans[slot], tally);
+                classify(line, &mut reference_plans[slot], tally, slot);
                 *done += 1;
                 if *next < total {
                     let follow_up = patterns.slot(*next);
@@ -932,6 +1162,107 @@ mod tests {
         assert_eq!(key0, "a@32");
         assert_eq!(key1, "b@32");
         assert_eq!(key2, "a@64");
+    }
+
+    #[test]
+    fn mix_spec_parses_and_rejects_garbage() {
+        let mix = parse_mix("resnet18:64=5, mobilenet:256").unwrap();
+        assert_eq!(
+            mix,
+            vec![
+                MixEntry {
+                    model: "resnet18".into(),
+                    glb_kb: 64,
+                    weight: 5
+                },
+                MixEntry {
+                    model: "mobilenet".into(),
+                    glb_kb: 256,
+                    weight: 1
+                },
+            ]
+        );
+        for bad in [
+            "",
+            "resnet18",
+            "resnet18:0",
+            "resnet18:64=0",
+            ":64=1",
+            "m:x=1",
+            "m:64=x",
+        ] {
+            assert!(parse_mix(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn swrr_spreads_heavy_cells_through_the_cycle() {
+        let sched = swrr_schedule(&[5, 1]);
+        assert_eq!(sched.len(), 6);
+        assert_eq!(sched.iter().filter(|&&s| s == 0).count(), 5);
+        assert_eq!(sched.iter().filter(|&&s| s == 1).count(), 1);
+        // Smoothness: the light cell sits inside the cycle, not at the
+        // very start, and the heavy cell never yields twice to it.
+        assert_eq!(sched[0], 0);
+        let sched3 = swrr_schedule(&[2, 1, 1]);
+        assert_eq!(sched3.len(), 4);
+        // No cell appears more often than its weight allows.
+        for (i, w) in [2usize, 1, 1].iter().enumerate() {
+            assert_eq!(sched3.iter().filter(|&&s| s == i).count(), *w);
+        }
+    }
+
+    #[test]
+    fn mix_patterns_schedule_weighted_cells() {
+        let cfg = LoadgenConfig {
+            mix: parse_mix("a:64=3,b:128=1").unwrap(),
+            plan_delay_ms: Some(7),
+            ..LoadgenConfig::default()
+        };
+        let patterns = RequestPatterns::new(&cfg);
+        assert_eq!(patterns.cells(), 2);
+        assert_eq!(patterns.period, 4);
+        assert_eq!(patterns.keys, vec!["a@64", "b@128"]);
+        let a_count = (0..8).filter(|&i| patterns.slot(i) == 0).count();
+        assert_eq!(a_count, 6, "weight 3:1 over two periods");
+        assert!(patterns.line(0).contains("\"model\":\"a\""));
+        assert!(patterns.line(0).contains("\"glb_kb\":64"));
+        assert!(patterns.line(0).contains("\"delay_ms\":7"));
+        assert!(patterns.line(1).contains("\"model\":\"b\""));
+    }
+
+    #[test]
+    fn cell_breakdown_renders_shed_vs_miss() {
+        let r = LoadgenReport {
+            sent: 10,
+            ok: 6,
+            cell_report: true,
+            cells: vec![
+                CellTally {
+                    key: "resnet18@64".into(),
+                    sent: 8,
+                    ok: 6,
+                    cache_hits: 4,
+                    shed: 2,
+                    ..CellTally::default()
+                },
+                CellTally {
+                    key: "mobilenet@256".into(),
+                    sent: 2,
+                    deadline: 2,
+                    ..CellTally::default()
+                },
+            ],
+            ..LoadgenReport::default()
+        };
+        let text = r.render();
+        assert!(
+            text.contains("cell:       resnet18@64 sent=8 ok=6 hits=4 miss=2 shed=2"),
+            "{text}"
+        );
+        assert!(text.contains("mobilenet@256 sent=2"), "{text}");
+        let quiet = LoadgenReport::default().render();
+        assert!(!quiet.contains("cell:"), "section is opt-in");
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //!
 //! - `op` — `"plan"` (default), `"ping"`, `"stats"`, `"shutdown"`,
 //!   `"migrate"` (install a plan under its stable key: `key` +
-//!   `plan_json` fields), or `"dump"` (export the hottest cached plans,
-//!   bounded by `limit`). The last two are the warm-cache handoff verbs
-//!   the fleet router uses during membership changes (`docs/FLEET.md`).
+//!   `plan_json` fields), `"dump"` (export the hottest cached plans,
+//!   bounded by `limit`), or `"stream"` (windowed traffic analytics:
+//!   the most recent closed windows, bounded by `limit`, sliding
+//!   windows when `sliding` is true; see `docs/STREAMING.md`). The
+//!   migrate/dump pair are the warm-cache handoff verbs the fleet
+//!   router uses during membership changes (`docs/FLEET.md`).
 //! - `model` — a zoo model name, **or** `topology` — an inline
 //!   SCALE-Sim CSV (with optional `name`). Exactly one must be present
 //!   for `plan` requests.
@@ -31,6 +34,10 @@
 //!   before planning a cache *miss* (hits skip it). Makes
 //!   load-shedding deterministic in tests and models an expensive
 //!   planner in fleet benchmarks.
+//! - `tenant` — accounting label for the traffic stream: requests are
+//!   aggregated per (model, GLB, tenant) cell in the `stream` windows.
+//!   Deliberately **not** part of the plan-cache key — two tenants
+//!   asking for the same plan share the cached bytes.
 //! - `id` — opaque string echoed back in the response.
 //!
 //! # Response
@@ -53,6 +60,9 @@ pub const MAX_DELAY_MS: u64 = 10_000;
 /// Default `dump` entry bound when the request names no `limit`.
 pub const DEFAULT_DUMP_LIMIT: u64 = 64;
 
+/// Default `stream` window bound when the request names no `limit`.
+pub const DEFAULT_STREAM_WINDOWS: u64 = 8;
+
 /// The operation a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -71,6 +81,10 @@ pub enum Op {
     /// Warm-cache handoff, pull side: export the hottest cached plans
     /// (bounded by `limit`) as `(key, plan_json)` entries.
     Dump,
+    /// Windowed traffic analytics: the most recent closed windows with
+    /// per-cell arrival/outcome/latency aggregates (`limit` bounds the
+    /// window count, `sliding` selects the overlapping-window store).
+    Stream,
 }
 
 /// A parsed request line.
@@ -106,8 +120,15 @@ pub struct Request {
     pub key: Option<String>,
     /// Rendered plan JSON (as a string value) for `migrate`.
     pub plan_json: Option<String>,
-    /// Entry bound for `dump` (default [`DEFAULT_DUMP_LIMIT`]).
+    /// Entry bound for `dump` (default [`DEFAULT_DUMP_LIMIT`]) and
+    /// window bound for `stream` (default [`DEFAULT_STREAM_WINDOWS`]).
     pub limit: Option<u64>,
+    /// Accounting label for stream analytics; never part of the plan
+    /// cache key.
+    pub tenant: Option<String>,
+    /// For `stream`: query the sliding-window store instead of the
+    /// tumbling one.
+    pub sliding: bool,
 }
 
 impl Default for Request {
@@ -129,6 +150,8 @@ impl Default for Request {
             key: None,
             plan_json: None,
             limit: None,
+            tenant: None,
+            sliding: false,
         }
     }
 }
@@ -205,6 +228,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     "shutdown" => Op::Shutdown,
                     "migrate" => Op::Migrate,
                     "dump" => Op::Dump,
+                    "stream" => Op::Stream,
                     other => return Err(format!("unknown op {other:?}")),
                 }
             }
@@ -239,6 +263,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             "key" => req.key = Some(as_str(val, "key")?),
             "plan_json" => req.plan_json = Some(as_str(val, "plan_json")?),
             "limit" => req.limit = Some(as_u64(val, "limit")?),
+            "tenant" => req.tenant = Some(as_str(val, "tenant")?),
+            "sliding" => req.sliding = as_bool(val, "sliding")?,
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -443,6 +469,9 @@ pub struct NodeStats {
     /// (EWMA-tightened effective cap or predicted deadline overrun)
     /// rather than the static queue capacity.
     pub shed_adaptive: u64,
+    /// Of `shed`, requests refused because the stream controller's
+    /// per-cell predicted miss cost could not meet the deadline.
+    pub shed_predicted: u64,
     /// High-water mark of the planning-queue depth (the fleet router
     /// aggregates this with `max`, not `sum`).
     pub queue_depth_peak: u64,
@@ -466,7 +495,8 @@ pub fn stats_body(s: &NodeStats) -> String {
     format!(
         "\"cache\":{{\"hits\":{},\"misses\":{},\
          \"evictions\":{},\"len\":{},\"capacity\":{},\"hit_rate\":{:.4}}},\"queued\":{},\
-         \"shed\":{},\"shed_adaptive\":{},\"queue_depth_peak\":{},\"ewma_latency_us\":{},\
+         \"shed\":{},\"shed_adaptive\":{},\"shed_predicted\":{},\"queue_depth_peak\":{},\
+         \"ewma_latency_us\":{},\
          \"inline_hits\":{},\"verify_failed\":{},\"memo\":{{\"hits\":{},\"misses\":{}}}",
         s.cache.hits,
         s.cache.misses,
@@ -477,6 +507,7 @@ pub fn stats_body(s: &NodeStats) -> String {
         s.queued,
         s.shed,
         s.shed_adaptive,
+        s.shed_predicted,
         s.queue_depth_peak,
         s.ewma_latency_us,
         s.inline_hits,
@@ -501,6 +532,24 @@ pub fn stats_response_into(out: &mut String, id: &Option<String>, stats: &NodeSt
 pub fn stats_response(id: &Option<String>, stats: &NodeStats) -> String {
     let mut out = String::new();
     stats_response_into(&mut out, id, stats);
+    out
+}
+
+/// [`stream_response`] rendered into a reusable buffer. `body` is the
+/// pre-rendered analytics payload (watermark, engine counters, and the
+/// window array) produced by the server's stream hub.
+pub fn stream_response_into(out: &mut String, id: &Option<String>, body: &str) {
+    out.push('{');
+    push_id(out, id.as_deref());
+    out.push_str("\"status\":\"ok\",\"op\":\"stream\",");
+    out.push_str(body);
+    out.push('}');
+}
+
+/// The `stream` response: windowed per-cell traffic analytics.
+pub fn stream_response(id: &Option<String>, body: &str) -> String {
+    let mut out = String::new();
+    stream_response_into(&mut out, id, body);
     out
 }
 
@@ -657,6 +706,22 @@ mod tests {
     }
 
     #[test]
+    fn stream_and_tenant_requests_parse() {
+        let s = parse_request(r#"{"op":"stream","limit":3,"sliding":true}"#).unwrap();
+        assert_eq!(s.op, Op::Stream);
+        assert_eq!(s.limit, Some(3));
+        assert!(s.sliding);
+        let bare = parse_request(r#"{"op":"stream"}"#).unwrap();
+        assert_eq!(bare.op, Op::Stream);
+        assert!(!bare.sliding);
+        assert_eq!(bare.limit, None);
+        // Tenant is accounting-only metadata on plan requests.
+        let t = parse_request(r#"{"model":"resnet18","tenant":"team-a"}"#).unwrap();
+        assert_eq!(t.tenant.as_deref(), Some("team-a"));
+        assert!(parse_request(r#"{"model":"m","tenant":7}"#).is_err());
+    }
+
+    #[test]
     fn migrate_and_dump_requests_parse() {
         let m = parse_request(r#"{"op":"migrate","key":"0100","plan_json":"{\"a\":1}","id":"m"}"#)
             .unwrap();
@@ -726,6 +791,7 @@ mod tests {
             ),
             migrate_response(&id),
             dump_response(&None, &[]),
+            stream_response(&id, "\"kind\":\"tumbling\",\"windows\":[]"),
         ] {
             smm_obs::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }

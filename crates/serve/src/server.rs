@@ -53,9 +53,15 @@ use crate::protocol::{self, Op, Request};
 use crate::queue::{PushError, ShardedQueue};
 use crate::reactor::{Completion, LineHandler, Outcome, Reactor, ReactorConfig};
 use crate::shed::{AdaptiveShed, Admission};
+use crate::stream_hub::StreamHub;
 use smm_core::report::plan_json;
-use smm_core::{CacheStats, CancelToken, LayerMemo, PlanCache, PlanError};
+use smm_core::{
+    CacheStats, CancelToken, LayerMemo, PlanCache, PlanError, PlanKey, PlanSpec, PredictedCost,
+};
+use smm_model::Network;
 use smm_obs::{Counter, CounterSnapshot};
+use smm_stream::EventKind;
+use std::collections::HashSet;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -64,6 +70,16 @@ use std::time::{Duration, Instant};
 
 /// How often the background sampler decays the idle EWMA estimate.
 const SAMPLER_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How often the pre-warm controller re-ranks candidates.
+const PREWARM_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Trailing tumbling windows the pre-warm ranking looks at.
+const PREWARM_HORIZON: usize = 30;
+
+/// Plans one pre-warm thread builds per tick, bounding how much
+/// background planning competes with foreground misses.
+const PREWARM_PER_TICK: usize = 4;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -95,6 +111,25 @@ pub struct ServerConfig {
     /// milliseconds: the effective cap is the queue length whose
     /// predicted drain time stays within this budget.
     pub shed_target_ms: u64,
+    /// Enable the traffic-stream tap: per-request events flow through
+    /// lock-free rings into windowed per-cell analytics (the `stream`
+    /// op, `smm top`) and feed the closed-loop controller. See
+    /// `docs/STREAMING.md`.
+    pub stream: bool,
+    /// Enable the pre-warm controller: rank cells by windowed arrival
+    /// rate × predicted cost and plan hot-but-uncached keys in the
+    /// background. Requires `stream` and a nonzero `cache_cap`.
+    pub prewarm: bool,
+    /// Tumbling/sliding window width for the stream analytics, ms.
+    pub window_ms: u64,
+    /// Sliding-window slide for the stream analytics, ms (clamped to a
+    /// divisor of `window_ms`).
+    pub slide_ms: u64,
+    /// Pre-warm planner threads.
+    pub prewarm_workers: usize,
+    /// Most cells the pre-warmer keeps warm; 0 picks `cache_cap / 2`
+    /// so background warming can never churn the whole cache.
+    pub prewarm_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +144,12 @@ impl Default for ServerConfig {
             verify_plans: false,
             adaptive_shed: true,
             shed_target_ms: 50,
+            stream: true,
+            prewarm: true,
+            window_ms: 1_000,
+            slide_ms: 250,
+            prewarm_workers: 1,
+            prewarm_cap: 0,
         }
     }
 }
@@ -141,11 +182,18 @@ struct Shared {
     verify_plans: bool,
     /// Admission controller (static cap + EWMA tightening).
     ctl: AdaptiveShed,
+    /// Traffic-stream hub (taps, windows, controller books); `None`
+    /// when the stream is disabled.
+    hub: Option<Arc<StreamHub>>,
+    /// First worker lane index in the hub (lanes `0..lane_base` belong
+    /// to the reactor shards, `lane_base..` to the workers).
+    lane_base: usize,
     // Local mirrors of the serve.* obs counters, so the `stats` op
     // reports them even when the process-global collector is disabled.
     // Relaxed: monotone statistics, never used to publish data.
     shed: AtomicU64,
     shed_adaptive: AtomicU64,
+    shed_predicted: AtomicU64,
     inline_hits: AtomicU64,
     queue_depth_peak: AtomicU64,
     verify_failed: AtomicU64,
@@ -159,6 +207,7 @@ impl Shared {
             queued: self.queue.len(),
             shed: self.shed.load(Ordering::Relaxed),
             shed_adaptive: self.shed_adaptive.load(Ordering::Relaxed),
+            shed_predicted: self.shed_predicted.load(Ordering::Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             ewma_latency_us: self.ctl.estimator.estimate_us(),
             inline_hits: self.inline_hits.load(Ordering::Relaxed),
@@ -176,6 +225,22 @@ impl Shared {
             self.shed_adaptive.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    fn count_shed_predicted(&self) {
+        smm_obs::add(Counter::ServeShed, 1);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        smm_obs::add(Counter::ServeShedPredicted, 1);
+        self.shed_predicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Emit one classified-request event into the stream tap, if the
+    /// stream is on. `cell` is pre-interned by the caller so sites that
+    /// classify the same request twice never re-hash it.
+    fn tap(&self, lane: usize, cell: Option<u32>, kind: EventKind, service_us: u64) {
+        if let (Some(hub), Some(cell)) = (self.hub.as_deref(), cell) {
+            hub.emit(lane, cell, kind, service_us);
+        }
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -186,6 +251,9 @@ pub struct ServerHandle {
     reactor: Option<Reactor>,
     workers: Vec<JoinHandle<()>>,
     sampler: Option<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+    prewarmers: Vec<JoinHandle<()>>,
+    stream_stop: Arc<AtomicBool>,
 }
 
 /// The planning server; see the module docs for the thread model.
@@ -211,6 +279,15 @@ impl Server {
         // has at least one dedicated (home) worker draining it.
         let stripes = shards_n.min(workers_n);
         let shutdown = Arc::new(AtomicBool::new(false));
+        // One tap lane per emitting thread: reactor shards first, then
+        // planning workers, so each lane has a single producer.
+        let (hub, consumers) = if cfg.stream {
+            let (hub, consumers) =
+                StreamHub::new(shards_n + workers_n, cfg.window_ms, cfg.slide_ms);
+            (Some(hub), Some(consumers))
+        } else {
+            (None, None)
+        };
         let shared = Arc::new(Shared {
             queue: ShardedQueue::new(stripes, cfg.queue_cap),
             cache: PlanCache::new(cfg.cache_cap),
@@ -223,12 +300,53 @@ impl Server {
                 cfg.shed_target_ms.saturating_mul(1000),
                 cfg.adaptive_shed,
             ),
+            hub,
+            lane_base: shards_n,
             shed: AtomicU64::new(0),
             shed_adaptive: AtomicU64::new(0),
+            shed_predicted: AtomicU64::new(0),
             inline_hits: AtomicU64::new(0),
             queue_depth_peak: AtomicU64::new(0),
             verify_failed: AtomicU64::new(0),
         });
+
+        // The collector outlives the shutdown signal: it stops on its
+        // own flag, raised by `join` after the workers drain, so the
+        // final pass still captures their events.
+        let stream_stop = Arc::new(AtomicBool::new(false));
+        let collector = consumers.map(|consumers| {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stream_stop);
+            thread::Builder::new()
+                .name("smm-serve-stream".into())
+                .spawn(move || {
+                    if let Some(hub) = &shared.hub {
+                        hub.run_collector(consumers, &stop);
+                    }
+                })
+                .expect("spawn stream collector thread")
+        });
+
+        let prewarmers = if cfg.stream && cfg.prewarm && cfg.cache_cap > 0 {
+            let cap = if cfg.prewarm_cap > 0 {
+                cfg.prewarm_cap
+            } else {
+                (cfg.cache_cap / 2).max(1)
+            };
+            let inflight = Arc::new(parking_lot::Mutex::new(HashSet::new()));
+            (0..cfg.prewarm_workers.max(1))
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    let inflight = Arc::clone(&inflight);
+                    thread::Builder::new()
+                        .name(format!("smm-serve-prewarm-{i}"))
+                        .spawn(move || prewarm_loop(&shared, cap, &inflight))
+                        .expect("spawn prewarm thread")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let workers = (0..workers_n)
             .map(|i| {
@@ -267,6 +385,9 @@ impl Server {
             reactor: Some(reactor),
             workers,
             sampler,
+            collector,
+            prewarmers,
+            stream_stop,
         })
     }
 }
@@ -315,6 +436,15 @@ impl ServerHandle {
         if let Some(s) = self.sampler.take() {
             let _ = s.join();
         }
+        for p in self.prewarmers.drain(..) {
+            let _ = p.join();
+        }
+        // Stop the collector only after the workers drained, so its
+        // final pass captures every emitted event.
+        self.stream_stop.store(true, Ordering::Release);
+        if let Some(c) = self.collector.take() {
+            let _ = c.join();
+        }
     }
 }
 
@@ -360,6 +490,21 @@ impl LineHandler for ServeHandler {
                 protocol::dump_response_into(reply, &req.id, &entries);
                 Outcome::Replied
             }
+            Op::Stream => {
+                match &shared.hub {
+                    Some(hub) => {
+                        let limit = req.limit.unwrap_or(protocol::DEFAULT_STREAM_WINDOWS) as usize;
+                        let body = hub.view_body(limit, req.sliding);
+                        protocol::stream_response_into(reply, &req.id, &body);
+                    }
+                    None => protocol::error_response_into(
+                        reply,
+                        &req.id,
+                        "stream analytics disabled on this node",
+                    ),
+                }
+                Outcome::Replied
+            }
             Op::Plan => handle_plan(shared, req, reply, completion),
         }
     }
@@ -375,12 +520,17 @@ fn handle_plan(
 ) -> Outcome {
     let start = Instant::now();
     let before = CounterSnapshot::capture();
+    // Tap identity up front: the lane is the shard (single producer by
+    // thread ownership) and the cell is interned once per request.
+    let lane = completion.shard_id();
+    let cell = shared.hub.as_ref().map(|h| h.cell_of(&req));
     let deadline = req.deadline_ms.map(|ms| start + Duration::from_millis(ms));
     // Deadline check before the cache lookup: an already-expired
     // deadline answers `deadline` even on a warm cache.
     if deadline.is_some_and(|d| Instant::now() >= d) {
         smm_obs::add(Counter::ServeRequests, 1);
         smm_obs::add(Counter::ServeDeadlineExceeded, 1);
+        shared.tap(lane, cell, EventKind::Deadline, 0);
         protocol::deadline_response_into(reply, &req.id, 0);
         return Outcome::Replied;
     }
@@ -395,29 +545,49 @@ fn handle_plan(
                 smm_obs::add(Counter::ServeInlineHits, 1);
                 shared.inline_hits.fetch_add(1, Ordering::Relaxed);
                 let metrics = request_metrics(start, &before);
+                shared.tap(lane, cell, EventKind::HitInline, metrics.elapsed_us);
                 protocol::ok_plan_response_into(reply, &req.id, true, &metrics, &plan);
                 return Outcome::Replied;
             }
         }
         Err(e) => {
+            shared.tap(lane, cell, EventKind::Error, 0);
             protocol::error_response_into(reply, &req.id, &e.to_string());
             return Outcome::Replied;
         }
     }
 
-    // Cache miss: admission control, then hand off to the workers.
+    // Cache miss: seed the pre-warm controller (any cell that ever
+    // missed can be re-planned without a client), then admission.
+    if let (Some(hub), Some(cell)) = (shared.hub.as_deref(), cell) {
+        hub.record_seed(cell, &req);
+    }
     let deadline_left_us = deadline.map(|d| {
         u64::try_from(d.saturating_duration_since(Instant::now()).as_micros()).unwrap_or(u64::MAX)
     });
+    // SLA-aware admission: when the stream controller has a measured
+    // miss cost for this cell and the request cannot possibly meet its
+    // deadline, shed it now instead of letting it expire in the queue.
+    // Fail-open: no deadline, no stream, or no book entry admits.
+    if let (Some(left), Some(hub), Some(cell)) = (deadline_left_us, shared.hub.as_deref(), cell) {
+        if hub.predicted_miss_us(cell).is_some_and(|cost| cost > left) {
+            shared.count_shed_predicted();
+            shared.tap(lane, Some(cell), EventKind::ShedPredicted, 0);
+            protocol::shed_response_into(reply, &req.id);
+            return Outcome::Replied;
+        }
+    }
     match shared.ctl.admit(shared.queue.len(), deadline_left_us) {
         Admission::Admit => {}
         Admission::ShedStatic => {
             shared.count_shed(false);
+            shared.tap(lane, cell, EventKind::ShedStatic, 0);
             protocol::shed_response_into(reply, &req.id);
             return Outcome::Replied;
         }
         Admission::ShedAdaptive => {
             shared.count_shed(true);
+            shared.tap(lane, cell, EventKind::ShedAdaptive, 0);
             protocol::shed_response_into(reply, &req.id);
             return Outcome::Replied;
         }
@@ -441,12 +611,14 @@ fn handle_plan(
             let Job { completion, .. } = job;
             completion.cancel();
             shared.count_shed(false);
+            shared.tap(lane, cell, EventKind::ShedStatic, 0);
             protocol::shed_response_into(reply, &id);
             Outcome::Replied
         }
         Err(PushError::Closed(job)) => {
             let Job { completion, .. } = job;
             completion.cancel();
+            shared.tap(lane, cell, EventKind::Error, 0);
             protocol::error_response_into(reply, &id, "server is shutting down");
             Outcome::Replied
         }
@@ -510,35 +682,126 @@ fn sampler_loop(shared: &Arc<Shared>) {
 
 fn worker_loop(index: usize, shared: &Arc<Shared>) {
     let home = index % shared.queue.shards();
+    // The worker's tap lane sits after the reactor shards' lanes.
+    let lane = shared.lane_base + index;
     while let Some(job) = shared.queue.pop_from(home) {
         let start = Instant::now();
-        let (response, observed) = serve_plan(&job, shared);
+        let (response, observed, kind) = serve_plan(&job, shared);
+        let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         if observed {
             // Feed the admission controller with the time this job
             // held the worker. Dequeue-expired jobs are excluded: their
             // near-zero cost says nothing about service latency and
             // would drag the estimate down exactly when load is high.
-            shared
-                .ctl
-                .estimator
-                .observe(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+            shared.ctl.estimator.observe(elapsed_us);
         }
+        let cell = shared.hub.as_ref().map(|h| h.cell_of(&job.req));
+        shared.tap(lane, cell, kind, elapsed_us);
         let Job { completion, .. } = job;
         completion.fulfill(response);
     }
 }
 
+/// Why [`plan_render_cache`] could not produce a cached plan.
+enum PlanFailure {
+    /// The cooperative deadline fired mid-plan.
+    Cancelled {
+        /// Layers planned before cancellation.
+        layers_done: usize,
+    },
+    /// Planning or a verification gate failed; the message is the
+    /// client-facing error.
+    Failed(String),
+}
+
+/// Plan one spec, run the opt-in verification gates, render, and
+/// cache. This is the **only** path that inserts freshly-planned bytes
+/// into the cache — the worker miss path and the pre-warm controller
+/// both go through it, so a pre-warmed plan is byte-identical to (and
+/// exactly as verified as) a client-planned one. `delay_ms` is the
+/// simulated planning cost of the request; background pre-warming pays
+/// it too, keeping the savings it reports honest.
+fn plan_render_cache(
+    shared: &Shared,
+    spec: &PlanSpec,
+    net: &Network,
+    key: PlanKey,
+    delay_ms: Option<u64>,
+    cancel: &CancelToken,
+) -> Result<(Arc<String>, PredictedCost), PlanFailure> {
+    if let Some(ms) = delay_ms {
+        thread::sleep(Duration::from_millis(ms.min(protocol::MAX_DELAY_MS)));
+    }
+    let acc = spec.accelerator;
+    let planner = spec.planner().with_memo(Arc::clone(&shared.memo));
+    let plan = match planner.plan(net, spec.scheme, cancel) {
+        Ok(plan) => plan,
+        Err(PlanError::Cancelled { layers_done }) => {
+            return Err(PlanFailure::Cancelled { layers_done })
+        }
+        Err(e) => return Err(PlanFailure::Failed(e.to_string())),
+    };
+    // Opt-in verification gate: an infeasible plan must never be
+    // cached (it would be served to every later client) nor answered
+    // as `ok`.
+    if shared.verify_plans {
+        let report = smm_check::check_plan(&plan, net, &acc);
+        if report.error_count() > 0 {
+            smm_obs::add(Counter::ServeVerifyFailed, 1);
+            shared.verify_failed.fetch_add(1, Ordering::Relaxed);
+            let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code.as_str()).collect();
+            return Err(PlanFailure::Failed(format!(
+                "plan failed verification ({} diagnostics: {})",
+                report.diagnostics.len(),
+                codes.join(", ")
+            )));
+        }
+        // Second gate: lower the plan and lint the command streams
+        // (SMM012–SMM018) before it enters the cache.
+        match smm_lint::lint_plan(&plan, net) {
+            Ok(lint) if lint.error_count() > 0 => {
+                smm_obs::add(Counter::ServeVerifyFailed, 1);
+                shared.verify_failed.fetch_add(1, Ordering::Relaxed);
+                let codes: Vec<&str> = lint.diagnostics().map(|d| d.code.as_str()).collect();
+                return Err(PlanFailure::Failed(format!(
+                    "plan failed stream lint ({} diagnostics: {})",
+                    codes.len(),
+                    codes.join(", ")
+                )));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                smm_obs::add(Counter::ServeVerifyFailed, 1);
+                shared.verify_failed.fetch_add(1, Ordering::Relaxed);
+                return Err(PlanFailure::Failed(format!("plan failed stream lint: {e}")));
+            }
+        }
+    }
+    let cost = PredictedCost::from_totals(&plan.totals);
+    // The rendered JSON — not the plan object — is what gets cached:
+    // hits, cold plans, migrated plans, and pre-warmed plans all serve
+    // the identical byte string.
+    let json = Arc::new(plan_json(&plan, &acc));
+    shared.cache.insert(key, Arc::clone(&json));
+    Ok((json, cost))
+}
+
 /// Serve one dequeued plan job. The second return value is whether the
 /// elapsed time is a valid service-latency observation (false only for
-/// the deadline-expired-in-queue fast path).
-fn serve_plan(job: &Job, shared: &Arc<Shared>) -> (String, bool) {
+/// the deadline-expired-in-queue fast path); the third classifies the
+/// outcome for the stream tap.
+fn serve_plan(job: &Job, shared: &Arc<Shared>) -> (String, bool, EventKind) {
     let req = &job.req;
     // Deadline check at dequeue, before the cache lookup: a request
     // that waited out its deadline in the queue answers `deadline`
     // even if the plan is already cached.
     if job.deadline.is_some_and(|d| Instant::now() >= d) {
         smm_obs::add(Counter::ServeDeadlineExceeded, 1);
-        return (protocol::deadline_response(&req.id, 0), false);
+        return (
+            protocol::deadline_response(&req.id, 0),
+            false,
+            EventKind::Deadline,
+        );
     }
     let start = Instant::now();
     let before = CounterSnapshot::capture();
@@ -547,106 +810,122 @@ fn serve_plan(job: &Job, shared: &Arc<Shared>) -> (String, bool) {
     let spec = req.to_spec();
     let net = match spec.resolve() {
         Ok(net) => net,
-        Err(e) => return (protocol::error_response(&req.id, &e.to_string()), true),
+        Err(e) => {
+            return (
+                protocol::error_response(&req.id, &e.to_string()),
+                true,
+                EventKind::Error,
+            )
+        }
     };
-    let acc = spec.accelerator;
     let key = spec.cache_key(&net);
 
-    // Re-check the cache: a concurrent request for the same key may
-    // have planned it while this job sat in the queue.
+    // Re-check the cache: a concurrent request (or the pre-warm
+    // controller) may have planned this key while the job sat queued.
     if let Some(plan) = shared.cache.get(&key) {
         let metrics = request_metrics(start, &before);
         return (
             protocol::ok_plan_response(&req.id, true, &metrics, &plan),
             true,
+            EventKind::HitWorker,
         );
-    }
-
-    // The simulated planning cost sits on the miss path, after the
-    // cache lookup: `delay_ms` models an expensive planner, and a
-    // cache hit does not plan.
-    if let Some(ms) = req.delay_ms {
-        thread::sleep(Duration::from_millis(ms.min(protocol::MAX_DELAY_MS)));
     }
 
     let cancel = match job.deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::none(),
     };
-    let planner = spec.planner().with_memo(Arc::clone(&shared.memo));
-    let response = match planner.plan(&net, spec.scheme, &cancel) {
-        Ok(plan) => {
-            // Opt-in verification gate: an infeasible plan must never be
-            // cached (it would be served to every later client) nor
-            // answered as `ok`.
-            if shared.verify_plans {
-                let report = smm_check::check_plan(&plan, &net, &acc);
-                if report.error_count() > 0 {
-                    smm_obs::add(Counter::ServeVerifyFailed, 1);
-                    shared.verify_failed.fetch_add(1, Ordering::Relaxed);
-                    let codes: Vec<&str> =
-                        report.diagnostics.iter().map(|d| d.code.as_str()).collect();
-                    return (
-                        protocol::error_response(
-                            &req.id,
-                            &format!(
-                                "plan failed verification ({} diagnostics: {})",
-                                report.diagnostics.len(),
-                                codes.join(", ")
-                            ),
-                        ),
-                        true,
-                    );
-                }
-                // Second gate: lower the plan and lint the command
-                // streams (SMM012–SMM018) before it enters the cache.
-                match smm_lint::lint_plan(&plan, &net) {
-                    Ok(lint) if lint.error_count() > 0 => {
-                        smm_obs::add(Counter::ServeVerifyFailed, 1);
-                        shared.verify_failed.fetch_add(1, Ordering::Relaxed);
-                        let codes: Vec<&str> =
-                            lint.diagnostics().map(|d| d.code.as_str()).collect();
-                        return (
-                            protocol::error_response(
-                                &req.id,
-                                &format!(
-                                    "plan failed stream lint ({} diagnostics: {})",
-                                    codes.len(),
-                                    codes.join(", ")
-                                ),
-                            ),
-                            true,
-                        );
-                    }
-                    Ok(_) => {}
-                    Err(e) => {
-                        smm_obs::add(Counter::ServeVerifyFailed, 1);
-                        shared.verify_failed.fetch_add(1, Ordering::Relaxed);
-                        return (
-                            protocol::error_response(
-                                &req.id,
-                                &format!("plan failed stream lint: {e}"),
-                            ),
-                            true,
-                        );
-                    }
-                }
+    match plan_render_cache(shared, &spec, &net, key, req.delay_ms, &cancel) {
+        Ok((json, cost)) => {
+            // Feed the controller's cost book: the analytic Eq.-1
+            // latency and the measured planning time (including any
+            // simulated delay) of a genuine miss.
+            if let Some(hub) = &shared.hub {
+                let cell = hub.cell_of(req);
+                let measured = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                hub.record_cost(cell, cost.latency_us, measured);
             }
-            // The rendered JSON — not the plan object — is what gets
-            // cached: hits, cold plans, and migrated plans all serve
-            // the identical byte string.
-            let json = Arc::new(plan_json(&plan, &acc));
-            shared.cache.insert(key, Arc::clone(&json));
             let metrics = request_metrics(start, &before);
-            protocol::ok_plan_response(&req.id, false, &metrics, &json)
+            (
+                protocol::ok_plan_response(&req.id, false, &metrics, &json),
+                true,
+                EventKind::Miss,
+            )
         }
-        Err(PlanError::Cancelled { layers_done }) => {
+        Err(PlanFailure::Cancelled { layers_done }) => {
             smm_obs::add(Counter::ServeDeadlineExceeded, 1);
-            protocol::deadline_response(&req.id, layers_done)
+            (
+                protocol::deadline_response(&req.id, layers_done),
+                true,
+                EventKind::Deadline,
+            )
         }
-        Err(e) => protocol::error_response(&req.id, &e.to_string()),
+        Err(PlanFailure::Failed(msg)) => (
+            protocol::error_response(&req.id, &msg),
+            true,
+            EventKind::Error,
+        ),
+    }
+}
+
+/// The pre-warm controller: every tick, rank cells by windowed arrival
+/// rate × predicted cost and plan the hottest uncached ones in the
+/// background, so the next request for them is a cache hit instead of
+/// a miss. Warming goes through [`plan_render_cache`] — identical
+/// verification gates, identical bytes — and pays the seed's simulated
+/// `delay_ms`, so the hit-rate gain it buys is honest.
+fn prewarm_loop(shared: &Arc<Shared>, cap: usize, inflight: &parking_lot::Mutex<HashSet<u32>>) {
+    let Some(hub) = shared.hub.as_ref() else {
+        return;
     };
-    (response, true)
+    while !shared.shutdown.load(Ordering::Acquire) {
+        thread::sleep(PREWARM_INTERVAL);
+        let mut warmed = 0usize;
+        for cell in hub.prewarm_candidates(PREWARM_HORIZON, cap) {
+            if warmed >= PREWARM_PER_TICK || shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Some(seed) = hub.seed(cell) else {
+                continue;
+            };
+            let spec = seed.to_spec();
+            let Ok(net) = spec.resolve() else {
+                continue;
+            };
+            let key = spec.cache_key(&net);
+            // Cheap non-promoting probe: a warm candidate costs nothing.
+            if shared.cache.peek(&key) {
+                continue;
+            }
+            // Claim the cell so concurrent pre-warm threads never plan
+            // the same key twice.
+            if !inflight.lock().insert(cell) {
+                continue;
+            }
+            smm_obs::add(Counter::ServePrewarmAttempts, 1);
+            // Re-probe under the claim: a worker may have planned the
+            // key between the first probe and now.
+            if shared.cache.peek(&key) {
+                smm_obs::add(Counter::ServePrewarmSkipped, 1);
+            } else {
+                let start = Instant::now();
+                if let Ok((_, cost)) = plan_render_cache(
+                    shared,
+                    &spec,
+                    &net,
+                    key,
+                    seed.delay_ms,
+                    &CancelToken::none(),
+                ) {
+                    smm_obs::add(Counter::ServePrewarmInserted, 1);
+                    let measured = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    hub.record_cost(cell, cost.latency_us, measured);
+                }
+                warmed += 1;
+            }
+            inflight.lock().remove(&cell);
+        }
+    }
 }
 
 fn request_metrics(start: Instant, before: &CounterSnapshot) -> protocol::RequestMetrics {

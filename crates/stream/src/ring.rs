@@ -1,0 +1,276 @@
+//! A bounded single-producer/single-consumer ring.
+//!
+//! This is the event channel between one reactor shard (or worker
+//! thread) and the stream collector. The design constraints come from
+//! the serve hot path:
+//!
+//! - **never block**: a full ring drops the event and bumps a counter —
+//!   the request path must not stall on analytics;
+//! - **no locks on push**: one atomic load, one slot write, one atomic
+//!   store. The producer side is wait-free;
+//! - **exactly one producer and one consumer**: enforced by ownership —
+//!   [`spsc`] returns a ([`Producer`], [`Consumer`]) pair and neither
+//!   half is `Clone`. Push and pop take `&mut self`.
+//!
+//! The algorithm is the classic Lamport queue: monotonically increasing
+//! `head` (consumer) and `tail` (producer) indices into a power-of-two
+//! slot array, `tail - head` occupancy, Release stores pairing with
+//! Acquire loads so the slot contents are published before the index
+//! that makes them visible.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written only by the consumer.
+    head: AtomicUsize,
+    /// Next slot the producer will write. Written only by the producer.
+    tail: AtomicUsize,
+    /// Events rejected because the ring was full. Written only by the
+    /// producer; Relaxed — a monotone statistic, never used to publish.
+    dropped: AtomicU64,
+}
+
+// SAFETY: the slot array is shared between exactly two threads; every
+// slot is written by the producer strictly before the Release store of
+// `tail` that makes it visible, and read by the consumer strictly after
+// the Acquire load that observed it, so no slot is ever accessed from
+// both sides at once.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both halves are gone, so plain loads are sufficient; drop any
+        // events still in flight.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            let slot = self.slots[i & self.mask].get();
+            // SAFETY: slots in [head, tail) hold initialized values that
+            // nobody else can touch anymore.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// The push half of an SPSC ring; see [`spsc`]. Not `Clone` — single
+/// producer by construction.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The pop half of an SPSC ring; see [`spsc`]. Not `Clone` — single
+/// consumer by construction.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded SPSC ring holding at most `capacity` events
+/// (rounded up to a power of two, minimum 2).
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        dropped: AtomicU64::new(0),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Push one event. Returns `false` (and counts a drop) when the
+    /// ring is full; never blocks.
+    pub fn push(&mut self, value: T) -> bool {
+        let s = &*self.shared;
+        // Relaxed on tail: only this thread writes it.
+        let tail = s.tail.load(Ordering::Relaxed);
+        // Acquire on head pairs with the consumer's Release in `pop`,
+        // guaranteeing the consumer is done with the slot we reuse.
+        let head = s.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > s.mask {
+            s.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // SAFETY: occupancy < capacity, so slot `tail` is free and only
+        // this producer writes it.
+        unsafe { (*s.slots[tail & s.mask].get()).write(value) };
+        // Release publishes the slot write to the consumer's Acquire
+        // load of `tail`.
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Events dropped so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Pop one event, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        // Relaxed on head: only this thread writes it.
+        let head = s.head.load(Ordering::Relaxed);
+        // Acquire pairs with the producer's Release store of `tail`.
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: head < tail, so the slot holds an initialized value
+        // the producer published before the tail store we observed.
+        let value = unsafe { (*s.slots[head & s.mask].get()).assume_init_read() };
+        // Release hands the now-empty slot back to the producer.
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Drain everything currently visible into `f`; returns the number
+    /// of events drained.
+    pub fn drain(&mut self, mut f: impl FnMut(T)) -> usize {
+        let mut n = 0;
+        while let Some(v) = self.pop() {
+            f(v);
+            n += 1;
+        }
+        n
+    }
+
+    /// Events dropped so far on the producer side because the ring was
+    /// full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        for i in 0..4 {
+            assert!(tx.push(i));
+        }
+        assert!(!tx.push(99), "ring holds exactly its capacity");
+        assert_eq!(tx.dropped(), 1);
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        // Space freed by the consumer is reusable.
+        assert!(tx.push(5));
+        assert_eq!(rx.pop(), Some(5));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (mut tx, mut rx) = spsc::<u8>(5);
+        for i in 0..8 {
+            assert!(tx.push(i), "capacity 5 rounds up to 8");
+        }
+        assert!(!tx.push(8));
+        assert_eq!(rx.drain(|_| {}), 8);
+    }
+
+    #[test]
+    fn drops_in_flight_values_cleanly() {
+        // A ring holding owned values is dropped with events still
+        // queued; Drop must free them (checked by Arc strong counts).
+        let marker = Arc::new(());
+        let (mut tx, rx) = spsc::<Arc<()>>(8);
+        for _ in 0..5 {
+            assert!(tx.push(Arc::clone(&marker)));
+        }
+        assert_eq!(Arc::strong_count(&marker), 6);
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn cross_thread_stream_arrives_in_order() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = spsc::<u64>(256);
+        let producer = thread::spawn(move || {
+            let mut sent = 0u64;
+            for i in 0..N {
+                while !tx.push(i) {
+                    std::hint::spin_loop();
+                }
+                sent += 1;
+            }
+            sent
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        assert_eq!(producer.join().unwrap(), N);
+    }
+
+    #[test]
+    fn lossy_cross_thread_stream_preserves_subsequence() {
+        // Without producer-side spinning the ring drops under pressure;
+        // whatever arrives must still be an increasing subsequence and
+        // received + dropped must account for every push.
+        const N: u64 = 50_000;
+        let (mut tx, mut rx) = spsc::<u64>(64);
+        let producer = thread::spawn(move || {
+            let mut pushed = 0u64;
+            for i in 0..N {
+                if tx.push(i) {
+                    pushed += 1;
+                }
+            }
+            (pushed, tx.dropped())
+        });
+        let mut received = 0u64;
+        let mut last: Option<u64> = None;
+        loop {
+            if let Some(v) = rx.pop() {
+                if let Some(prev) = last {
+                    assert!(v > prev, "{v} after {prev}");
+                }
+                last = Some(v);
+                received += 1;
+            } else if producer.is_finished() {
+                received += rx.drain(|v| {
+                    if let Some(prev) = last {
+                        assert!(v > prev, "{v} after {prev}");
+                    }
+                    last = Some(v);
+                }) as u64;
+                break;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let (pushed, dropped) = producer.join().unwrap();
+        assert_eq!(pushed + dropped, N);
+        assert_eq!(received, pushed);
+    }
+}

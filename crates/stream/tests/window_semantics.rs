@@ -1,0 +1,269 @@
+//! Window-semantics acceptance suite.
+//!
+//! The deterministic tests pin the boundary conditions an operator
+//! reasons about (half-open intervals, sliding overlap, allowed
+//! lateness, empty windows); the proptest proves the incremental,
+//! pane-based engine equals a brute-force replay — "for each window,
+//! scan the whole event log" — over arbitrary event streams whose
+//! disorder stays within the allowed lateness.
+
+use smm_stream::{CellAgg, EventKind, StreamEvent, WindowConfig, WindowEngine, WindowSnapshot};
+
+fn ev(ts_us: u64, cell: u32, kind: EventKind, service_us: u32) -> StreamEvent {
+    StreamEvent {
+        ts_us,
+        cell,
+        kind,
+        service_us,
+    }
+}
+
+/// Brute-force reference: aggregate every window `[s, s+width)` by
+/// scanning the full event log, for starts from the first event's pane
+/// while the window closes under the final watermark.
+fn brute_force(
+    events: &[StreamEvent],
+    cfg: WindowConfig,
+    final_watermark: u64,
+) -> Vec<WindowSnapshot> {
+    let Some(first) = events.first() else {
+        return Vec::new();
+    };
+    let align = |ts: u64| ts - ts % cfg.slide_us;
+    let mut out = Vec::new();
+    let mut start = align(first.ts_us);
+    while start + cfg.width_us <= final_watermark {
+        let mut total = CellAgg::default();
+        let mut cells: std::collections::HashMap<u32, CellAgg> = std::collections::HashMap::new();
+        for e in events {
+            if e.ts_us >= start && e.ts_us < start + cfg.width_us {
+                total.observe(e);
+                cells.entry(e.cell).or_default().observe(e);
+            }
+        }
+        if total.events > 0 || cfg.emit_empty {
+            let mut cells: Vec<(u32, CellAgg)> = cells.into_iter().collect();
+            cells.sort_by(|a, b| b.1.events.cmp(&a.1.events).then(a.0.cmp(&b.0)));
+            out.push(WindowSnapshot {
+                start_us: start,
+                end_us: start + cfg.width_us,
+                total,
+                cells,
+            });
+        }
+        start += cfg.slide_us;
+    }
+    out
+}
+
+#[test]
+fn tumbling_windows_partition_time_without_overlap() {
+    let mut eng = WindowEngine::new(WindowConfig::tumbling(1_000, 0)).unwrap();
+    for t in (0..10_000).step_by(100) {
+        eng.push(&ev(t, 0, EventKind::HitInline, 50));
+    }
+    eng.advance_to(10_000);
+    let wins = eng.take_closed();
+    assert_eq!(wins.len(), 10);
+    let mut covered = 0;
+    for (i, w) in wins.iter().enumerate() {
+        assert_eq!(w.start_us, i as u64 * 1_000);
+        assert_eq!(w.end_us - w.start_us, 1_000);
+        assert_eq!(w.total.events, 10, "10 events per 1ms window");
+        covered += w.total.events;
+    }
+    assert_eq!(covered, 100, "every event lands in exactly one window");
+}
+
+#[test]
+fn sliding_windows_count_each_event_in_every_covering_window() {
+    let cfg = WindowConfig {
+        width_us: 1_000,
+        slide_us: 250,
+        lateness_us: 0,
+        emit_empty: true,
+    };
+    let mut eng = WindowEngine::new(cfg).unwrap();
+    // One event; every closed window overlapping it must see it.
+    eng.push(&ev(1_000, 3, EventKind::Miss, 10));
+    eng.advance_to(5_000);
+    let wins = eng.take_closed();
+    let holding: Vec<u64> = wins
+        .iter()
+        .filter(|w| w.total.events == 1)
+        .map(|w| w.start_us)
+        .collect();
+    assert_eq!(holding, vec![1_000], "engine origin is the event's pane");
+
+    // A second engine whose origin precedes the event: all four
+    // covering windows report it.
+    let mut eng = WindowEngine::new(cfg).unwrap();
+    eng.push(&ev(0, 9, EventKind::Miss, 10));
+    eng.push(&ev(1_000, 3, EventKind::Miss, 10));
+    eng.advance_to(5_000);
+    let wins = eng.take_closed();
+    let holding: Vec<u64> = wins
+        .iter()
+        .filter(|w| w.cells.iter().any(|(c, _)| *c == 3))
+        .map(|w| w.start_us)
+        .collect();
+    assert_eq!(holding, vec![250, 500, 750, 1_000]);
+}
+
+#[test]
+fn window_close_requires_watermark_past_end() {
+    let mut eng = WindowEngine::new(WindowConfig::tumbling(1_000, 200)).unwrap();
+    eng.push(&ev(500, 0, EventKind::Miss, 1));
+    // advance_to(1100) → watermark 900: not yet.
+    eng.advance_to(1_100);
+    assert!(eng.take_closed().is_empty());
+    // advance_to(1199) → watermark 999: still open (end is exclusive).
+    eng.advance_to(1_199);
+    assert!(eng.take_closed().is_empty());
+    eng.advance_to(1_200);
+    assert_eq!(eng.take_closed().len(), 1, "watermark 1000 closes [0,1000)");
+}
+
+#[test]
+fn late_events_never_mutate_closed_windows() {
+    let mut eng = WindowEngine::new(WindowConfig::tumbling(1_000, 100)).unwrap();
+    eng.push(&ev(100, 0, EventKind::Miss, 1));
+    eng.advance_to(2_000);
+    let first = eng.take_closed();
+    assert_eq!(first.len(), 1);
+    assert_eq!(first[0].total.events, 1);
+    // 500 is a whole window behind the watermark: late.
+    eng.push(&ev(500, 0, EventKind::Miss, 1));
+    // 1950 is within lateness of the 1900 watermark: accepted.
+    eng.push(&ev(1_950, 0, EventKind::Miss, 1));
+    let stats = eng.stats();
+    assert_eq!(stats.late_events, 1);
+    assert_eq!(stats.events, 2);
+    eng.advance_to(3_000);
+    let rest = eng.take_closed();
+    assert_eq!(rest.len(), 1);
+    assert_eq!(rest[0].start_us, 1_000);
+    assert_eq!(rest[0].total.events, 1, "only the in-time event");
+}
+
+#[test]
+fn empty_window_runs_are_emitted_exactly_when_asked() {
+    for emit_empty in [false, true] {
+        let mut cfg = WindowConfig::tumbling(100, 0);
+        cfg.emit_empty = emit_empty;
+        let mut eng = WindowEngine::new(cfg).unwrap();
+        eng.push(&ev(50, 0, EventKind::Miss, 1));
+        eng.push(&ev(1_250, 0, EventKind::Miss, 1));
+        eng.advance_to(1_300);
+        let wins = eng.take_closed();
+        if emit_empty {
+            assert_eq!(wins.len(), 13, "[0,100) .. [1200,1300), gaps included");
+            assert_eq!(wins.iter().map(|w| w.total.events).sum::<u64>(), 2);
+        } else {
+            assert_eq!(wins.len(), 2);
+            assert_eq!(wins[0].start_us, 0);
+            assert_eq!(wins[1].start_us, 1_200);
+        }
+    }
+}
+
+#[test]
+fn outcome_mix_and_latency_survive_pane_rollup() {
+    // Events for one cell spread over the panes of one sliding window.
+    let cfg = WindowConfig::sliding(1_000, 250, 0);
+    let mut eng = WindowEngine::new(cfg).unwrap();
+    eng.push(&ev(0, 5, EventKind::HitInline, 100));
+    eng.push(&ev(300, 5, EventKind::HitWorker, 200));
+    eng.push(&ev(550, 5, EventKind::Miss, 10_000));
+    eng.push(&ev(800, 5, EventKind::ShedAdaptive, 0));
+    eng.push(&ev(900, 5, EventKind::Deadline, 0));
+    eng.advance_to(10_000);
+    let wins = eng.take_closed();
+    let w = &wins[0];
+    assert_eq!((w.start_us, w.end_us), (0, 1_000));
+    let agg = &w.total;
+    assert_eq!(agg.events, 5);
+    assert_eq!(agg.hits(), 2);
+    assert_eq!(agg.misses, 1);
+    assert_eq!(agg.shed(), 1);
+    assert_eq!(agg.deadline, 1);
+    assert_eq!(agg.service_count, 3, "sheds/deadlines carry no latency");
+    assert_eq!(agg.service_sum_us, 10_300);
+    assert_eq!(agg.service_max_us, 10_000);
+    assert!(agg.quantile_us(0.99) >= 8_191);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+    /// The incremental engine and the brute-force replay agree on every
+    /// closed window: same starts, same per-cell aggregates, same
+    /// totals. Event streams are near-ordered (jitter ≤ lateness), so
+    /// no event is late and the replay is a pure function of the log.
+    #[test]
+    fn window_aggregates_equal_brute_force_replay(
+        seed in 0u64..10_000,
+        n_events in 1usize..200,
+        width_panes in 1u64..5,
+        slide_us in 200u64..2_000,
+        emit_empty in proptest::any::<bool>(),
+    ) {
+        let lateness_us = 1_000u64;
+        let cfg = WindowConfig {
+            width_us: width_panes * slide_us,
+            slide_us,
+            lateness_us,
+            emit_empty,
+        };
+        // Deterministic pseudo-random event log: time advances by a
+        // bounded stride, each event jittered backwards by at most the
+        // allowed lateness.
+        let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut now = 10_000u64;
+        let mut log: Vec<StreamEvent> = Vec::with_capacity(n_events);
+        for i in 0..n_events {
+            now += next() % 3_000;
+            // The first event carries maximal jitter, making its
+            // timestamp a floor for the whole log: no later event can
+            // fall before the engine's origin, so none can be late.
+            let jitter = if i == 0 {
+                lateness_us
+            } else {
+                next() % (lateness_us + 1)
+            };
+            let kind = EventKind::ALL[(next() % 8) as usize];
+            log.push(ev(
+                now.saturating_sub(jitter),
+                (next() % 5) as u32,
+                kind,
+                (next() % 20_000) as u32,
+            ));
+        }
+
+        let mut eng = WindowEngine::new(cfg).unwrap();
+        for e in &log {
+            eng.push(e);
+        }
+        let final_time = now + 10 * cfg.width_us;
+        eng.advance_to(final_time);
+        let got = eng.take_closed();
+        let stats = eng.stats();
+        proptest::prop_assert_eq!(stats.late_events, 0, "jitter ≤ lateness never drops");
+        proptest::prop_assert_eq!(stats.events, log.len() as u64);
+
+        let expect = brute_force(&log, cfg, final_time.saturating_sub(lateness_us));
+        proptest::prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(expect.iter()) {
+            proptest::prop_assert_eq!(g.start_us, e.start_us);
+            proptest::prop_assert_eq!(g.end_us, e.end_us);
+            proptest::prop_assert_eq!(&g.total, &e.total, "window {}", g.start_us);
+            proptest::prop_assert_eq!(&g.cells, &e.cells, "window {}", g.start_us);
+        }
+    }
+}

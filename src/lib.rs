@@ -27,6 +27,10 @@
 //! - [`fleet`] — sharded multi-node planning: a consistent-hash router
 //!   over serve nodes with backend health tracking and warm-cache
 //!   handoff on membership changes.
+//! - [`stream`] — windowed traffic analytics: lock-free SPSC event
+//!   lanes, watermark-driven tumbling/sliding window aggregation, and
+//!   the per-cell statistics behind the serve stack's pre-warm and
+//!   predictive-shed controllers.
 //!
 //! # Quickstart
 //!
@@ -63,5 +67,6 @@ pub use smm_obs as obs;
 pub use smm_policy as policy;
 pub use smm_serve as serve;
 pub use smm_sim as sim;
+pub use smm_stream as stream;
 pub use smm_systolic as systolic;
 pub use smm_trace as trace;
