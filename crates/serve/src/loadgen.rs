@@ -61,12 +61,27 @@ pub struct MixEntry {
     pub weight: u64,
 }
 
+/// Longest `--mix` cycle accepted: one full smooth-WRR schedule is
+/// materialized in memory (one slot per unit of reduced weight), so
+/// the GCD-reduced weight sum is bounded.
+const MAX_MIX_CYCLE: u64 = 65_536;
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 /// Parse a `--mix` spec: comma-separated `model:glb_kb=weight` entries
 /// (`=weight` defaults to 1), e.g. `resnet18:64=5,mobilenet:256=1`.
+/// Weights are relative and reduced by their GCD (`10:5` ≡ `2:1`).
 ///
 /// # Errors
 ///
-/// On empty input, malformed entries, zero GLB sizes, or zero weights.
+/// On empty input, malformed entries, zero GLB sizes, zero weights, or
+/// weights whose GCD-reduced sum exceeds the supported cycle length
+/// (65 536 — one schedule slot is allocated per unit of weight).
 pub fn parse_mix(spec: &str) -> Result<Vec<MixEntry>, String> {
     let mut entries = Vec::new();
     for raw in spec.split(',') {
@@ -101,6 +116,23 @@ pub fn parse_mix(spec: &str) -> Result<Vec<MixEntry>, String> {
     }
     if entries.is_empty() {
         return Err("empty --mix spec".into());
+    }
+    // The schedule allocates one slot per unit of weight; reduce by
+    // the GCD and bound the reduced sum, so `a=4000000000,b=2000000000`
+    // means 2:1 rather than a multi-gigabyte allocation.
+    let g = entries.iter().fold(0, |g, e| gcd(g, e.weight));
+    for e in &mut entries {
+        e.weight /= g;
+    }
+    if entries
+        .iter()
+        .try_fold(0u64, |t, e| t.checked_add(e.weight))
+        .is_none_or(|t| t > MAX_MIX_CYCLE)
+    {
+        return Err(format!(
+            "mix weights sum to more than {MAX_MIX_CYCLE} after GCD reduction; \
+             use smaller relative weights"
+        ));
     }
     Ok(entries)
 }
@@ -614,11 +646,16 @@ struct RequestPatterns {
 /// times, spread as evenly as the weights allow (a 5:1 mix issues
 /// `a a b a a a` rather than `a a a a a b`).
 fn swrr_schedule(weights: &[u64]) -> Vec<usize> {
+    // Reduce by the GCD so the cycle is minimal (4e9:2e9 ≡ 2:1);
+    // `parse_mix` additionally bounds the reduced sum, and this keeps
+    // programmatically-built configs from allocating huge cycles too.
+    let g = weights.iter().fold(0, |g, &w| gcd(g, w)).max(1);
+    let weights: Vec<u64> = weights.iter().map(|&w| w / g).collect();
     let total: u64 = weights.iter().sum();
     let mut current = vec![0i128; weights.len()];
     let mut out = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
     for _ in 0..total {
-        for (c, w) in current.iter_mut().zip(weights) {
+        for (c, w) in current.iter_mut().zip(&weights) {
             *c += i128::from(*w);
         }
         let best = (0..weights.len())
@@ -1193,6 +1230,27 @@ mod tests {
         ] {
             assert!(parse_mix(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn mix_weights_reduce_by_gcd_and_huge_cycles_are_rejected() {
+        // Common factors collapse: 4e9:2e9 is the same mix as 2:1 and
+        // must not materialize a multi-gigabyte schedule.
+        let mix = parse_mix("a:64=4000000000,b:128=2000000000").unwrap();
+        assert_eq!(mix[0].weight, 2);
+        assert_eq!(mix[1].weight, 1);
+        // Coprime weights whose sum exceeds the cycle bound are refused.
+        let err = parse_mix("a:64=4000000001,b:128=3").unwrap_err();
+        assert!(err.contains("GCD"), "{err}");
+        // The boundary itself is accepted.
+        assert!(parse_mix(&format!("a:64={},b:128=1", MAX_MIX_CYCLE - 1)).is_ok());
+    }
+
+    #[test]
+    fn swrr_reduces_weights_to_a_minimal_cycle() {
+        let sched = swrr_schedule(&[4_000_000_000, 2_000_000_000]);
+        assert_eq!(sched.len(), 3, "4e9:2e9 reduces to one 2:1 cycle");
+        assert_eq!(sched.iter().filter(|&&s| s == 0).count(), 2);
     }
 
     #[test]

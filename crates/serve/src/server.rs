@@ -122,8 +122,9 @@ pub struct ServerConfig {
     pub prewarm: bool,
     /// Tumbling/sliding window width for the stream analytics, ms.
     pub window_ms: u64,
-    /// Sliding-window slide for the stream analytics, ms (clamped to a
-    /// divisor of `window_ms`).
+    /// Sliding-window slide for the stream analytics, ms (clamped into
+    /// `(0, window_ms]`; the width is then rounded down to a whole
+    /// number of slide panes).
     pub slide_ms: u64,
     /// Pre-warm planner threads.
     pub prewarm_workers: usize,
@@ -568,9 +569,12 @@ fn handle_plan(
     // SLA-aware admission: when the stream controller has a measured
     // miss cost for this cell and the request cannot possibly meet its
     // deadline, shed it now instead of letting it expire in the queue.
-    // Fail-open: no deadline, no stream, or no book entry admits.
+    // Fail-open: no deadline, no stream, or no book entry admits, and
+    // every N-th consecutive shed of a cell is admitted as a probe
+    // (`StreamHub::shed_probe`) — sheds produce no measurements, so
+    // without probes one slow outlier could deny a cell forever.
     if let (Some(left), Some(hub), Some(cell)) = (deadline_left_us, shared.hub.as_deref(), cell) {
-        if hub.predicted_miss_us(cell).is_some_and(|cost| cost > left) {
+        if hub.predicted_miss_us(cell).is_some_and(|cost| cost > left) && !hub.shed_probe(cell) {
             shared.count_shed_predicted();
             shared.tap(lane, Some(cell), EventKind::ShedPredicted, 0);
             protocol::shed_response_into(reply, &req.id);

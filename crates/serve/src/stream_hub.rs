@@ -61,6 +61,13 @@ const VIEW_CELLS: usize = 32;
 /// built: high enough that unknown-but-hot cells still get warmed.
 const DEFAULT_COST_US: u64 = 1_000;
 
+/// Admit one deadline-bearing miss per cell after this many
+/// consecutive predictive sheds (a **probe**). Sheds produce no cost
+/// measurements, so without probes one slow outlier could deny a
+/// cell's misses indefinitely once pre-warm is off; the probe feeds a
+/// fresh measurement back into the book.
+const PROBE_EVERY: u64 = 32;
+
 /// Per-cell predicted costs; see the module docs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CellCost {
@@ -69,6 +76,8 @@ pub struct CellCost {
     /// Measured wall-clock cost of planning a miss for this cell
     /// (including simulated `delay_ms`), µs.
     pub miss_service_us: u64,
+    /// Predictive sheds since the last measurement (probe pacing).
+    sheds_since_measure: u64,
 }
 
 /// Shared stream state; see the module docs.
@@ -110,17 +119,16 @@ impl StreamHub {
             producers.push(Mutex::new(tx));
             consumers.push(rx);
         }
-        let window_us = window_ms.max(1).saturating_mul(1000);
-        // Clamp the slide into (0, window] and to a divisor-friendly
-        // value: the engine requires width % slide == 0.
-        let slide_us = {
-            let s = slide_ms.max(1).saturating_mul(1000).min(window_us);
-            if window_us.is_multiple_of(s) {
-                s
-            } else {
-                window_us / (window_us / s)
-            }
-        };
+        // The engine requires width % slide == 0. Clamp the slide into
+        // (0, window], honor it exactly, and round the width *down* to
+        // a whole number of slide panes (at most slide-1 µs narrower
+        // than requested) — guessing at a nearby divisor instead could
+        // hand the engine an invalid config and panic the collector.
+        let slide_us = slide_ms
+            .max(1)
+            .saturating_mul(1000)
+            .min(window_ms.max(1).saturating_mul(1000));
+        let window_us = (window_ms.max(1).saturating_mul(1000) / slide_us) * slide_us;
         let hub = Arc::new(StreamHub {
             epoch: Instant::now(),
             registry: CellRegistry::default(),
@@ -192,18 +200,42 @@ impl StreamHub {
         let mut costs = self.costs.write();
         let entry = costs.entry(cell).or_default();
         entry.analytic_us = analytic_us;
-        // Keep an EWMA-flavored blend so one slow outlier does not
-        // dominate admission forever: new = (old + 3*measured) / 4.
+        // Conventional smoothing EWMA, new = (3*old + measured) / 4:
+        // one slow outlier nudges the estimate by a quarter of the
+        // excess instead of immediately dominating admission.
         entry.miss_service_us = if entry.miss_service_us == 0 {
             miss_service_us
         } else {
-            (entry.miss_service_us + 3 * miss_service_us) / 4
+            (entry
+                .miss_service_us
+                .saturating_mul(3)
+                .saturating_add(miss_service_us))
+                / 4
         };
+        entry.sheds_since_measure = 0;
     }
 
     /// The measured miss cost of a cell, if it was ever planned.
     pub fn predicted_miss_us(&self, cell: u32) -> Option<u64> {
         self.costs.read().get(&cell).map(|c| c.miss_service_us)
+    }
+
+    /// Account one would-be predictive shed of `cell`; returns `true`
+    /// when the shed should instead be admitted as a probe. Every
+    /// `PROBE_EVERY`-th (32nd) consecutive shed probes, and any
+    /// [`Self::record_cost`] (worker miss or pre-warm) restarts the
+    /// run, so a stale estimate can always be corrected by fresh
+    /// measurements even when pre-warm is disabled.
+    pub fn shed_probe(&self, cell: u32) -> bool {
+        let mut costs = self.costs.write();
+        let entry = costs.entry(cell).or_default();
+        entry.sheds_since_measure += 1;
+        if entry.sheds_since_measure >= PROBE_EVERY {
+            entry.sheds_since_measure = 0;
+            true
+        } else {
+            false
+        }
     }
 
     /// Rank pre-warm candidates over the last `horizon` tumbling
@@ -440,7 +472,11 @@ mod tests {
         hub.record_cost(hot, 500, 10_000);
         assert_eq!(hub.predicted_miss_us(hot), Some(10_000));
         hub.record_cost(hot, 500, 2_000);
-        assert_eq!(hub.predicted_miss_us(hot), Some(4_000), "EWMA blend");
+        assert_eq!(
+            hub.predicted_miss_us(hot),
+            Some(8_000),
+            "EWMA weights the old estimate 3/4"
+        );
         hub.record_cost(cold, 400, 4_000);
         // 9 hot arrivals vs 1 cold arrival with comparable costs.
         for _ in 0..9 {
@@ -453,5 +489,45 @@ mod tests {
         let ranked = hub.prewarm_candidates(8, 2);
         assert_eq!(ranked.first(), Some(&hot), "hot×cost outranks cold");
         assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn awkward_slide_rounds_width_to_whole_panes() {
+        // 100ms window, 30ms slide: 100_000 % 30_000 != 0, and no
+        // nearby "clamped" slide divides the width either. The hub
+        // must hand the engines a valid config (this used to panic the
+        // collector thread at startup) by keeping the slide exact and
+        // rounding the width down to 90ms.
+        let (hub, consumers) = StreamHub::new(1, 100, 30);
+        let shutdown = AtomicBool::new(true);
+        hub.run_collector(consumers, &shutdown); // one pass; must not panic
+        let body = hub.view_body(1, true);
+        assert!(
+            body.contains("\"window_ms\":90,\"slide_ms\":30"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn predictive_sheds_probe_periodically() {
+        let (hub, _consumers) = StreamHub::new(1, 100, 100);
+        let cell = hub.cell_of(&plan_req("resnet18", 64, None));
+        hub.record_cost(cell, 500, 10_000);
+        for i in 1..PROBE_EVERY {
+            assert!(!hub.shed_probe(cell), "shed {i} must not probe yet");
+        }
+        assert!(
+            hub.shed_probe(cell),
+            "every {PROBE_EVERY}-th consecutive shed is admitted as a probe"
+        );
+        // A fresh measurement (worker miss or pre-warm) restarts the run.
+        for _ in 0..10 {
+            assert!(!hub.shed_probe(cell));
+        }
+        hub.record_cost(cell, 500, 9_000);
+        for _ in 1..PROBE_EVERY {
+            assert!(!hub.shed_probe(cell));
+        }
+        assert!(hub.shed_probe(cell));
     }
 }
